@@ -1,0 +1,11 @@
+"""Regenerate Figure 1-1: parallelism of two code fragments."""
+
+from repro.analysis import experiments as E
+
+from conftest import run_exhibit
+
+
+def test_fig1_1(benchmark, results_dir):
+    ex = run_exhibit(benchmark, results_dir, E.fig1_1)
+    assert ex.data["(a) independent"] == 3.0
+    assert ex.data["(b) dependent"] == 1.0

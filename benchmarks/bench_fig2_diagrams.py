@@ -1,0 +1,12 @@
+"""Regenerate Figures 2-1..2-7: machine-taxonomy pipeline diagrams."""
+
+from repro.analysis import experiments as E
+
+from conftest import run_exhibit
+
+
+def test_fig2_diagrams(benchmark, results_dir):
+    ex = run_exhibit(benchmark, results_dir, E.fig2_diagrams)
+    base = ex.data["Figure 2-1 base machine"]
+    assert ex.data["Figure 2-4 superscalar (n=3)"] < base
+    assert ex.data["Figure 2-2 underpipelined: cycle > operation"] == 2 * base

@@ -1,0 +1,13 @@
+"""Regenerate Figure 4-2: start-up in superscalar vs superpipelined."""
+
+import pytest
+
+from repro.analysis import experiments as E
+
+from conftest import run_exhibit
+
+
+def test_fig4_2(benchmark, results_dir):
+    ex = run_exhibit(benchmark, results_dir, E.fig4_2)
+    assert ex.data["superscalar"] == pytest.approx(2.0)
+    assert ex.data["superpipelined"] == pytest.approx(8 / 3)

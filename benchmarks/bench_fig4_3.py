@@ -1,0 +1,13 @@
+"""Regenerate Figure 4-3: parallelism required for full utilization."""
+
+import pytest
+
+from repro.analysis import experiments as E
+
+from conftest import run_exhibit
+
+
+def test_fig4_3(benchmark, results_dir):
+    ex = run_exhibit(benchmark, results_dir, E.fig4_3)
+    assert ex.data["multititan"] == pytest.approx(1.7)
+    assert ex.data["cray1"] == pytest.approx(4.4)

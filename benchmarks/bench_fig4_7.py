@@ -1,0 +1,12 @@
+"""Regenerate Figure 4-7: optimization vs expression-graph parallelism."""
+
+import pytest
+
+from repro.analysis import experiments as E
+
+from conftest import run_exhibit
+
+
+def test_fig4_7(benchmark, results_dir):
+    ex = run_exhibit(benchmark, results_dir, E.fig4_7)
+    assert sorted(ex.data.values()) == pytest.approx([4 / 3, 1.5, 5 / 3])

@@ -1,0 +1,14 @@
+"""Regenerate Table 5-1: the cost of cache misses."""
+
+import pytest
+
+from repro.analysis import experiments as E
+
+from conftest import run_exhibit
+
+
+def test_table5_1(benchmark, results_dir):
+    ex = run_exhibit(benchmark, results_dir, E.table5_1)
+    assert ex.data["VAX 11/780"] == pytest.approx(0.6)
+    assert ex.data["WRL Titan"] == pytest.approx(8.571, abs=1e-2)
+    assert ex.data["future superscalar"] == pytest.approx(140.0)

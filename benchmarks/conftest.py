@@ -1,0 +1,31 @@
+"""Benchmark harness configuration.
+
+Each benchmark target regenerates one table or figure of the paper via
+``repro.analysis.experiments`` and stores the rendered exhibit under
+``results/``.  Exhibits are measured with a single round: the interesting
+output is the reproduced data, not the harness's own wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_exhibit(benchmark, results_dir, factory, **kwargs):
+    """Run one exhibit under pytest-benchmark and persist its rendering."""
+    exhibit = benchmark.pedantic(
+        lambda: factory(**kwargs), rounds=1, iterations=1
+    )
+    path = results_dir / f"{exhibit.ident.replace('.', '_')}.txt"
+    path.write_text(str(exhibit) + "\n", encoding="utf-8")
+    return exhibit

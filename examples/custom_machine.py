@@ -1,0 +1,75 @@
+"""Evaluate a custom machine description, like the paper's Section 3
+interface: per-class latencies, functional units with issue latency and
+multiplicity, an issue-width limit — then watch real code run on it.
+
+The example machine is a hypothetical "budget superscalar": two-wide
+issue, one pipelined multiplier shared by everything, loads taking two
+cycles, floating point three.  Its pipeline diagram is rendered for a
+small code fragment, then the eight-benchmark suite is measured.
+
+Run:  python examples/custom_machine.py
+"""
+
+from repro.analysis.pipeviz import render_pipeline
+from repro.analysis.stats import harmonic_mean
+from repro.analysis.tables import format_table
+from repro.benchmarks import suite
+from repro.isa import InstrClass
+from repro.machine import MachineConfig, machine_degree, unit
+from repro.sim import simulate
+
+K = InstrClass
+
+BUDGET = MachineConfig(
+    name="budget-superscalar",
+    issue_width=2,
+    latencies={
+        K.LOGICAL: 1, K.SHIFT: 1, K.ADDSUB: 1, K.MOVE: 1, K.MISC: 1,
+        K.INTMUL: 4, K.INTDIV: 16,
+        K.LOAD: 2, K.STORE: 1, K.BRANCH: 1,
+        K.FPADD: 3, K.FPMUL: 4, K.FPDIV: 16, K.FPCVT: 2,
+    },
+    units=(
+        unit("alu", [K.LOGICAL, K.SHIFT, K.ADDSUB, K.MOVE, K.MISC,
+                     K.BRANCH], multiplicity=2),
+        unit("mul", [K.INTMUL, K.INTDIV, K.FPMUL, K.FPDIV],
+             issue_latency=2),
+        unit("fpu", [K.FPADD, K.FPCVT]),
+        unit("mem", [K.LOAD, K.STORE]),
+    ),
+)
+
+
+def main() -> None:
+    print(f"machine: {BUDGET.name}")
+    print(f"average degree of superpipelining: {machine_degree(BUDGET):.2f}")
+    print("(the paper's metric: >1 means latency already exposes ILP needs)")
+
+    print("\npipeline diagram for 8 independent instructions:")
+    from repro.analysis.pipeviz import demo_trace
+
+    print(render_pipeline(demo_trace("independent", 8), BUDGET))
+
+    print("\nmeasuring the suite (compiled and scheduled for this machine)...")
+    rows = []
+    speedups = []
+    for bench in suite.all_benchmarks():
+        options = suite.default_options(bench, schedule_for=BUDGET)
+        result = suite.run_benchmark(bench, options)
+        timing = simulate(result.trace, BUDGET)
+        rows.append([bench.name, result.instructions, timing.base_cycles,
+                     timing.parallelism])
+        speedups.append(timing.parallelism)
+    print(format_table(
+        ["benchmark", "instructions", "cycles", "instr/cycle"], rows
+    ))
+    print(f"\nharmonic mean: {harmonic_mean(speedups):.3f} instructions/cycle")
+    print(
+        "\nWith real latencies and shared units, the 2-wide machine"
+        "\nextracts well under 2 instructions per cycle — the available"
+        "\nparallelism is already being spent covering operation latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Design-space exploration: where should your transistors go?
+
+The paper's Section 5.2 argues the superscalar/superpipelined choice is a
+technology question because the performance is nearly the same.  This
+example sweeps the whole (n, m) design space — issue width x pipelining
+degree — over the benchmark suite, prints the speedup surface, and shows
+how little is left once the degree product passes the available ILP.
+
+It also demonstrates class conflicts: a 4-issue machine with only one
+load/store port is compared against the fully duplicated ideal.
+
+Run:  python examples/design_space.py   (takes a minute: 8 benchmarks
+compile once; every machine point replays the cached traces)
+"""
+
+from repro.analysis.stats import harmonic_mean
+from repro.analysis.tables import format_table
+from repro.benchmarks import suite
+from repro.machine import (
+    MachineConfig,
+    ideal_superscalar,
+    superscalar_with_class_conflicts,
+)
+from repro.isa.opcodes import InstrClass
+from repro.sim import simulate
+
+
+def machine(n: int, m: int) -> MachineConfig:
+    return MachineConfig(
+        name=f"n{n}m{m}",
+        issue_width=n,
+        superpipeline_degree=m,
+        latencies={k: m for k in InstrClass},
+    )
+
+
+def main() -> None:
+    print("running the eight-benchmark suite once...")
+    traces = {
+        b.name: suite.run_benchmark(b).trace for b in suite.all_benchmarks()
+    }
+
+    print("\nspeedup over the base machine, harmonic mean of the suite")
+    widths = (1, 2, 3, 4)
+    degrees = (1, 2, 3, 4)
+    rows = []
+    for m in degrees:
+        row = [f"m={m}"]
+        for n in widths:
+            cfg = machine(n, m)
+            mean = harmonic_mean(
+                [simulate(t, cfg).parallelism for t in traces.values()]
+            )
+            row.append(mean)
+        rows.append(row)
+    print(format_table(["degree \\ width"] + [f"n={n}" for n in widths], rows))
+    print(
+        "\nReading the surface: moving diagonally (n*m up) stops paying"
+        "\nonce n*m exceeds the suite's available parallelism (~2)."
+    )
+
+    print("\nclass conflicts: 4-issue with limited load/store ports")
+    rows = []
+    for n_mem in (1, 2, 4):
+        cfg = superscalar_with_class_conflicts(4, n_mem_units=n_mem)
+        mean = harmonic_mean(
+            [simulate(t, cfg).parallelism for t in traces.values()]
+        )
+        rows.append([f"{n_mem} port(s)", mean])
+    ideal = harmonic_mean(
+        [simulate(t, ideal_superscalar(4)).parallelism
+         for t in traces.values()]
+    )
+    rows.append(["ideal (no conflicts)", ideal])
+    print(format_table(["memory ports", "harmonic-mean speedup"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Prints each exhibit (ASCII table + chart) in paper order and writes them
+under results/.  This is the library's "reproduce the paper" button; the
+same drivers are exercised one-by-one by ``pytest benchmarks/``.
+
+Run:  python examples/paper_figures.py          (full sweep, ~5 minutes)
+      python examples/paper_figures.py fig4-5   (one exhibit)
+"""
+
+import pathlib
+import sys
+import time
+
+from repro.analysis.experiments import ALL_EXHIBITS
+
+RESULTS = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def main(argv: list[str]) -> int:
+    wanted = argv[1:] or list(ALL_EXHIBITS)
+    unknown = [name for name in wanted if name not in ALL_EXHIBITS]
+    if unknown:
+        print(f"unknown exhibits: {unknown}")
+        print(f"available: {', '.join(ALL_EXHIBITS)}")
+        return 1
+    RESULTS.mkdir(exist_ok=True)
+    for name in wanted:
+        t0 = time.time()
+        exhibit = ALL_EXHIBITS[name]()
+        text = str(exhibit)
+        print(text)
+        print(f"[{name} regenerated in {time.time() - t0:.1f}s]\n")
+        out = RESULTS / f"{exhibit.ident.replace('.', '_')}.txt"
+        out.write_text(text + "\n", encoding="utf-8")
+    print(f"exhibits written under {RESULTS}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

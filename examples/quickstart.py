@@ -1,0 +1,92 @@
+"""Quickstart: compile a Tin program, run it, and measure its ILP.
+
+This walks the full pipeline the library provides:
+
+1. write a small program in Tin (the library's mini-language);
+2. compile it with the optimizing compiler;
+3. execute it on the functional simulator to get a dynamic trace;
+4. replay the trace on several machine descriptions and compare.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import compile_source
+from repro.analysis.tables import format_table
+from repro.machine import (
+    base_machine,
+    cray1,
+    ideal_superscalar,
+    multititan,
+    superpipelined,
+)
+from repro.opt import CompilerOptions, OptLevel
+from repro.sim import run, simulate
+
+SOURCE = """
+# dot product plus a reduction tail, in Tin
+var xs: float[64];
+var ys: float[64];
+
+proc dot(n: int): float {
+    var i: int;
+    var acc: float;
+    acc = 0.0;
+    for i = 0 to n - 1 {
+        acc = acc + xs[i] * ys[i];
+    }
+    return acc;
+}
+
+proc main(): int {
+    var i: int;
+    for i = 0 to 63 {
+        xs[i] = float(i) * 0.25;
+        ys[i] = float(63 - i) * 0.5;
+    }
+    return int(dot(64));
+}
+"""
+
+
+def main() -> None:
+    print("compiling at every optimization level...")
+    rows = []
+    for level in OptLevel:
+        options = CompilerOptions(opt_level=level)
+        program = compile_source(SOURCE, options)
+        result = run(program)
+        ilp = simulate(result.trace, ideal_superscalar(64)).parallelism
+        rows.append(
+            [f"O{int(level)} ({level.name.lower()})", result.value,
+             result.instructions, ilp]
+        )
+    print(format_table(
+        ["level", "result", "dynamic instrs", "available ILP"], rows
+    ))
+
+    print("\nreplaying the fully optimized trace on different machines...")
+    program = compile_source(SOURCE, CompilerOptions())
+    trace = run(program).trace
+    rows = []
+    for config in (
+        base_machine(),
+        ideal_superscalar(2),
+        ideal_superscalar(4),
+        superpipelined(2),
+        superpipelined(4),
+        multititan(),
+        cray1(),
+    ):
+        timing = simulate(trace, config)
+        rows.append([config.name, timing.base_cycles, timing.parallelism])
+    print(format_table(["machine", "base cycles", "speedup vs base"], rows))
+
+    print(
+        "\nNote the paper's headline: the superscalar and superpipelined"
+        "\nmachines of equal degree perform almost identically, and past"
+        "\ndegree ~3 neither helps much — available ILP is the ceiling."
+    )
+
+
+if __name__ == "__main__":
+    main()

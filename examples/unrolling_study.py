@@ -1,0 +1,89 @@
+"""Loop unrolling study: naive vs careful, and register pressure.
+
+Reproduces the Figure 4-6 methodology on a standalone kernel so the
+mechanics are easy to see: a DAXPY loop is compiled with naive and
+careful unrolling at several factors, under small and large temporary
+register files, and the scheduler's resulting ILP is measured.
+
+Careful unrolling = reduction reassociation + affine store/load
+disambiguation + interprocedural alias analysis (Fortran-style argument
+independence), exactly the three things the paper did by hand.
+
+Run:  python examples/unrolling_study.py
+"""
+
+from repro import compile_source
+from repro.analysis.tables import format_table, line_chart
+from repro.isa.registers import RegisterFileSpec
+from repro.machine import ideal_superscalar
+from repro.opt import CompilerOptions
+from repro.sim import run, simulate
+
+SOURCE = """
+var xs: float[256];
+var ys: float[256];
+
+proc daxpy(n: int, a: float, src: float[], dst: float[]) {
+    var i: int;
+    for i = 0 to n - 1 {
+        dst[i] = dst[i] + a * src[i];
+    }
+}
+
+proc main(): int {
+    var i, rep: int;
+    for i = 0 to 255 {
+        xs[i] = float(i) * 0.01;
+        ys[i] = 1.0;
+    }
+    for rep = 1 to 4 {
+        daxpy(256, 0.5, xs, ys);
+    }
+    return int(ys[255] * 100.0);
+}
+"""
+
+
+def measure(factor: int, careful: bool, n_temp: int) -> float:
+    options = CompilerOptions(
+        unroll=factor,
+        careful=careful,
+        regfile=RegisterFileSpec(n_temp=n_temp, n_home=26),
+    )
+    program = compile_source(SOURCE, options)
+    result = run(program)
+    return simulate(result.trace, ideal_superscalar(64)).parallelism
+
+
+def main() -> None:
+    factors = (1, 2, 4, 6, 10)
+    series = {}
+    rows = []
+    for careful in (False, True):
+        for n_temp in (16, 40):
+            label = f"{'careful' if careful else 'naive'}/t{n_temp}"
+            points = []
+            for factor in factors:
+                points.append((factor, measure(factor, careful, n_temp)))
+            series[label] = points
+            rows.append([label] + [p[1] for p in points])
+            print(f"measured {label}")
+    print()
+    print(format_table(
+        ["mode/temps"] + [f"u={f}" for f in factors], rows
+    ))
+    print()
+    print(line_chart(
+        series, title="DAXPY parallelism vs unroll factor",
+        x_label="unroll factor", y_label="ILP",
+    ))
+    print(
+        "\nThe paper's Figure 4-6 shape: naive unrolling flattens (false"
+        "\nconflicts between copies serialize the schedule); careful"
+        "\nunrolling keeps climbing, and more temporaries help it climb"
+        "\nfurther before register reuse reintroduces dependences."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,157 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run <file.tin>``
+    Compile and execute a Tin source file; print its result.
+``measure <file.tin>``
+    Compile, execute and report ILP across standard machines.
+``suite``
+    Run the eight-benchmark suite and print the ILP summary.
+``exhibit <ident> [...]``
+    Regenerate paper exhibits (``exhibit list`` to enumerate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.tables import format_table
+from .machine import (
+    base_machine,
+    cray1,
+    ideal_superscalar,
+    multititan,
+    superpipelined,
+)
+from .opt.options import CompilerOptions, OptLevel
+from .sim.interp import run as interp_run
+from .sim.timing import simulate
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Jouppi & Wall (ASPLOS 1989) ILP measurement system",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="compile and execute a Tin file")
+    p_run.add_argument("file")
+    p_run.add_argument(
+        "-O", dest="opt", type=int, default=4, choices=range(5),
+        help="optimization level (0..4, default 4)",
+    )
+
+    p_measure = sub.add_parser(
+        "measure", help="measure a Tin file's ILP on standard machines"
+    )
+    p_measure.add_argument("file")
+    p_measure.add_argument("-O", dest="opt", type=int, default=4,
+                           choices=range(5))
+    p_measure.add_argument("--unroll", type=int, default=1)
+    p_measure.add_argument("--careful", action="store_true")
+
+    sub.add_parser("suite", help="run the eight-benchmark suite")
+
+    p_ex = sub.add_parser("exhibit", help="regenerate paper exhibits")
+    p_ex.add_argument("idents", nargs="+",
+                      help="exhibit ids, or 'list' / 'all'")
+    return parser
+
+
+def _compile_file(path: str, args) -> tuple:
+    from .opt.driver import compile_source
+
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    options = CompilerOptions(
+        opt_level=OptLevel(args.opt),
+        unroll=getattr(args, "unroll", 1),
+        careful=getattr(args, "careful", False),
+    )
+    program = compile_source(source, options)
+    return program, interp_run(program)
+
+
+def _cmd_run(args) -> int:
+    _program, result = _compile_file(args.file, args)
+    print(f"result: {result.value}")
+    print(f"dynamic instructions: {result.instructions}")
+    return 0
+
+
+def _cmd_measure(args) -> int:
+    _program, result = _compile_file(args.file, args)
+    print(f"result: {result.value}   "
+          f"dynamic instructions: {result.instructions}")
+    rows = []
+    for cfg in (
+        base_machine(),
+        ideal_superscalar(2),
+        ideal_superscalar(4),
+        ideal_superscalar(8),
+        superpipelined(4),
+        multititan(),
+        cray1(),
+    ):
+        timing = simulate(result.trace, cfg)
+        rows.append([cfg.name, timing.base_cycles, timing.parallelism])
+    print(format_table(["machine", "base cycles", "instr/cycle"], rows))
+    return 0
+
+
+def _cmd_suite(_args) -> int:
+    from .benchmarks import suite as bench_suite
+
+    rows = []
+    for bench in bench_suite.all_benchmarks():
+        result = bench_suite.run_benchmark(bench)
+        ok = abs(result.value - bench.reference()) <= bench.fp_tolerance
+        ilp = simulate(result.trace, ideal_superscalar(64)).parallelism
+        rows.append([
+            bench.name, result.instructions,
+            "ok" if ok else "MISMATCH", ilp,
+        ])
+    print(format_table(
+        ["benchmark", "dyn. instructions", "checksum", "available ILP"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_exhibit(args) -> int:
+    from .analysis.experiments import ALL_EXHIBITS
+
+    idents = args.idents
+    if idents == ["list"]:
+        for name, factory in ALL_EXHIBITS.items():
+            print(f"{name:12s} {factory.__doc__.splitlines()[0]}")
+        return 0
+    if idents == ["all"]:
+        idents = list(ALL_EXHIBITS)
+    unknown = [i for i in idents if i not in ALL_EXHIBITS]
+    if unknown:
+        print(f"unknown exhibits: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(ALL_EXHIBITS)}", file=sys.stderr)
+        return 2
+    for ident in idents:
+        print(ALL_EXHIBITS[ident]())
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "measure": _cmd_measure,
+        "suite": _cmd_suite,
+        "exhibit": _cmd_exhibit,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

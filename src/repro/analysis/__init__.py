@@ -1,0 +1,26 @@
+"""Experiment drivers, statistics, and rendering for the paper's exhibits."""
+
+from . import experiments, pipeviz
+from .blockstats import BlockStats, block_stats
+from .experiments import ALL_EXHIBITS, Exhibit, run_all
+from .stats import geometric_mean, harmonic_mean, percent_change
+from .sweep import SweepRow, summarize, sweep
+from .tables import format_table, line_chart
+
+__all__ = [
+    "ALL_EXHIBITS",
+    "BlockStats",
+    "Exhibit",
+    "SweepRow",
+    "block_stats",
+    "summarize",
+    "sweep",
+    "experiments",
+    "format_table",
+    "geometric_mean",
+    "harmonic_mean",
+    "line_chart",
+    "percent_change",
+    "pipeviz",
+    "run_all",
+]

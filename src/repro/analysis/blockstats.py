@@ -1,0 +1,76 @@
+"""Dynamic basic-block statistics.
+
+The paper's central number — roughly two instructions of parallelism —
+is a *consequence* of two facts: basic blocks are short (a branch every
+handful of instructions) and the code inside a block is chained.  This
+module measures the first fact directly from traces, which makes the
+ILP ceiling interpretable: with in-order issue and block-scoped
+scheduling, the dynamic block length is a hard upper bound on how much
+work the scheduler even gets to rearrange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class BlockStats:
+    """Dynamic control-flow statistics of one trace."""
+
+    instructions: int
+    dynamic_blocks: int
+    branch_instructions: int
+    histogram: tuple[tuple[int, int], ...]   # (block length, count)
+
+    @property
+    def mean_block_length(self) -> float:
+        """Average dynamic instructions between control transfers."""
+        if self.dynamic_blocks == 0:
+            return 0.0
+        return self.instructions / self.dynamic_blocks
+
+    @property
+    def branch_frequency(self) -> float:
+        """Fraction of dynamic instructions that are branches."""
+        if self.instructions == 0:
+            return 0.0
+        return self.branch_instructions / self.instructions
+
+
+def block_stats(trace: Trace, max_bucket: int = 16) -> BlockStats:
+    """Measure dynamic basic-block lengths of ``trace``.
+
+    A dynamic block ends at every control-transfer instruction
+    (conditional branch, jump, call, return, halt).  Lengths above
+    ``max_bucket`` share the final histogram bucket.
+    """
+    is_branch = [ins.op.info.is_branch or ins.op.value == "halt"
+                 for ins in trace.static]
+    histogram = [0] * (max_bucket + 1)
+    blocks = 0
+    branches = 0
+    current = 0
+    for si in trace.ops:
+        current += 1
+        if is_branch[si]:
+            branches += 1
+            blocks += 1
+            histogram[min(current, max_bucket)] += 1
+            current = 0
+    if current:
+        blocks += 1
+        histogram[min(current, max_bucket)] += 1
+    pairs = tuple(
+        (length, count)
+        for length, count in enumerate(histogram)
+        if count
+    )
+    return BlockStats(
+        instructions=len(trace),
+        dynamic_blocks=blocks,
+        branch_instructions=branches,
+        histogram=pairs,
+    )

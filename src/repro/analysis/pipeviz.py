@@ -1,0 +1,122 @@
+"""ASCII pipeline diagrams (the paper's Figures 2-1 .. 2-7 and 4-2).
+
+Each instruction is drawn on its own row against a time axis in *minor*
+cycles: fetch/decode stages as ``F``/``D``, the execution interval as
+``#`` (the paper's crosshatched pipestage), and write-back as ``W``.
+Issue times come from the real timing model
+(:func:`repro.sim.timing.issue_schedule`), so the diagrams are generated,
+not drawn by hand.
+"""
+
+from __future__ import annotations
+
+from ..isa import build
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Opcode
+from ..isa.registers import Reg, virtual
+from ..machine.config import MachineConfig
+from ..sim.timing import issue_schedule
+from ..sim.trace import Trace
+
+
+def render_pipeline(
+    trace: Trace,
+    config: MachineConfig,
+    front_stages: int = 2,
+    max_instructions: int = 16,
+) -> str:
+    """Render the execution of ``trace`` on ``config`` as a diagram."""
+    times = issue_schedule(trace, config)
+    n = min(len(times), max_instructions)
+    lats = [
+        config.latencies[ins.op.klass] for ins in trace.instructions()
+    ]
+    end = max(times[i] + lats[i] for i in range(n)) + 2
+
+    lines = [
+        f"{config.name}: issue width {config.issue_width}, "
+        f"degree {config.superpipeline_degree} "
+        f"(1 column = 1/{config.superpipeline_degree} base cycle)"
+    ]
+    for i in range(n):
+        row = [" "] * (end + front_stages)
+        t = times[i] + front_stages
+        for s in range(front_stages):
+            row[t - front_stages + s] = "FD"[s % 2]
+        for c in range(lats[i]):
+            row[t + c] = "#"
+        if t + lats[i] < len(row):
+            row[t + lats[i]] = "W"
+        lines.append(f"i{i:<2d} |" + "".join(row))
+    axis = []
+    for c in range(end + front_stages):
+        minor = c - front_stages
+        axis.append(
+            "^" if minor >= 0 and minor % config.superpipeline_degree == 0
+            else " "
+        )
+    lines.append("    |" + "".join(axis) + "  (^ = base cycle boundary)")
+    return "\n".join(lines)
+
+
+def independent_instructions(count: int) -> list[Instruction]:
+    """``count`` mutually independent ALU instructions (demo workload)."""
+    out = []
+    for i in range(count):
+        out.append(build.alui(Opcode.ADDI, virtual(i), virtual(100 + i), 1))
+    return out
+
+
+def dependent_chain(count: int) -> list[Instruction]:
+    """``count`` instructions forming one serial dependence chain."""
+    out = []
+    for i in range(count):
+        src: Reg = virtual(i)
+        out.append(build.alui(Opcode.ADDI, virtual(i + 1), src, 1))
+    return out
+
+
+def demo_trace(kind: str = "independent", count: int = 8) -> Trace:
+    """Build the canonical demo trace used by the Figure 2-x diagrams."""
+    if kind == "independent":
+        instrs = independent_instructions(count)
+    elif kind == "chain":
+        instrs = dependent_chain(count)
+    else:
+        raise ValueError(f"unknown demo kind {kind!r}")
+    return Trace.from_instructions(instrs)
+
+
+def render_vector_diagram(
+    n_elements: int = 6,
+    names: tuple[str, ...] = ("vload", "vfadd", "vstore"),
+    front_stages: int = 2,
+) -> str:
+    """Figure 2-8: execution in a vector machine.
+
+    "Each vector instruction results in a string of operations, one for
+    each element in the vector."  Chained vector instructions issue on
+    successive cycles (the paper draws serial issue "for diagram
+    readability only") and then stream one element operation per cycle,
+    so the strings overlap — the machine sustains several operations per
+    cycle without issuing several instructions per cycle.
+    """
+    width = front_stages + len(names) + n_elements + 2
+    lines = [
+        f"vector machine: {n_elements}-element vectors, chained"
+    ]
+    for k, name in enumerate(names):
+        row = [" "] * width
+        for s in range(front_stages):
+            row[k + s] = "FD"[s % 2]
+        for e in range(n_elements):
+            row[k + front_stages + e] = "#"
+        lines.append(f"{name:6s} |" + "".join(row))
+    total = len(names) + front_stages + n_elements
+    ops = len(names) * n_elements
+    lines.append(
+        f"        {ops} element operations complete by cycle "
+        f"{total - 1}: ~{ops / (total - 1):.1f} ops/cycle without "
+        f"multi-issue"
+    )
+    return "\n".join(lines)

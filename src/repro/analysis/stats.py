@@ -1,0 +1,35 @@
+"""Small statistics helpers used by the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean (the paper's aggregate across benchmarks, Fig 4-1)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("harmonic mean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("harmonic mean needs positive values")
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geometric mean of empty sequence")
+    prod = 1.0
+    for v in vals:
+        if v <= 0:
+            raise ValueError("geometric mean needs positive values")
+        prod *= v
+    return prod ** (1.0 / len(vals))
+
+
+def percent_change(new: float, old: float) -> float:
+    """Relative change in percent."""
+    if old == 0:
+        raise ValueError("undefined percent change from zero")
+    return (new - old) / old * 100.0

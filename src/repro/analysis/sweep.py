@@ -1,0 +1,99 @@
+"""Structured parameter sweeps over benchmarks x machines x options.
+
+A thin public API over what the experiment drivers do by hand: run a set
+of benchmarks under a set of compile options, replay each trace on a set
+of machine configurations, and return tidy rows.  Useful for building
+custom studies without touching the drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..benchmarks import suite
+from ..benchmarks.suite import Benchmark
+from ..machine.config import MachineConfig
+from ..opt.options import CompilerOptions
+from ..sim.timing import simulate
+from .stats import harmonic_mean
+from .tables import format_table
+
+
+@dataclass(frozen=True, slots=True)
+class SweepRow:
+    """One (benchmark, options, machine) measurement."""
+
+    benchmark: str
+    options_label: str
+    machine: str
+    instructions: int
+    base_cycles: float
+    parallelism: float
+
+
+def sweep(
+    benchmarks: Iterable[Benchmark | str],
+    machines: Sequence[MachineConfig],
+    options: CompilerOptions | None = None,
+    options_label: str = "default",
+    schedule_for_target: bool = False,
+) -> list[SweepRow]:
+    """Measure every benchmark on every machine.
+
+    With ``schedule_for_target`` the code is recompiled, scheduled for
+    each machine being measured (the paper's methodology); otherwise one
+    trace per benchmark is reused across machines (much faster).
+    """
+    rows: list[SweepRow] = []
+    for bench in benchmarks:
+        if isinstance(bench, str):
+            bench = suite.get(bench)
+        for config in machines:
+            if schedule_for_target:
+                opts = suite.default_options(bench, schedule_for=config)
+                if options is not None:
+                    raise ValueError(
+                        "options and schedule_for_target are exclusive"
+                    )
+            else:
+                opts = options or suite.default_options(bench)
+            result = suite.run_benchmark(bench, opts)
+            timing = simulate(result.trace, config)
+            rows.append(
+                SweepRow(
+                    benchmark=bench.name,
+                    options_label=options_label,
+                    machine=config.name,
+                    instructions=result.instructions,
+                    base_cycles=timing.base_cycles,
+                    parallelism=timing.parallelism,
+                )
+            )
+    return rows
+
+
+def summarize(rows: Sequence[SweepRow]) -> str:
+    """Render sweep rows as a machines-by-benchmarks parallelism table,
+    with a harmonic-mean column."""
+    machines: list[str] = []
+    benches: list[str] = []
+    values: dict[tuple[str, str], float] = {}
+    for row in rows:
+        if row.machine not in machines:
+            machines.append(row.machine)
+        if row.benchmark not in benches:
+            benches.append(row.benchmark)
+        values[(row.machine, row.benchmark)] = row.parallelism
+    table_rows = []
+    for machine in machines:
+        cells = [values[(machine, b)] for b in benches
+                 if (machine, b) in values]
+        table_rows.append(
+            [machine]
+            + [values.get((machine, b), float("nan")) for b in benches]
+            + [harmonic_mean(cells)]
+        )
+    return format_table(
+        ["machine"] + benches + ["harmonic mean"], table_rows
+    )

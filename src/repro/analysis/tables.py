@@ -1,0 +1,96 @@
+"""ASCII rendering of tables and simple line charts.
+
+The experiment drivers return raw numbers; these helpers turn them into
+the tables and figure-shaped charts printed by the benchmark harness (no
+plotting library is needed or available offline).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot named (x, y) series on a character grid.
+
+    Each series is drawn with its own marker (first letter of its name,
+    then digits on collision).  Good enough to eyeball the paper's figure
+    shapes in a terminal.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("no data to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers: dict[str, str] = {}
+    used: set[str] = set()
+    for name in series:
+        mark = name[0].upper()
+        if mark in used:
+            for digit in "123456789":
+                if digit not in used:
+                    mark = digit
+                    break
+        used.add(mark)
+        markers[name] = mark
+
+    for name, pts in series.items():
+        mark = markers[name]
+        for x, y in pts:
+            col = round((x - x_min) / (x_max - x_min) * (width - 1))
+            row = round((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"{y_label} (y: {y_min:.2f} .. {y_max:.2f})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" x: {x_min:g} .. {x_max:g} {x_label}")
+    legend = ", ".join(f"{markers[name]}={name}" for name in series)
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)

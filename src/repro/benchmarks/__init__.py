@@ -1,0 +1,24 @@
+"""The eight-benchmark suite (ccom, grr, linpack, livermore, met,
+stanford, whet, yacc)."""
+
+from . import suite
+from .suite import (
+    Benchmark,
+    all_benchmarks,
+    clear_cache,
+    default_options,
+    get,
+    measure,
+    run_benchmark,
+)
+
+__all__ = [
+    "Benchmark",
+    "all_benchmarks",
+    "clear_cache",
+    "default_options",
+    "get",
+    "measure",
+    "run_benchmark",
+    "suite",
+]

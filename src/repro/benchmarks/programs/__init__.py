@@ -1,0 +1,1 @@
+"""Benchmark program modules (each self-registers with the suite)."""

@@ -1,0 +1,372 @@
+"""``ccom`` — a small compiler, standing in for the paper's C compiler.
+
+The workload is a compiler's inner life in miniature: a grammar-directed
+random generator produces token streams for arithmetic expressions over
+constants and variables; a recursive-descent parser compiles each stream
+to stack code; a constant-folding peephole pass optimizes the code; and a
+stack machine executes it.  The profile matches a real compiler front
+end: deep recursion, table dispatch on token kinds, short basic blocks,
+and almost no floating point — which is why ccom sits near the bottom of
+the paper's parallelism range.
+"""
+
+from __future__ import annotations
+
+from ..suite import Benchmark, register
+
+_N_EXPRS = 45
+_DEPTH = 3
+_MOD = 999999937
+_VMOD = 10007
+
+# token codes
+_NUM, _PLUS, _MINUS, _MUL, _DIV, _LP, _RP, _VAR, _END = range(9)
+
+SOURCE = f"""
+# ccom: generate -> parse -> constant-fold -> execute expressions
+const NEXPR = {_N_EXPRS};
+const DEPTH = {_DEPTH};
+const MOD = {_MOD};
+const VMOD = {_VMOD};
+const TNUM = 0;
+const TPLUS = 1;
+const TMINUS = 2;
+const TMUL = 3;
+const TDIV = 4;
+const TLP = 5;
+const TRP = 6;
+const TVAR = 7;
+const TEND = 8;
+const OPUSH = 0;
+const OLOAD = 5;
+
+var tok: int[2048];
+var tval: int[2048];
+var tpos: int;
+var code: int[2048];
+var cval: int[2048];
+var cpos: int;
+var opt: int[2048];
+var oval: int[2048];
+var opos: int;
+var stk: int[256];
+var vars: int[4];
+var pos: int;
+var seed: int;
+
+proc rnd(m: int): int {{
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return seed % m;
+}}
+
+proc emit_tok(t: int, v: int) {{
+    tok[tpos] = t;
+    tval[tpos] = v;
+    tpos = tpos + 1;
+}}
+
+# ---- grammar-directed random generator
+proc gen_factor(d: int) {{
+    if (d > 0 && rnd(4) == 0) {{
+        emit_tok(TLP, 0);
+        gen_expr(d - 1);
+        emit_tok(TRP, 0);
+    }} else {{
+        if (rnd(3) == 0) {{
+            emit_tok(TVAR, rnd(4));
+        }} else {{
+            emit_tok(TNUM, rnd(100) + 1);
+        }}
+    }}
+}}
+
+proc gen_term(d: int) {{
+    var k, j: int;
+    gen_factor(d);
+    k = rnd(3);
+    for j = 1 to k {{
+        if (rnd(2) == 0) {{
+            emit_tok(TMUL, 0);
+        }} else {{
+            emit_tok(TDIV, 0);
+        }}
+        gen_factor(d);
+    }}
+}}
+
+proc gen_expr(d: int) {{
+    var k, j: int;
+    gen_term(d);
+    k = rnd(3);
+    for j = 1 to k {{
+        if (rnd(2) == 0) {{
+            emit_tok(TPLUS, 0);
+        }} else {{
+            emit_tok(TMINUS, 0);
+        }}
+        gen_term(d);
+    }}
+}}
+
+# ---- recursive-descent parser emitting postfix code
+proc emit_code(op: int, v: int) {{
+    code[cpos] = op;
+    cval[cpos] = v;
+    cpos = cpos + 1;
+}}
+
+proc p_factor() {{
+    if (tok[pos] == TLP) {{
+        pos = pos + 1;
+        p_expr();
+        pos = pos + 1;         # consume ')'
+    }} else {{
+        if (tok[pos] == TVAR) {{
+            emit_code(OLOAD, tval[pos]);
+        }} else {{
+            emit_code(OPUSH, tval[pos]);
+        }}
+        pos = pos + 1;
+    }}
+}}
+
+proc p_term() {{
+    var op: int;
+    p_factor();
+    while (tok[pos] == TMUL || tok[pos] == TDIV) {{
+        op = tok[pos];
+        pos = pos + 1;
+        p_factor();
+        emit_code(op, 0);      # TMUL/TDIV double as postfix opcodes
+    }}
+}}
+
+proc p_expr() {{
+    var op: int;
+    p_term();
+    while (tok[pos] == TPLUS || tok[pos] == TMINUS) {{
+        op = tok[pos];
+        pos = pos + 1;
+        p_term();
+        emit_code(op, 0);
+    }}
+}}
+
+proc apply(op: int, a: int, b: int): int {{
+    var r: int;
+    if (op == TPLUS) {{
+        r = (a + b) % VMOD;
+    }} else {{
+        if (op == TMINUS) {{
+            r = (a - b + VMOD) % VMOD;
+        }} else {{
+            if (op == TMUL) {{
+                r = (a * b) % VMOD;
+            }} else {{
+                if (b == 0) {{
+                    r = a;
+                }} else {{
+                    r = a / b;
+                }}
+            }}
+        }}
+    }}
+    return r;
+}}
+
+# ---- peephole constant folding: PUSH a, PUSH b, op -> PUSH (a op b)
+proc fold() {{
+    var i: int;
+    opos = 0;
+    i = 0;
+    while (i < cpos) {{
+        if (code[i] >= TPLUS && code[i] <= TDIV && opos >= 2) {{
+            if (opt[opos - 1] == OPUSH && opt[opos - 2] == OPUSH) {{
+                oval[opos - 2] = apply(
+                    code[i], oval[opos - 2], oval[opos - 1]);
+                opos = opos - 1;
+            }} else {{
+                opt[opos] = code[i];
+                oval[opos] = 0;
+                opos = opos + 1;
+            }}
+        }} else {{
+            opt[opos] = code[i];
+            oval[opos] = cval[i];
+            opos = opos + 1;
+        }}
+        i = i + 1;
+    }}
+}}
+
+# ---- stack-machine execution of the optimized code
+proc execute(): int {{
+    var i, sp, a, b: int;
+    sp = 0;
+    for i = 0 to opos - 1 {{
+        if (opt[i] == OPUSH) {{
+            stk[sp] = oval[i];
+            sp = sp + 1;
+        }} else {{
+            if (opt[i] == OLOAD) {{
+                stk[sp] = vars[oval[i]];
+                sp = sp + 1;
+            }} else {{
+                b = stk[sp - 1];
+                a = stk[sp - 2];
+                sp = sp - 2;
+                stk[sp] = apply(opt[i], a, b);
+                sp = sp + 1;
+            }}
+        }}
+    }}
+    return stk[0];
+}}
+
+proc main(): int {{
+    var e, i, chk, folded: int;
+    seed = 31415926;
+    chk = 0;
+    for i = 0 to 3 {{
+        vars[i] = rnd(VMOD);
+    }}
+    for e = 1 to NEXPR {{
+        tpos = 0;
+        cpos = 0;
+        gen_expr(DEPTH);
+        emit_tok(TEND, 0);
+        pos = 0;
+        p_expr();
+        fold();
+        folded = cpos - opos;
+        chk = (chk * 31 + execute() * 7 + folded) % MOD;
+    }}
+    return chk;
+}}
+"""
+
+
+def reference() -> int:
+    """Pure-Python mirror of the Tin compiler pipeline."""
+    seed = 31415926
+
+    def rnd(m: int) -> int:
+        nonlocal seed
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        return seed % m
+
+    variables = [rnd(_VMOD) for _ in range(4)]
+    chk = 0
+
+    def apply(op: int, a: int, b: int) -> int:
+        if op == _PLUS:
+            return (a + b) % _VMOD
+        if op == _MINUS:
+            return (a - b + _VMOD) % _VMOD
+        if op == _MUL:
+            return (a * b) % _VMOD
+        return a if b == 0 else a // b
+
+    for _ in range(_N_EXPRS):
+        toks: list[tuple[int, int]] = []
+
+        def gen_factor(d: int) -> None:
+            if d > 0 and rnd(4) == 0:
+                toks.append((_LP, 0))
+                gen_expr(d - 1)
+                toks.append((_RP, 0))
+            elif rnd(3) == 0:
+                toks.append((_VAR, rnd(4)))
+            else:
+                toks.append((_NUM, rnd(100) + 1))
+
+        def gen_term(d: int) -> None:
+            gen_factor(d)
+            for _j in range(rnd(3)):
+                toks.append((_MUL if rnd(2) == 0 else _DIV, 0))
+                gen_factor(d)
+
+        def gen_expr(d: int) -> None:
+            gen_term(d)
+            for _j in range(rnd(3)):
+                toks.append((_PLUS if rnd(2) == 0 else _MINUS, 0))
+                gen_term(d)
+
+        gen_expr(_DEPTH)
+        toks.append((_END, 0))
+
+        code: list[tuple[int, int]] = []
+        pos = 0
+        OPUSH, OLOAD = 0, 5
+
+        def p_factor() -> None:
+            nonlocal pos
+            if toks[pos][0] == _LP:
+                pos += 1
+                p_expr()
+                pos += 1
+            else:
+                kind, value = toks[pos]
+                code.append((OLOAD if kind == _VAR else OPUSH, value))
+                pos += 1
+
+        def p_term() -> None:
+            nonlocal pos
+            p_factor()
+            while toks[pos][0] in (_MUL, _DIV):
+                op = toks[pos][0]
+                pos += 1
+                p_factor()
+                code.append((op, 0))
+
+        def p_expr() -> None:
+            nonlocal pos
+            p_term()
+            while toks[pos][0] in (_PLUS, _MINUS):
+                op = toks[pos][0]
+                pos += 1
+                p_term()
+                code.append((op, 0))
+
+        p_expr()
+
+        folded: list[tuple[int, int]] = []
+        for op, value in code:
+            if (
+                _PLUS <= op <= _DIV
+                and len(folded) >= 2
+                and folded[-1][0] == OPUSH
+                and folded[-2][0] == OPUSH
+            ):
+                a = folded[-2][1]
+                b = folded[-1][1]
+                folded.pop()
+                folded[-1] = (OPUSH, apply(op, a, b))
+            else:
+                folded.append((op, value))
+
+        stack: list[int] = []
+        for op, value in folded:
+            if op == OPUSH:
+                stack.append(value)
+            elif op == OLOAD:
+                stack.append(variables[value])
+            else:
+                b = stack.pop()
+                a = stack.pop()
+                stack.append(apply(op, a, b))
+        result = stack[0]
+        n_folded = len(code) - len(folded)
+        chk = (chk * 31 + result * 7 + n_folded) % _MOD
+    return chk
+
+
+register(
+    Benchmark(
+        name="ccom",
+        description="expression compiler: generate, parse, constant-fold, "
+        "execute (stands in for the paper's C compiler)",
+        source=lambda: SOURCE,
+        reference=reference,
+    )
+)

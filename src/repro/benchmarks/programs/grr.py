@@ -1,0 +1,242 @@
+"""``grr`` — a PC board router.
+
+The paper's *grr* routes printed-circuit boards.  Our equivalent is a Lee
+maze router: a W x H grid seeded with obstacles, then a sequence of nets
+routed by breadth-first wavefront expansion and backtracing, with routed
+paths becoming obstacles for later nets.  This is the same workload
+character: queue-driven integer code, bounds tests, and irregular branchy
+control flow over a grid.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..suite import Benchmark, register
+
+_W = 24
+_H = 24
+_OBSTACLES = 90
+_NETS = 14
+_MOD = 999999937
+
+SOURCE = f"""
+# grr: Lee maze router on a {_W}x{_H} grid
+const W = {_W};
+const H = {_H};
+const CELLS = {_W * _H};
+const NOBST = {_OBSTACLES};
+const NETS = {_NETS};
+const MOD = {_MOD};
+
+var grid: int[{_W * _H}];     # 0 free, 1 blocked
+var dist: int[{_W * _H}];
+var queue: int[{_W * _H}];
+var seed: int;
+
+proc rnd(m: int): int {{
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return seed % m;
+}}
+
+# BFS wavefront from src; returns 1 when dst reached
+proc expand(src: int, dst: int): int {{
+    var head, tail, cell, d, r, c, found: int;
+    var i: int;
+    for i = 0 to CELLS - 1 {{ dist[i] = -1; }}
+    dist[src] = 0;
+    queue[0] = src;
+    head = 0;
+    tail = 1;
+    found = 0;
+    while (head < tail && found == 0) {{
+        cell = queue[head];
+        head = head + 1;
+        if (cell == dst) {{
+            found = 1;
+        }} else {{
+            d = dist[cell];
+            r = cell / W;
+            c = cell % W;
+            if (r > 0) {{
+                if (grid[cell - W] == 0 && dist[cell - W] < 0) {{
+                    dist[cell - W] = d + 1;
+                    queue[tail] = cell - W;
+                    tail = tail + 1;
+                }}
+            }}
+            if (r < H - 1) {{
+                if (grid[cell + W] == 0 && dist[cell + W] < 0) {{
+                    dist[cell + W] = d + 1;
+                    queue[tail] = cell + W;
+                    tail = tail + 1;
+                }}
+            }}
+            if (c > 0) {{
+                if (grid[cell - 1] == 0 && dist[cell - 1] < 0) {{
+                    dist[cell - 1] = d + 1;
+                    queue[tail] = cell - 1;
+                    tail = tail + 1;
+                }}
+            }}
+            if (c < W - 1) {{
+                if (grid[cell + 1] == 0 && dist[cell + 1] < 0) {{
+                    dist[cell + 1] = d + 1;
+                    queue[tail] = cell + 1;
+                    tail = tail + 1;
+                }}
+            }}
+        }}
+    }}
+    return found;
+}}
+
+# walk back from dst along decreasing distance, blocking the path
+proc backtrace(src: int, dst: int): int {{
+    var cell, d, r, c, nxt, length: int;
+    cell = dst;
+    length = 0;
+    while (cell != src) {{
+        d = dist[cell];
+        r = cell / W;
+        c = cell % W;
+        nxt = -1;
+        if (r > 0 && nxt < 0) {{
+            if (dist[cell - W] == d - 1) {{ nxt = cell - W; }}
+        }}
+        if (r < H - 1 && nxt < 0) {{
+            if (dist[cell + W] == d - 1) {{ nxt = cell + W; }}
+        }}
+        if (c > 0 && nxt < 0) {{
+            if (dist[cell - 1] == d - 1) {{ nxt = cell - 1; }}
+        }}
+        if (c < W - 1 && nxt < 0) {{
+            if (dist[cell + 1] == d - 1) {{ nxt = cell + 1; }}
+        }}
+        grid[cell] = 1;
+        cell = nxt;
+        length = length + 1;
+    }}
+    grid[src] = 1;
+    return length;
+}}
+
+proc freecell(): int {{
+    var cell: int;
+    cell = rnd(CELLS);
+    while (grid[cell] != 0) {{
+        cell = rnd(CELLS);
+    }}
+    return cell;
+}}
+
+proc main(): int {{
+    var i, src, dst, routed, total, chk: int;
+    seed = 123456789;
+    for i = 1 to NOBST {{
+        grid[rnd(CELLS)] = 1;
+    }}
+    routed = 0;
+    total = 0;
+    for i = 1 to NETS {{
+        src = freecell();
+        dst = freecell();
+        if (expand(src, dst) == 1) {{
+            total = total + backtrace(src, dst);
+            routed = routed + 1;
+        }} else {{
+            grid[src] = 1;
+            grid[dst] = 1;
+        }}
+    }}
+    chk = (routed * 100000 + total * 31) % MOD;
+    return chk;
+}}
+"""
+
+
+def reference() -> int:
+    """Pure-Python mirror of the Tin router."""
+    W, H = _W, _H
+    cells = W * H
+    seed = 123456789
+
+    def rnd(m: int) -> int:
+        nonlocal seed
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        return seed % m
+
+    grid = [0] * cells
+    for _ in range(_OBSTACLES):
+        grid[rnd(cells)] = 1
+
+    def neighbors(cell: int):
+        r, c = divmod(cell, W)
+        if r > 0:
+            yield cell - W
+        if r < H - 1:
+            yield cell + W
+        if c > 0:
+            yield cell - 1
+        if c < W - 1:
+            yield cell + 1
+
+    def expand(src: int, dst: int):
+        dist = [-1] * cells
+        dist[src] = 0
+        q = deque([src])
+        while q:
+            cell = q.popleft()
+            if cell == dst:
+                return dist
+            for n in neighbors(cell):
+                if grid[n] == 0 and dist[n] < 0:
+                    dist[n] = dist[cell] + 1
+                    q.append(n)
+        return None
+
+    def backtrace(src: int, dst: int, dist) -> int:
+        cell = dst
+        length = 0
+        while cell != src:
+            d = dist[cell]
+            nxt = -1
+            for n in neighbors(cell):
+                if dist[n] == d - 1:
+                    nxt = n
+                    break
+            grid[cell] = 1
+            cell = nxt
+            length += 1
+        grid[src] = 1
+        return length
+
+    def freecell() -> int:
+        cell = rnd(cells)
+        while grid[cell] != 0:
+            cell = rnd(cells)
+        return cell
+
+    routed = total = 0
+    for _ in range(_NETS):
+        src = freecell()
+        dst = freecell()
+        dist = expand(src, dst)
+        if dist is not None:
+            total += backtrace(src, dst, dist)
+            routed += 1
+        else:
+            grid[src] = 1
+            grid[dst] = 1
+    return (routed * 100000 + total * 31) % _MOD
+
+
+register(
+    Benchmark(
+        name="grr",
+        description="Lee maze router: BFS wavefront expansion and "
+        "backtrace over a grid with obstacles",
+        source=lambda: SOURCE,
+        reference=reference,
+    )
+)

@@ -1,0 +1,226 @@
+"""``linpack`` — LU factorization + solve, double precision.
+
+Gaussian elimination with partial pivoting (dgefa) and the triangular
+solve (dgesl), built on DAXPY exactly like the original: the matrix is
+stored column-major in one flat array and DAXPY receives array + offset
+pairs.  The paper uses the *official* Linpack whose inner loops are
+unrolled four times; being Fortran, its DAXPY arguments may be assumed
+non-aliasing.  The suite default therefore compiles this rolled source
+with the compiler's 4x *careful* unrolling (which includes that argument
+rule), and Figure 4-6 sweeps the unrolling factor and the careful/naive
+axis explicitly.
+"""
+
+from __future__ import annotations
+
+from ..suite import Benchmark, register
+
+_N = 24
+_MOD = 999999937
+
+SOURCE = f"""
+# linpack: dgefa/dgesl with daxpy on an {_N}x{_N} column-major matrix
+const N = {_N};
+
+var a: float[{_N * _N}];
+var b: float[{_N}];
+var ipvt: int[{_N}];
+var seed: int;
+
+proc rnd(m: int): int {{
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return seed % m;
+}}
+
+# dst[do_ + i] += da * src[so + i] for i in [0, n)
+proc daxpy(n: int, da: float, src: float[], so: int, dst: float[], do_: int) {{
+    var i: int;
+    if (n > 0) {{
+        for i = 0 to n - 1 {{
+            dst[do_ + i] = dst[do_ + i] + da * src[so + i];
+        }}
+    }}
+}}
+
+# index of max |a[base + i]| for i in [0, n)
+proc idamax(n: int, base: int): int {{
+    var i, imax: int;
+    var v, vmax: float;
+    imax = 0;
+    vmax = a[base];
+    if (vmax < 0.0) {{ vmax = -vmax; }}
+    for i = 1 to n - 1 {{
+        v = a[base + i];
+        if (v < 0.0) {{ v = -v; }}
+        if (v > vmax) {{
+            vmax = v;
+            imax = i;
+        }}
+    }}
+    return imax;
+}}
+
+proc dgefa(): int {{
+    var k, l, j, i, info: int;
+    var t, pivot: float;
+    info = 0;
+    for k = 0 to N - 2 {{
+        l = idamax(N - k, k * N + k) + k;
+        ipvt[k] = l;
+        pivot = a[k * N + l];
+        if (pivot == 0.0) {{
+            info = k + 1;
+        }} else {{
+            if (l != k) {{
+                a[k * N + l] = a[k * N + k];
+                a[k * N + k] = pivot;
+            }}
+            t = -1.0 / pivot;
+            for i = k + 1 to N - 1 {{
+                a[k * N + i] = a[k * N + i] * t;
+            }}
+            for j = k + 1 to N - 1 {{
+                t = a[j * N + l];
+                if (l != k) {{
+                    a[j * N + l] = a[j * N + k];
+                    a[j * N + k] = t;
+                }}
+                daxpy(N - k - 1, t, a, k * N + k + 1, a, j * N + k + 1);
+            }}
+        }}
+    }}
+    ipvt[N - 1] = N - 1;
+    return info;
+}}
+
+proc dgesl() {{
+    var k, kb, l: int;
+    var t: float;
+    for k = 0 to N - 2 {{
+        l = ipvt[k];
+        t = b[l];
+        if (l != k) {{
+            b[l] = b[k];
+            b[k] = t;
+        }}
+        daxpy(N - k - 1, t, a, k * N + k + 1, b, k + 1);
+    }}
+    for kb = 0 to N - 1 {{
+        k = N - 1 - kb;
+        b[k] = b[k] / a[k * N + k];
+        t = -b[k];
+        daxpy(k, t, a, k * N, b, 0);
+    }}
+}}
+
+proc main(): int {{
+    var i, j, info: int;
+    var s: float;
+    seed = 1325;
+    for i = 0 to N * N - 1 {{
+        a[i] = float(rnd(1000) - 500) / 256.0;
+    }}
+    # b = A * ones, so the solution is all ones
+    for i = 0 to N - 1 {{
+        s = 0.0;
+        for j = 0 to N - 1 {{
+            s = s + a[j * N + i];
+        }}
+        b[i] = s;
+    }}
+    info = dgefa();
+    dgesl();
+    s = 0.0;
+    for i = 0 to N - 1 {{
+        s = s + b[i];
+    }}
+    return int(s * 1000.0 + 0.5) + info * 1000000;
+}}
+"""
+
+
+def reference() -> int:
+    """Pure-Python mirror (same arithmetic, same order of operations)."""
+    n = _N
+    seed = 1325
+
+    def rnd(m: int) -> int:
+        nonlocal seed
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        return seed % m
+
+    a = [0.0] * (n * n)
+    for i in range(n * n):
+        a[i] = float(rnd(1000) - 500) / 256.0
+    b = [0.0] * n
+    for i in range(n):
+        s = 0.0
+        for j in range(n):
+            s = s + a[j * n + i]
+        b[i] = s
+
+    def daxpy(count: int, da: float, src, so: int, dst, do_: int) -> None:
+        for i in range(count):
+            dst[do_ + i] = dst[do_ + i] + da * src[so + i]
+
+    ipvt = [0] * n
+    info = 0
+    for k in range(n - 1):
+        base = k * n + k
+        imax = 0
+        vmax = abs(a[base])
+        for i in range(1, n - k):
+            v = abs(a[base + i])
+            if v > vmax:
+                vmax = v
+                imax = i
+        l = imax + k
+        ipvt[k] = l
+        pivot = a[k * n + l]
+        if pivot == 0.0:
+            info = k + 1
+            continue
+        if l != k:
+            a[k * n + l] = a[k * n + k]
+            a[k * n + k] = pivot
+        t = -1.0 / pivot
+        for i in range(k + 1, n):
+            a[k * n + i] = a[k * n + i] * t
+        for j in range(k + 1, n):
+            t = a[j * n + l]
+            if l != k:
+                a[j * n + l] = a[j * n + k]
+                a[j * n + k] = t
+            daxpy(n - k - 1, t, a, k * n + k + 1, a, j * n + k + 1)
+    ipvt[n - 1] = n - 1
+
+    for k in range(n - 1):
+        l = ipvt[k]
+        t = b[l]
+        if l != k:
+            b[l] = b[k]
+            b[k] = t
+        daxpy(n - k - 1, t, a, k * n + k + 1, b, k + 1)
+    for kb in range(n):
+        k = n - 1 - kb
+        b[k] = b[k] / a[k * n + k]
+        t = -b[k]
+        daxpy(k, t, a, k * n, b, 0)
+
+    s = 0.0
+    for i in range(n):
+        s = s + b[i]
+    return int(s * 1000.0 + 0.5) + info * 1000000
+
+
+register(
+    Benchmark(
+        name="linpack",
+        description="LU factorization and solve (dgefa/dgesl) on DAXPY, "
+        "double precision",
+        source=lambda: SOURCE,
+        reference=reference,
+        fp_tolerance=1,
+        default_overrides={"unroll": 4, "careful": True},
+    )
+)

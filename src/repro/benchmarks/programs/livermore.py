@@ -1,0 +1,595 @@
+"""``livermore`` — the first 14 Livermore loops, double precision.
+
+Each kernel keeps the classic loop's dependence structure (vectorizable
+element-wise kernels 1/7/12, reductions 3, recurrences 5/6/11, banded and
+gather/scatter patterns 2/4/10/13/14); sizes are scaled down so a full
+functional simulation stays fast.  Two-dimensional arrays are flattened
+with explicit index arithmetic, exactly what the paper's Modula-2/Fortran
+front ends would produce.  Kernels 8/9/10/13 are structurally faithful
+reductions of the originals (same array traffic shape, fewer terms);
+DESIGN.md records this substitution.
+"""
+
+from __future__ import annotations
+
+from ..suite import Benchmark, register
+
+_N = 40          # base vector length
+_MOD = 999999937
+
+SOURCE = f"""
+# livermore: the first 14 Livermore loops (reduced sizes)
+const N = {_N};
+
+var x: float[{4 * _N + 32}];
+var y: float[{4 * _N + 32}];
+var z: float[{4 * _N + 32}];
+var u: float[{4 * _N + 32}];
+var v: float[{4 * _N + 32}];
+var w: float[{4 * _N + 32}];
+var px: float[{4 * _N + 32}];
+var ex: float[{4 * _N + 32}];
+var ir: int[{4 * _N + 32}];
+var seed: int;
+var q, r, t: float;
+
+proc reinit(len: int) {{
+    var i, s: int;
+    for i = 0 to len - 1 {{
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        s = seed;
+        x[i] = float(s % 8191) / 8192.0;
+        y[i] = float((s / 8192) % 8191) / 8192.0;
+        z[i] = float((s / 1024) % 8191) / 8192.0;
+        v[i] = float((s / 128) % 8191) / 16384.0;
+    }}
+    q = 0.25;
+    r = 0.5;
+    t = 0.375;
+}}
+
+proc reinit2(len: int) {{
+    var i, s: int;
+    for i = 0 to len - 1 {{
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        s = seed;
+        u[i] = float(s % 8191) / 8192.0;
+        w[i] = float((s / 8192) % 8191) / 8192.0;
+        px[i] = float((s / 1024) % 8191) / 8192.0;
+        ex[i] = float((s / 128) % 8191) / 8192.0;
+        ir[i] = (s / 16) % len;
+    }}
+}}
+
+proc chks(len: int): int {{
+    var i: int;
+    var s: float;
+    s = 0.0;
+    for i = 0 to len - 1 {{
+        s = s + x[i];
+    }}
+    return int(s * 100.0 + 100000.5);
+}}
+
+proc chksw(len: int): int {{
+    var i: int;
+    var s: float;
+    s = 0.0;
+    for i = 0 to len - 1 {{
+        s = s + w[i] + u[i];
+    }}
+    return int(s * 100.0 + 100000.5);
+}}
+
+proc chkspx(len: int): int {{
+    var i: int;
+    var s: float;
+    s = 0.0;
+    for i = 0 to len - 1 {{
+        s = s + px[i] + v[i];
+    }}
+    return int(s * 100.0 + 100000.5);
+}}
+
+# K1: hydro fragment
+proc kernel1(n: int) {{
+    var k: int;
+    for k = 0 to n - 1 {{
+        x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11]);
+    }}
+}}
+
+# K2: incomplete Cholesky conjugate gradient (ICCG) sweep
+proc kernel2(n: int) {{
+    var ii, ipntp, ipnt, i, k: int;
+    ii = n;
+    ipntp = 0;
+    while (ii > 1) {{
+        ipnt = ipntp;
+        ipntp = ipntp + ii;
+        ii = ii / 2;
+        i = ipntp - 1;
+        for k = ipnt + 1 to ipntp - 2 by 2 {{
+            i = i + 1;
+            x[i] = x[k] - v[k] * x[k - 1] - v[k + 1] * x[k + 1];
+        }}
+    }}
+}}
+
+# K3: inner product
+proc kernel3(n: int): float {{
+    var k: int;
+    var s: float;
+    s = 0.0;
+    for k = 0 to n - 1 {{
+        s = s + z[k] * x[k];
+    }}
+    return s;
+}}
+
+# K4: banded linear equations
+proc kernel4(n: int) {{
+    var k, j, lw, m: int;
+    var temp: float;
+    m = (n - 7) / 2;
+    k = 6;
+    while (k < n) {{
+        lw = k - 6;
+        temp = x[k - 1];
+        for j = 4 to n - 1 by 5 {{
+            temp = temp - x[lw] * y[j];
+            lw = lw + 1;
+        }}
+        x[k - 1] = y[4] * temp;
+        k = k + m;
+    }}
+}}
+
+# K5: tri-diagonal elimination, below diagonal (first-order recurrence)
+proc kernel5(n: int) {{
+    var i: int;
+    for i = 1 to n - 1 {{
+        x[i] = z[i] * (y[i] - x[i - 1]);
+    }}
+}}
+
+# K6: general linear recurrence equations
+proc kernel6(n: int) {{
+    var i, k: int;
+    var s: float;
+    for i = 1 to n - 1 {{
+        s = 0.0;
+        for k = 0 to i - 1 {{
+            s = s + v[(n - i) + k] * w[(i - k) - 1];
+        }}
+        w[i] = w[i] + s * 0.01;
+    }}
+}}
+
+# K7: equation of state fragment
+proc kernel7(n: int) {{
+    var k: int;
+    for k = 0 to n - 1 {{
+        x[k] = u[k] + r * (z[k] + r * y[k])
+             + t * (u[k + 3] + r * (u[k + 2] + r * u[k + 1])
+             + t * (u[k + 6] + q * (u[k + 5] + q * u[k + 4])));
+    }}
+}}
+
+# K8: ADI integration (reduced: two coupled sweeps over two planes)
+proc kernel8(n: int) {{
+    var kx, j, j1: int;
+    var a, b: float;
+    a = 0.1;
+    b = 0.2;
+    for kx = 1 to 2 {{
+        for j = 1 to n - 2 {{
+            j1 = j + kx * n;
+            u[j] = u[j] + a * (v[j1 - 1] + v[j1] + v[j1 + 1])
+                 + b * (w[j1 - 1] + w[j1] + w[j1 + 1]);
+            v[j] = v[j] + a * u[j] - b * w[j];
+        }}
+    }}
+}}
+
+# K9: integrate predictors (reduced term count, same slice pattern)
+proc kernel9(n: int) {{
+    var i: int;
+    for i = 0 to n - 1 {{
+        px[i] = px[i]
+              + 0.25 * (px[i + n] + px[i + 2 * n])
+              + 0.125 * (px[i + 3 * n] + ex[i] + ex[i + n])
+              + 0.0625 * (ex[i + 2 * n] + ex[i + 3 * n]);
+    }}
+}}
+
+# K10: difference predictors (cascaded differences along a slice)
+proc kernel10(n: int) {{
+    var i: int;
+    var ar, br, cr: float;
+    for i = 0 to n - 1 {{
+        ar = ex[i];
+        br = ar - px[i];
+        px[i] = ar;
+        cr = br - px[i + n];
+        px[i + n] = br;
+        px[i + 2 * n] = cr - px[i + 2 * n];
+    }}
+}}
+
+# K11: first sum (prefix sum recurrence)
+proc kernel11(n: int) {{
+    var k: int;
+    x[0] = y[0];
+    for k = 1 to n - 1 {{
+        x[k] = x[k - 1] * 0.5 + y[k];
+    }}
+}}
+
+# K12: first difference
+proc kernel12(n: int) {{
+    var k: int;
+    for k = 0 to n - 1 {{
+        x[k] = y[k + 1] - y[k];
+    }}
+}}
+
+# K13: 2-D particle in cell (reduced: gather, update, scatter)
+proc kernel13(n: int) {{
+    var ip, i1, i2: int;
+    for ip = 0 to n - 1 {{
+        i1 = ir[ip];
+        i2 = ir[ip + n];
+        x[ip] = x[ip] + y[i1] * z[i2];
+        ir[ip] = (i1 + i2) % n;
+    }}
+}}
+
+# K14: 1-D particle in cell (position update + charge deposition)
+proc kernel14(n: int) {{
+    var k, ix: int;
+    for k = 0 to n - 1 {{
+        v[k] = v[k] + ex[ir[k]] * 0.25;
+        px[k] = px[k] + v[k];
+        ix = int(px[k] * float(n)) % n;
+        if (ix < 0) {{ ix = ix + n; }}
+        x[ix] = x[ix] + 1.0;
+        ir[k] = ix;
+    }}
+}}
+
+proc main(): int {{
+    var chk, pass: int;
+    var s3: float;
+    seed = 8191;
+    chk = 0;
+
+    reinit(4 * N);
+    for pass = 1 to 6 {{ kernel1(2 * N); }}
+    chk = (chk * 31 + chks(2 * N)) % {_MOD};
+
+    reinit(4 * N);
+    for pass = 1 to 3 {{ kernel2(2 * N); }}
+    chk = (chk * 31 + chks(2 * N)) % {_MOD};
+
+    reinit(4 * N);
+    for pass = 1 to 3 {{ s3 = kernel3(4 * N); }}
+    chk = (chk * 31 + int(s3 * 100.0 + 0.5)) % {_MOD};
+
+    reinit(4 * N);
+    for pass = 1 to 3 {{ kernel4(3 * N); }}
+    chk = (chk * 31 + chks(3 * N)) % {_MOD};
+
+    reinit(4 * N);
+    for pass = 1 to 3 {{ kernel5(3 * N); }}
+    chk = (chk * 31 + chks(3 * N)) % {_MOD};
+
+    reinit(2 * N);
+    reinit2(2 * N);
+    kernel6(N);
+    chk = (chk * 31 + chksw(N)) % {_MOD};
+
+    reinit(4 * N);
+    reinit2(4 * N);
+    for pass = 1 to 6 {{ kernel7(3 * N); }}
+    chk = (chk * 31 + chks(3 * N)) % {_MOD};
+
+    reinit(3 * N);
+    reinit2(3 * N);
+    for pass = 1 to 3 {{ kernel8(N); }}
+    chk = (chk * 31 + chksw(N)) % {_MOD};
+
+    reinit(N);
+    reinit2(4 * N);
+    for pass = 1 to 6 {{ kernel9(N); }}
+    chk = (chk * 31 + chkspx(N)) % {_MOD};
+
+    reinit(N);
+    reinit2(3 * N);
+    for pass = 1 to 6 {{ kernel10(N); }}
+    chk = (chk * 31 + chkspx(N)) % {_MOD};
+
+    reinit(4 * N);
+    for pass = 1 to 3 {{ kernel11(3 * N); }}
+    chk = (chk * 31 + chks(3 * N)) % {_MOD};
+
+    reinit(4 * N);
+    for pass = 1 to 6 {{ kernel12(3 * N); }}
+    chk = (chk * 31 + chks(3 * N)) % {_MOD};
+
+    reinit(2 * N);
+    reinit2(2 * N);
+    for pass = 1 to 3 {{ kernel13(N); }}
+    chk = (chk * 31 + chks(N)) % {_MOD};
+
+    reinit(2 * N);
+    reinit2(2 * N);
+    for pass = 1 to 3 {{ kernel14(N); }}
+    chk = (chk * 31 + (chks(N) + chkspx(N))) % {_MOD};
+
+    return chk;
+}}
+"""
+
+
+def reference() -> int:
+    """Pure-Python mirror of the Tin kernels, same operation order."""
+    n_base = _N
+    seed = 8191
+    size = 4 * n_base + 32
+
+    x = [0.0] * size
+    y = [0.0] * size
+    z = [0.0] * size
+    u = [0.0] * size
+    v = [0.0] * size
+    w = [0.0] * size
+    px = [0.0] * size
+    ex = [0.0] * size
+    ir = [0] * size
+    q = r = t = 0.0
+
+    def reinit(length: int) -> None:
+        nonlocal seed, q, r, t
+        for i in range(length):
+            seed = (seed * 1103515245 + 12345) % 2147483648
+            s = seed
+            x[i] = float(s % 8191) / 8192.0
+            y[i] = float((s // 8192) % 8191) / 8192.0
+            z[i] = float((s // 1024) % 8191) / 8192.0
+            v[i] = float((s // 128) % 8191) / 16384.0
+        q, r, t = 0.25, 0.5, 0.375
+
+    def reinit2(length: int) -> None:
+        nonlocal seed
+        for i in range(length):
+            seed = (seed * 1103515245 + 12345) % 2147483648
+            s = seed
+            u[i] = float(s % 8191) / 8192.0
+            w[i] = float((s // 8192) % 8191) / 8192.0
+            px[i] = float((s // 1024) % 8191) / 8192.0
+            ex[i] = float((s // 128) % 8191) / 8192.0
+            ir[i] = (s // 16) % length
+
+    def chks(length: int) -> int:
+        total = 0.0
+        for i in range(length):
+            total = total + x[i]
+        return int(total * 100.0 + 100000.5)
+
+    def chksw(length: int) -> int:
+        total = 0.0
+        for i in range(length):
+            total = total + w[i] + u[i]
+        return int(total * 100.0 + 100000.5)
+
+    def chkspx(length: int) -> int:
+        total = 0.0
+        for i in range(length):
+            total = total + px[i] + v[i]
+        return int(total * 100.0 + 100000.5)
+
+    def kernel1(n: int) -> None:
+        for k in range(n):
+            x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11])
+
+    def kernel2(n: int) -> None:
+        ii, ipntp = n, 0
+        while ii > 1:
+            ipnt = ipntp
+            ipntp = ipntp + ii
+            ii = ii // 2
+            i = ipntp - 1
+            for k in range(ipnt + 1, ipntp - 1, 2):
+                i = i + 1
+                x[i] = x[k] - v[k] * x[k - 1] - v[k + 1] * x[k + 1]
+
+    def kernel3(n: int) -> float:
+        s = 0.0
+        for k in range(n):
+            s = s + z[k] * x[k]
+        return s
+
+    def kernel4(n: int) -> None:
+        m = (n - 7) // 2
+        k = 6
+        while k < n:
+            lw = k - 6
+            temp = x[k - 1]
+            for j in range(4, n, 5):
+                temp = temp - x[lw] * y[j]
+                lw = lw + 1
+            x[k - 1] = y[4] * temp
+            k = k + m
+
+    def kernel5(n: int) -> None:
+        for i in range(1, n):
+            x[i] = z[i] * (y[i] - x[i - 1])
+
+    def kernel6(n: int) -> None:
+        for i in range(1, n):
+            s = 0.0
+            for k in range(i):
+                s = s + v[(n - i) + k] * w[(i - k) - 1]
+            w[i] = w[i] + s * 0.01
+
+    def kernel7(n: int) -> None:
+        for k in range(n):
+            x[k] = (
+                u[k] + r * (z[k] + r * y[k])
+                + t * (u[k + 3] + r * (u[k + 2] + r * u[k + 1])
+                       + t * (u[k + 6] + q * (u[k + 5] + q * u[k + 4])))
+            )
+
+    def kernel8(n: int) -> None:
+        a, b = 0.1, 0.2
+        for kx in range(1, 3):
+            for j in range(1, n - 1):
+                j1 = j + kx * n
+                u[j] = (
+                    u[j] + a * (v[j1 - 1] + v[j1] + v[j1 + 1])
+                    + b * (w[j1 - 1] + w[j1] + w[j1 + 1])
+                )
+                v[j] = v[j] + a * u[j] - b * w[j]
+
+    def kernel9(n: int) -> None:
+        for i in range(n):
+            px[i] = (
+                px[i]
+                + 0.25 * (px[i + n] + px[i + 2 * n])
+                + 0.125 * (px[i + 3 * n] + ex[i] + ex[i + n])
+                + 0.0625 * (ex[i + 2 * n] + ex[i + 3 * n])
+            )
+
+    def kernel10(n: int) -> None:
+        for i in range(n):
+            ar = ex[i]
+            br = ar - px[i]
+            px[i] = ar
+            cr = br - px[i + n]
+            px[i + n] = br
+            px[i + 2 * n] = cr - px[i + 2 * n]
+
+    def kernel11(n: int) -> None:
+        x[0] = y[0]
+        for k in range(1, n):
+            x[k] = x[k - 1] * 0.5 + y[k]
+
+    def kernel12(n: int) -> None:
+        for k in range(n):
+            x[k] = y[k + 1] - y[k]
+
+    def kernel13(n: int) -> None:
+        for ip in range(n):
+            i1 = ir[ip]
+            i2 = ir[ip + n]
+            x[ip] = x[ip] + y[i1] * z[i2]
+            ir[ip] = (i1 + i2) % n
+
+    def kernel14(n: int) -> None:
+        for k in range(n):
+            v[k] = v[k] + ex[ir[k]] * 0.25
+            px[k] = px[k] + v[k]
+            ix = int(px[k] * float(n)) % n
+            if ix < 0:
+                ix = ix + n
+            x[ix] = x[ix] + 1.0
+            ir[k] = ix
+
+    chk = 0
+
+    def mix(part: int) -> None:
+        nonlocal chk
+        chk = (chk * 31 + part) % _MOD
+
+    n = n_base
+    reinit(4 * n)
+    for _ in range(6):
+        kernel1(2 * n)
+    mix(chks(2 * n))
+
+    reinit(4 * n)
+    for _ in range(3):
+        kernel2(2 * n)
+    mix(chks(2 * n))
+
+    reinit(4 * n)
+    s3 = 0.0
+    for _ in range(3):
+        s3 = kernel3(4 * n)
+    mix(int(s3 * 100.0 + 0.5))
+
+    reinit(4 * n)
+    for _ in range(3):
+        kernel4(3 * n)
+    mix(chks(3 * n))
+
+    reinit(4 * n)
+    for _ in range(3):
+        kernel5(3 * n)
+    mix(chks(3 * n))
+
+    reinit(2 * n)
+    reinit2(2 * n)
+    kernel6(n)
+    mix(chksw(n))
+
+    reinit(4 * n)
+    reinit2(4 * n)
+    for _ in range(6):
+        kernel7(3 * n)
+    mix(chks(3 * n))
+
+    reinit(3 * n)
+    reinit2(3 * n)
+    for _ in range(3):
+        kernel8(n)
+    mix(chksw(n))
+
+    reinit(n)
+    reinit2(4 * n)
+    for _ in range(6):
+        kernel9(n)
+    mix(chkspx(n))
+
+    reinit(n)
+    reinit2(3 * n)
+    for _ in range(6):
+        kernel10(n)
+    mix(chkspx(n))
+
+    reinit(4 * n)
+    for _ in range(3):
+        kernel11(3 * n)
+    mix(chks(3 * n))
+
+    reinit(4 * n)
+    for _ in range(6):
+        kernel12(3 * n)
+    mix(chks(3 * n))
+
+    reinit(2 * n)
+    reinit2(2 * n)
+    for _ in range(3):
+        kernel13(n)
+    mix(chks(n))
+
+    reinit(2 * n)
+    reinit2(2 * n)
+    for _ in range(3):
+        kernel14(n)
+    mix(chks(n) + chkspx(n))
+
+    return chk
+
+
+register(
+    Benchmark(
+        name="livermore",
+        description="the first 14 Livermore loops (reduced sizes), "
+        "double precision",
+        source=lambda: SOURCE,
+        reference=reference,
+        fp_tolerance=1,
+    )
+)

@@ -1,0 +1,200 @@
+"""``met`` — a board-level timing verifier (Metronome equivalent).
+
+Builds a random combinational gate network (inputs always come from
+earlier gates, so the array order is topological), then runs static
+timing analysis: forward arrival-time propagation, backward required-time
+propagation, slack computation, and a critical-gate census — repeated for
+several input-arrival scenarios.  Like Metronome, this is pointer-chasing
+integer code with max/min reductions and data-dependent branches.
+"""
+
+from __future__ import annotations
+
+from ..suite import Benchmark, register
+
+_N_GATES = 600
+_N_INPUTS = 48
+_ROUNDS = 3
+_MOD = 999999937
+
+SOURCE = f"""
+# met: static timing verifier over a random gate DAG
+const N = {_N_GATES};
+const NPI = {_N_INPUTS};
+const ROUNDS = {_ROUNDS};
+const MOD = {_MOD};
+const BIG = 1000000;
+
+var in0: int[{_N_GATES}];
+var in1: int[{_N_GATES}];
+var delay: int[{_N_GATES}];
+var fanout: int[{_N_GATES}];
+var arrive: int[{_N_GATES}];
+var required: int[{_N_GATES}];
+var dtab: int[4] = {{1, 2, 3, 5}};
+var seed: int;
+
+proc rnd(m: int): int {{
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return seed % m;
+}}
+
+proc build() {{
+    var i, t: int;
+    for i = 0 to NPI - 1 {{
+        in0[i] = -1;
+        in1[i] = -1;
+        delay[i] = 0;
+        fanout[i] = 0;
+    }}
+    for i = NPI to N - 1 {{
+        t = rnd(4);
+        delay[i] = dtab[t];
+        in0[i] = rnd(i);
+        fanout[in0[i]] = fanout[in0[i]] + 1;
+        if (rnd(4) > 0) {{
+            in1[i] = rnd(i);
+            fanout[in1[i]] = fanout[in1[i]] + 1;
+        }} else {{
+            in1[i] = -1;
+        }}
+        fanout[i] = 0;
+    }}
+}}
+
+# forward arrival-time propagation; returns the circuit delay
+proc forward(): int {{
+    var i, a, b, maxt: int;
+    for i = NPI to N - 1 {{
+        a = arrive[in0[i]];
+        b = 0;
+        if (in1[i] >= 0) {{
+            b = arrive[in1[i]];
+        }}
+        if (b > a) {{
+            a = b;
+        }}
+        arrive[i] = a + delay[i];
+    }}
+    maxt = 0;
+    for i = 0 to N - 1 {{
+        if (arrive[i] > maxt) {{
+            maxt = arrive[i];
+        }}
+    }}
+    return maxt;
+}}
+
+# backward required-time propagation; returns number of critical gates
+proc backward(maxt: int): int {{
+    var i, r, crit: int;
+    for i = 0 to N - 1 {{
+        if (fanout[i] == 0) {{
+            required[i] = maxt;
+        }} else {{
+            required[i] = BIG;
+        }}
+    }}
+    for i = N - 1 to NPI by -1 {{
+        r = required[i] - delay[i];
+        if (required[in0[i]] > r) {{
+            required[in0[i]] = r;
+        }}
+        if (in1[i] >= 0) {{
+            if (required[in1[i]] > r) {{
+                required[in1[i]] = r;
+            }}
+        }}
+    }}
+    crit = 0;
+    for i = 0 to N - 1 {{
+        if (required[i] - arrive[i] == 0) {{
+            crit = crit + 1;
+        }}
+    }}
+    return crit;
+}}
+
+proc main(): int {{
+    var round, i, maxt, crit, slacksum, chk: int;
+    seed = 20081221;
+    build();
+    chk = 0;
+    for round = 1 to ROUNDS {{
+        for i = 0 to NPI - 1 {{
+            arrive[i] = rnd(4 * round);
+        }}
+        maxt = forward();
+        crit = backward(maxt);
+        slacksum = 0;
+        for i = 0 to N - 1 {{
+            slacksum = slacksum + (required[i] - arrive[i]);
+        }}
+        chk = (chk * 31 + maxt * 10007 + crit * 101 + slacksum) % MOD;
+    }}
+    return chk;
+}}
+"""
+
+
+def reference() -> int:
+    """Pure-Python mirror of the Tin verifier."""
+    n, npi = _N_GATES, _N_INPUTS
+    seed = 20081221
+    big = 1000000
+
+    def rnd(m: int) -> int:
+        nonlocal seed
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        return seed % m
+
+    dtab = [1, 2, 3, 5]
+    in0 = [-1] * n
+    in1 = [-1] * n
+    delay = [0] * n
+    fanout = [0] * n
+    for i in range(npi, n):
+        t = rnd(4)
+        delay[i] = dtab[t]
+        in0[i] = rnd(i)
+        fanout[in0[i]] += 1
+        if rnd(4) > 0:
+            in1[i] = rnd(i)
+            fanout[in1[i]] += 1
+
+    arrive = [0] * n
+    required = [0] * n
+    chk = 0
+    for rounds in range(1, _ROUNDS + 1):
+        for i in range(npi):
+            arrive[i] = rnd(4 * rounds)
+        for i in range(npi, n):
+            a = arrive[in0[i]]
+            b = arrive[in1[i]] if in1[i] >= 0 else 0
+            arrive[i] = max(a, b) + delay[i]
+        maxt = max(arrive)
+        for i in range(n):
+            required[i] = maxt if fanout[i] == 0 else big
+        for i in range(n - 1, npi - 1, -1):
+            r = required[i] - delay[i]
+            if required[in0[i]] > r:
+                required[in0[i]] = r
+            if in1[i] >= 0 and required[in1[i]] > r:
+                required[in1[i]] = r
+        crit = sum(
+            1 for i in range(n) if required[i] - arrive[i] == 0
+        )
+        slacksum = sum(required[i] - arrive[i] for i in range(n))
+        chk = (chk * 31 + maxt * 10007 + crit * 101 + slacksum) % _MOD
+    return chk
+
+
+register(
+    Benchmark(
+        name="met",
+        description="static timing verifier: arrival/required-time "
+        "propagation and slack census over a random gate DAG",
+        source=lambda: SOURCE,
+        reference=reference,
+    )
+)

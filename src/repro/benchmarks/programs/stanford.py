@@ -1,0 +1,311 @@
+"""``stanford`` — the Hennessy benchmark collection (subset).
+
+The paper's *stanford* is "the collection of Hennessy benchmarks from
+Stanford (including puzzle, tower, queens, etc.)".  We reproduce the same
+mix of small recursive/array kernels: Perm, Towers, Queens, IntMM,
+Bubblesort and Quicksort, each seeded deterministically and folded into a
+single checksum.
+"""
+
+from __future__ import annotations
+
+from ..suite import Benchmark, register
+
+_N_SORT = 120
+_N_BUBBLE = 40
+_N_MM = 10
+
+SOURCE = f"""
+# stanford: Perm, Towers, Queens, IntMM, Bubble, Quick
+const MOD = 999999937;
+const NSORT = {_N_SORT};
+const NBUB = {_N_BUBBLE};
+const NMM = {_N_MM};
+
+var seed: int;
+var chk: int;
+var pvec: int[8];
+var pcount: int;
+var moves: int;
+var qcount: int;
+var colfree: int[8];
+var diag1: int[16];
+var diag2: int[16];
+var ma: int[{_N_MM * _N_MM}];
+var mb: int[{_N_MM * _N_MM}];
+var mc: int[{_N_MM * _N_MM}];
+var buf: int[{_N_SORT}];
+
+proc rnd(m: int): int {{
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return seed % m;
+}}
+
+# ---- Perm: count calls of the recursive permutation generator
+proc permute(n: int) {{
+    var k, t: int;
+    pcount = pcount + 1;
+    if (n > 1) {{
+        permute(n - 1);
+        for k = 0 to n - 2 {{
+            t = pvec[k];
+            pvec[k] = pvec[n - 1];
+            pvec[n - 1] = t;
+            permute(n - 1);
+            t = pvec[k];
+            pvec[k] = pvec[n - 1];
+            pvec[n - 1] = t;
+        }}
+    }}
+}}
+
+proc perm_test(): int {{
+    var i: int;
+    for i = 0 to 5 {{ pvec[i] = i; }}
+    pcount = 0;
+    permute(6);
+    return pcount;
+}}
+
+# ---- Towers of Hanoi
+proc hanoi(n: int, src: int, dst: int, via: int) {{
+    if (n > 0) {{
+        hanoi(n - 1, src, via, dst);
+        moves = moves + 1;
+        hanoi(n - 1, via, dst, src);
+    }}
+}}
+
+proc towers_test(): int {{
+    moves = 0;
+    hanoi(10, 0, 2, 1);
+    return moves;
+}}
+
+# ---- Eight queens
+proc place(r: int) {{
+    var c: int;
+    if (r == 8) {{
+        qcount = qcount + 1;
+    }} else {{
+        for c = 0 to 7 {{
+            if (colfree[c] == 0 && diag1[r + c] == 0 && diag2[r - c + 7] == 0) {{
+                colfree[c] = 1;
+                diag1[r + c] = 1;
+                diag2[r - c + 7] = 1;
+                place(r + 1);
+                colfree[c] = 0;
+                diag1[r + c] = 0;
+                diag2[r - c + 7] = 0;
+            }}
+        }}
+    }}
+}}
+
+proc queens_test(): int {{
+    var i: int;
+    for i = 0 to 7 {{ colfree[i] = 0; }}
+    for i = 0 to 15 {{ diag1[i] = 0; diag2[i] = 0; }}
+    qcount = 0;
+    place(0);
+    return qcount;
+}}
+
+# ---- Integer matrix multiply
+proc intmm_test(): int {{
+    var i, j, k, s, acc: int;
+    for i = 0 to NMM * NMM - 1 {{
+        ma[i] = rnd(20) - 10;
+        mb[i] = rnd(20) - 10;
+    }}
+    for i = 0 to NMM - 1 {{
+        for j = 0 to NMM - 1 {{
+            s = 0;
+            for k = 0 to NMM - 1 {{
+                s = s + ma[i * NMM + k] * mb[k * NMM + j];
+            }}
+            mc[i * NMM + j] = s;
+        }}
+    }}
+    acc = 0;
+    for i = 0 to NMM * NMM - 1 {{
+        acc = (acc * 3 + mc[i] + 4000) % MOD;
+    }}
+    return acc;
+}}
+
+# ---- Bubble sort
+proc bubble_test(): int {{
+    var i, j, t, acc: int;
+    for i = 0 to NBUB - 1 {{ buf[i] = rnd(10000); }}
+    for i = 0 to NBUB - 2 {{
+        for j = 0 to NBUB - 2 - i {{
+            if (buf[j] > buf[j + 1]) {{
+                t = buf[j];
+                buf[j] = buf[j + 1];
+                buf[j + 1] = t;
+            }}
+        }}
+    }}
+    acc = 0;
+    for i = 0 to NBUB - 1 {{ acc = (acc * 7 + buf[i]) % MOD; }}
+    return acc;
+}}
+
+# ---- Quicksort
+proc quick(lo: int, hi: int) {{
+    var i, j, p, t: int;
+    if (lo < hi) {{
+        p = buf[hi];
+        i = lo - 1;
+        for j = lo to hi - 1 {{
+            if (buf[j] < p) {{
+                i = i + 1;
+                t = buf[i];
+                buf[i] = buf[j];
+                buf[j] = t;
+            }}
+        }}
+        t = buf[i + 1];
+        buf[i + 1] = buf[hi];
+        buf[hi] = t;
+        quick(lo, i);
+        quick(i + 2, hi);
+    }}
+}}
+
+proc quick_test(): int {{
+    var i, acc: int;
+    for i = 0 to NSORT - 1 {{ buf[i] = rnd(100000); }}
+    quick(0, NSORT - 1);
+    acc = 0;
+    for i = 0 to NSORT - 1 {{ acc = (acc * 5 + buf[i]) % MOD; }}
+    return acc;
+}}
+
+proc main(): int {{
+    seed = 74755;
+    chk = 0;
+    chk = (chk * 31 + perm_test()) % MOD;
+    chk = (chk * 31 + towers_test()) % MOD;
+    chk = (chk * 31 + queens_test()) % MOD;
+    chk = (chk * 31 + intmm_test()) % MOD;
+    chk = (chk * 31 + bubble_test()) % MOD;
+    chk = (chk * 31 + quick_test()) % MOD;
+    return chk;
+}}
+"""
+
+_MOD = 999999937
+
+
+class _Rng:
+    def __init__(self, seed: int):
+        self.seed = seed
+
+    def rnd(self, m: int) -> int:
+        self.seed = (self.seed * 1103515245 + 12345) % 2147483648
+        return self.seed % m
+
+
+def reference() -> int:
+    """Pure-Python mirror of the Tin program."""
+    rng = _Rng(74755)
+
+    # perm
+    pvec = list(range(6))
+    count = 0
+
+    def permute(n: int) -> None:
+        nonlocal count
+        count += 1
+        if n > 1:
+            permute(n - 1)
+            for k in range(n - 1):
+                pvec[k], pvec[n - 1] = pvec[n - 1], pvec[k]
+                permute(n - 1)
+                pvec[k], pvec[n - 1] = pvec[n - 1], pvec[k]
+
+    permute(6)
+    perm = count
+
+    # towers
+    moves = 0
+
+    def hanoi(n: int) -> None:
+        nonlocal moves
+        if n > 0:
+            hanoi(n - 1)
+            moves += 1
+            hanoi(n - 1)
+
+    hanoi(10)
+
+    # queens
+    qcount = 0
+    colfree = [0] * 8
+    diag1 = [0] * 16
+    diag2 = [0] * 16
+
+    def place(r: int) -> None:
+        nonlocal qcount
+        if r == 8:
+            qcount += 1
+            return
+        for c in range(8):
+            if not colfree[c] and not diag1[r + c] and not diag2[r - c + 7]:
+                colfree[c] = diag1[r + c] = diag2[r - c + 7] = 1
+                place(r + 1)
+                colfree[c] = diag1[r + c] = diag2[r - c + 7] = 0
+
+    place(0)
+
+    # intmm
+    n = _N_MM
+    ma = [0] * (n * n)
+    mb = [0] * (n * n)
+    for i in range(n * n):
+        ma[i] = rng.rnd(20) - 10
+        mb[i] = rng.rnd(20) - 10
+    acc = 0
+    mc = [0] * (n * n)
+    for i in range(n):
+        for j in range(n):
+            mc[i * n + j] = sum(
+                ma[i * n + k] * mb[k * n + j] for k in range(n)
+            )
+    for i in range(n * n):
+        acc = (acc * 3 + mc[i] + 4000) % _MOD
+    intmm = acc
+
+    # bubble
+    buf = [rng.rnd(10000) for _ in range(_N_BUBBLE)]
+    buf.sort()
+    acc = 0
+    for v in buf:
+        acc = (acc * 7 + v) % _MOD
+    bub = acc
+
+    # quick
+    buf = [rng.rnd(100000) for _ in range(_N_SORT)]
+    buf.sort()
+    acc = 0
+    for v in buf:
+        acc = (acc * 5 + v) % _MOD
+    quick = acc
+
+    chk = 0
+    for part in (perm, moves, qcount, intmm, bub, quick):
+        chk = (chk * 31 + part) % _MOD
+    return chk
+
+
+register(
+    Benchmark(
+        name="stanford",
+        description="Hennessy Stanford suite subset: perm, towers, "
+        "queens, intmm, bubble, quick",
+        source=lambda: SOURCE,
+        reference=reference,
+    )
+)

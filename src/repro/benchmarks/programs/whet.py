@@ -1,0 +1,329 @@
+"""``whet`` — a Whetstone-like floating-point benchmark.
+
+Follows the module structure of the classic Whetstone program: array
+arithmetic with the damping constant t = 0.499975, trigonometric and
+exponential modules, and procedure-call modules.  The transcendental
+functions are computed *in Tin* by truncated series (sin/cos/atan Taylor
+series, exp/log series, Newton square root) — which reproduces Whetstone's
+long dependent floating-point chains through our own code rather than a
+library call.
+
+The checksum is the sum of scaled module results truncated to an integer;
+the scale is coarse enough that careful-unrolling reassociation (1e-13
+relative error) cannot change it.
+"""
+
+from __future__ import annotations
+
+from ..suite import Benchmark, register
+
+_N1 = 40     # array arithmetic iterations
+_N2 = 30
+_N3 = 12     # trig module iterations
+_N6 = 12     # exp/log module iterations
+_N7 = 40     # procedure-call module iterations
+
+SOURCE = f"""
+# whet: Whetstone-like floating point modules
+const T = 0.499975;
+const T1 = 0.50025;
+const T2 = 2.0;
+const HALFPI = 1.5707963267948966;
+const N1 = {_N1};
+const N2 = {_N2};
+const N3 = {_N3};
+const N6 = {_N6};
+const N7 = {_N7};
+
+var e1: float[4];
+var acc: float;
+
+# sin by Taylor series (|x| < 2)
+proc my_sin(x: float): float {{
+    var term, s, x2: float;
+    var k: int;
+    term = x;
+    s = x;
+    x2 = x * x;
+    for k = 1 to 6 {{
+        term = 0.0 - term * x2 / float((2 * k) * (2 * k + 1));
+        s = s + term;
+    }}
+    return s;
+}}
+
+proc my_cos(x: float): float {{
+    var term, s, x2: float;
+    var k: int;
+    term = 1.0;
+    s = 1.0;
+    x2 = x * x;
+    for k = 1 to 6 {{
+        term = 0.0 - term * x2 / float((2 * k - 1) * (2 * k));
+        s = s + term;
+    }}
+    return s;
+}}
+
+# atan: Taylor series inside [-1, 1], reciprocal identity outside
+proc atan_series(x: float): float {{
+    var term, s, x2: float;
+    var k: int;
+    term = x;
+    s = x;
+    x2 = x * x;
+    for k = 1 to 9 {{
+        term = 0.0 - term * x2;
+        s = s + term / float(2 * k + 1);
+    }}
+    return s;
+}}
+
+proc my_atan(x: float): float {{
+    if (x > 1.0) {{
+        return HALFPI - atan_series(1.0 / x);
+    }}
+    if (x < -1.0) {{
+        return 0.0 - HALFPI - atan_series(1.0 / x);
+    }}
+    return atan_series(x);
+}}
+
+# exp by Taylor series (|x| < 2)
+proc my_exp(x: float): float {{
+    var term, s: float;
+    var k: int;
+    term = 1.0;
+    s = 1.0;
+    for k = 1 to 12 {{
+        term = term * x / float(k);
+        s = s + term;
+    }}
+    return s;
+}}
+
+# log via ln(1+w) series on w = x - 1 (0.4 < x < 1.8)
+proc my_log(x: float): float {{
+    var w, term, s: float;
+    var k: int;
+    w = x - 1.0;
+    term = w;
+    s = w;
+    for k = 2 to 14 {{
+        term = 0.0 - term * w;
+        s = s + term / float(k);
+    }}
+    return s;
+}}
+
+proc my_sqrt(x: float): float {{
+    var r: float;
+    var k: int;
+    r = 0.5 * (x + 1.0);
+    for k = 1 to 4 {{
+        r = 0.5 * (r + x / r);
+    }}
+    return r;
+}}
+
+# module 7 helper: the classic p3
+proc p3(x: float, y: float): float {{
+    var x1, y1: float;
+    x1 = T * (x + y);
+    y1 = T * (x1 + y);
+    return (x1 + y1) / T2;
+}}
+
+# module 1/2: array arithmetic
+proc module1(n: int): float {{
+    var i: int;
+    e1[0] = 1.0;
+    e1[1] = -1.0;
+    e1[2] = -1.0;
+    e1[3] = -1.0;
+    for i = 1 to n {{
+        e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * T;
+        e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * T;
+        e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * T;
+        e1[3] = (-e1[0] + e1[1] + e1[2] + e1[3]) * T;
+    }}
+    return e1[0] + e1[1] + e1[2] + e1[3];
+}}
+
+proc module3(n: int): float {{
+    var x, y, z: float;
+    var i: int;
+    x = 0.5;
+    y = 0.5;
+    for i = 1 to n {{
+        z = my_cos(x + y) + my_cos(x - y) - 1.0;
+        x = T * my_atan(T2 * my_sin(x) * my_cos(x) / z);
+        y = x;
+    }}
+    return x + y;
+}}
+
+proc module6(n: int): float {{
+    var x, y: float;
+    var i: int;
+    x = 0.75;
+    y = 0.75;
+    for i = 1 to n {{
+        x = my_sqrt(my_exp(my_log(x) / T1));
+        y = my_sqrt(my_exp(my_log(y) / T1));
+    }}
+    return x + y;
+}}
+
+proc module7(n: int): float {{
+    var x, y, s: float;
+    var i: int;
+    x = 0.5;
+    y = 0.5;
+    s = 0.0;
+    for i = 1 to n {{
+        x = T * p3(x, y);
+        y = T * p3(y, x);
+        s = s + x + y;
+    }}
+    return s;
+}}
+
+proc main(): int {{
+    var r1, r3, r6, r7: float;
+    r1 = module1(N1) + module1(N2);
+    r3 = module3(N3);
+    r6 = module6(N6);
+    r7 = module7(N7);
+    acc = r1 * 100.0 + r3 * 10.0 + r6 + r7;
+    return int(acc * 1000.0 + 1000000.5);
+}}
+"""
+
+
+def _my_sin(x: float) -> float:
+    term = s = x
+    x2 = x * x
+    for k in range(1, 7):
+        term = 0.0 - term * x2 / float((2 * k) * (2 * k + 1))
+        s = s + term
+    return s
+
+
+def _my_cos(x: float) -> float:
+    term = s = 1.0
+    x2 = x * x
+    for k in range(1, 7):
+        term = 0.0 - term * x2 / float((2 * k - 1) * (2 * k))
+        s = s + term
+    return s
+
+
+def _atan_series(x: float) -> float:
+    term = s = x
+    x2 = x * x
+    for k in range(1, 10):
+        term = 0.0 - term * x2
+        s = s + term / float(2 * k + 1)
+    return s
+
+
+_HALFPI = 1.5707963267948966
+
+
+def _my_atan(x: float) -> float:
+    if x > 1.0:
+        return _HALFPI - _atan_series(1.0 / x)
+    if x < -1.0:
+        return 0.0 - _HALFPI - _atan_series(1.0 / x)
+    return _atan_series(x)
+
+
+def _my_exp(x: float) -> float:
+    term = s = 1.0
+    for k in range(1, 13):
+        term = term * x / float(k)
+        s = s + term
+    return s
+
+
+def _my_log(x: float) -> float:
+    w = x - 1.0
+    term = s = w
+    for k in range(2, 15):
+        term = 0.0 - term * w
+        s = s + term / float(k)
+    return s
+
+
+def _my_sqrt(x: float) -> float:
+    r = 0.5 * (x + 1.0)
+    for _ in range(4):
+        r = 0.5 * (r + x / r)
+    return r
+
+
+_T = 0.499975
+_T1 = 0.50025
+_T2 = 2.0
+
+
+def reference() -> int:
+    """Pure-Python mirror of the Tin program."""
+
+    def module1(n: int) -> float:
+        e1 = [1.0, -1.0, -1.0, -1.0]
+        for _ in range(n):
+            e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * _T
+            e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * _T
+            e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * _T
+            e1[3] = (-e1[0] + e1[1] + e1[2] + e1[3]) * _T
+        return e1[0] + e1[1] + e1[2] + e1[3]
+
+    def module3(n: int) -> float:
+        x = y = 0.5
+        for _ in range(n):
+            z = _my_cos(x + y) + _my_cos(x - y) - 1.0
+            x = _T * _my_atan(_T2 * _my_sin(x) * _my_cos(x) / z)
+            y = x
+        return x + y
+
+    def module6(n: int) -> float:
+        x = y = 0.75
+        for _ in range(n):
+            x = _my_sqrt(_my_exp(_my_log(x) / _T1))
+            y = _my_sqrt(_my_exp(_my_log(y) / _T1))
+        return x + y
+
+    def p3(x: float, y: float) -> float:
+        x1 = _T * (x + y)
+        y1 = _T * (x1 + y)
+        return (x1 + y1) / _T2
+
+    def module7(n: int) -> float:
+        x = y = 0.5
+        s = 0.0
+        for _ in range(n):
+            x = _T * p3(x, y)
+            y = _T * p3(y, x)
+            s = s + x + y
+        return s
+
+    r1 = module1(_N1) + module1(_N2)
+    r3 = module3(_N3)
+    r6 = module6(_N6)
+    r7 = module7(_N7)
+    acc = r1 * 100.0 + r3 * 10.0 + r6 + r7
+    return int(acc * 1000.0 + 1000000.5)
+
+
+register(
+    Benchmark(
+        name="whet",
+        description="Whetstone-like FP modules with in-Tin series "
+        "transcendentals",
+        source=lambda: SOURCE,
+        reference=reference,
+        fp_tolerance=1,
+    )
+)

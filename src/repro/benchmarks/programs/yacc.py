@@ -1,0 +1,284 @@
+"""``yacc`` — a table-driven LR parser, standing in for the Unix parser
+generator.
+
+What a yacc-generated parser spends its time on is exactly what this
+program does: walking an LR automaton with ACTION/GOTO table lookups,
+pushing and popping state/value stacks, and dispatching on reduce rules.
+We hard-code the canonical SLR(1) tables for the dragon-book expression
+grammar (E -> E+T | T;  T -> T*F | F;  F -> (E) | id) and drive them with
+randomly generated valid token streams.  This is the least parallel
+benchmark in the paper (1.6), and the serial stack/table dependences here
+reproduce that: almost every instruction depends on the one before it.
+"""
+
+from __future__ import annotations
+
+from ..suite import Benchmark, register
+
+_N_SENTENCES = 40
+_N_PASSES = 3
+_DEPTH = 2
+_MOD = 999999937
+_VMOD = 10007
+
+# terminals: id + * ( ) $
+_ID, _PLUS, _MUL, _LP, _RP, _END = range(6)
+
+# ACTION encoding: 0 = error, 100+s = shift s, 200+p = reduce p, 999 = accept
+_S, _R, _ACC = 100, 200, 999
+_ACTION = [
+    # id        +         *         (         )         $
+    [_S + 5,    0,        0,        _S + 4,   0,        0],      # 0
+    [0,         _S + 6,   0,        0,        0,        _ACC],   # 1
+    [0,         _R + 2,   _S + 7,   0,        _R + 2,   _R + 2], # 2
+    [0,         _R + 4,   _R + 4,   0,        _R + 4,   _R + 4], # 3
+    [_S + 5,    0,        0,        _S + 4,   0,        0],      # 4
+    [0,         _R + 6,   _R + 6,   0,        _R + 6,   _R + 6], # 5
+    [_S + 5,    0,        0,        _S + 4,   0,        0],      # 6
+    [_S + 5,    0,        0,        _S + 4,   0,        0],      # 7
+    [0,         _S + 6,   0,        0,        _S + 11,  0],      # 8
+    [0,         _R + 1,   _S + 7,   0,        _R + 1,   _R + 1], # 9
+    [0,         _R + 3,   _R + 3,   0,        _R + 3,   _R + 3], # 10
+    [0,         _R + 5,   _R + 5,   0,        _R + 5,   _R + 5], # 11
+]
+# GOTO[state][nonterminal E=0 T=1 F=2], 0 = error
+_GOTO = [
+    [1, 2, 3], [0, 0, 0], [0, 0, 0], [0, 0, 0],
+    [8, 2, 3], [0, 0, 0], [0, 9, 3], [0, 0, 10],
+    [0, 0, 0], [0, 0, 0], [0, 0, 0], [0, 0, 0],
+]
+#: production -> (pop length, lhs nonterminal index)
+_PRODS = [(0, 0), (3, 0), (1, 0), (3, 1), (1, 1), (3, 2), (1, 2)]
+
+_action_flat = ",".join(str(v) for row in _ACTION for v in row)
+_goto_flat = ",".join(str(v) for row in _GOTO for v in row)
+_plen_flat = ",".join(str(p[0]) for p in _PRODS)
+_plhs_flat = ",".join(str(p[1]) for p in _PRODS)
+
+SOURCE = f"""
+# yacc: SLR(1) expression parser driven by ACTION/GOTO tables
+const NSENT = {_N_SENTENCES};
+const NPASS = {_N_PASSES};
+const DEPTH = {_DEPTH};
+const MOD = {_MOD};
+const VMOD = {_VMOD};
+const TID = 0;
+const TPLUS = 1;
+const TMUL = 2;
+const TLP = 3;
+const TRP = 4;
+const TEND = 5;
+
+var action: int[72] = {{{_action_flat}}};
+var goto_: int[36] = {{{_goto_flat}}};
+var plen: int[7] = {{{_plen_flat}}};
+var plhs: int[7] = {{{_plhs_flat}}};
+
+var tok: int[4096];
+var tval: int[4096];
+var tpos: int;
+var sbeg: int[{_N_SENTENCES}];
+var sstk: int[128];
+var vstk: int[128];
+var seed: int;
+
+proc rnd(m: int): int {{
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return seed % m;
+}}
+
+proc emit(t: int, v: int) {{
+    tok[tpos] = t;
+    tval[tpos] = v;
+    tpos = tpos + 1;
+}}
+
+proc gen_factor(d: int) {{
+    if (d > 0 && rnd(4) == 0) {{
+        emit(TLP, 0);
+        gen_expr(d - 1);
+        emit(TRP, 0);
+    }} else {{
+        emit(TID, rnd(VMOD));
+    }}
+}}
+
+proc gen_term(d: int) {{
+    var j, k: int;
+    gen_factor(d);
+    k = rnd(3);
+    for j = 1 to k {{
+        emit(TMUL, 0);
+        gen_factor(d);
+    }}
+}}
+
+proc gen_expr(d: int) {{
+    var j, k: int;
+    gen_term(d);
+    k = rnd(3);
+    for j = 1 to k {{
+        emit(TPLUS, 0);
+        gen_term(d);
+    }}
+}}
+
+# parse one sentence starting at tok[start];
+# returns value * 1000 + number of reductions
+proc parse(start: int): int {{
+    var sp, pos, state, act, prod, n, lhs, val, reductions: int;
+    sp = 0;
+    sstk[0] = 0;
+    vstk[0] = 0;
+    pos = start;
+    reductions = 0;
+    act = 0;
+    while (act != 999) {{
+        state = sstk[sp];
+        act = action[state * 6 + tok[pos]];
+        if (act >= 100 && act < 200) {{
+            sp = sp + 1;
+            sstk[sp] = act - 100;
+            vstk[sp] = tval[pos];
+            pos = pos + 1;
+        }} else {{
+            if (act >= 200 && act < 300) {{
+                prod = act - 200;
+                n = plen[prod];
+                lhs = plhs[prod];
+                if (prod == 1) {{
+                    val = (vstk[sp - 2] + vstk[sp]) % VMOD;
+                }} else {{
+                    if (prod == 3) {{
+                        val = (vstk[sp - 2] * vstk[sp]) % VMOD;
+                    }} else {{
+                        if (prod == 5) {{
+                            val = vstk[sp - 1];
+                        }} else {{
+                            val = vstk[sp];
+                        }}
+                    }}
+                }}
+                sp = sp - n;
+                sp = sp + 1;
+                sstk[sp] = goto_[sstk[sp - 1] * 3 + lhs];
+                vstk[sp] = val;
+                reductions = reductions + 1;
+            }} else {{
+                if (act != 999) {{
+                    return -1;   # parse error: cannot happen
+                }}
+            }}
+        }}
+    }}
+    return vstk[sp] * 1000 + reductions;
+}}
+
+proc main(): int {{
+    var s, pass, chk: int;
+    seed = 271828182;
+    chk = 0;
+    tpos = 0;
+    for s = 0 to NSENT - 1 {{
+        sbeg[s] = tpos;
+        gen_expr(DEPTH);
+        emit(TEND, 0);
+    }}
+    for pass = 1 to NPASS {{
+        for s = 0 to NSENT - 1 {{
+            chk = (chk * 31 + parse(sbeg[s])) % MOD;
+        }}
+    }}
+    return chk;
+}}
+"""
+
+
+def reference() -> int:
+    """Pure-Python mirror of the Tin parser."""
+    seed = 271828182
+
+    def rnd(m: int) -> int:
+        nonlocal seed
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        return seed % m
+
+    chk = 0
+    sentences: list[list[tuple[int, int]]] = []
+    for _ in range(_N_SENTENCES):
+        toks: list[tuple[int, int]] = []
+
+        def gen_factor(d: int) -> None:
+            if d > 0 and rnd(4) == 0:
+                toks.append((_LP, 0))
+                gen_expr(d - 1)
+                toks.append((_RP, 0))
+            else:
+                toks.append((_ID, rnd(_VMOD)))
+
+        def gen_term(d: int) -> None:
+            gen_factor(d)
+            for _j in range(rnd(3)):
+                toks.append((_MUL, 0))
+                gen_factor(d)
+
+        def gen_expr(d: int) -> None:
+            gen_term(d)
+            for _j in range(rnd(3)):
+                toks.append((_PLUS, 0))
+                gen_term(d)
+
+        gen_expr(_DEPTH)
+        toks.append((_END, 0))
+        sentences.append(toks)
+
+    def parse(toks: list[tuple[int, int]]) -> int:
+        sstk = [0]
+        vstk = [0]
+        pos = 0
+        reductions = 0
+        result = None
+        while result is None:
+            state = sstk[-1]
+            act = _ACTION[state][toks[pos][0]]
+            if 100 <= act < 200:
+                sstk.append(act - 100)
+                vstk.append(toks[pos][1])
+                pos += 1
+            elif 200 <= act < 300:
+                prod = act - 200
+                n, lhs = _PRODS[prod]
+                if prod == 1:
+                    val = (vstk[-3] + vstk[-1]) % _VMOD
+                elif prod == 3:
+                    val = (vstk[-3] * vstk[-1]) % _VMOD
+                elif prod == 5:
+                    val = vstk[-2]
+                else:
+                    val = vstk[-1]
+                del sstk[len(sstk) - n:]
+                del vstk[len(vstk) - n:]
+                sstk.append(_GOTO[sstk[-1]][lhs])
+                vstk.append(val)
+                reductions += 1
+            elif act == _ACC:
+                result = vstk[-1] * 1000 + reductions
+            else:  # pragma: no cover - generated sentences always parse
+                result = -1
+        return result
+
+    for _ in range(_N_PASSES):
+        for toks in sentences:
+            chk = (chk * 31 + parse(toks)) % _MOD
+    return chk
+
+
+register(
+    Benchmark(
+        name="yacc",
+        description="SLR(1) table-driven parser over generated sentences "
+        "(stands in for the Unix parser generator)",
+        source=lambda: SOURCE,
+        reference=reference,
+    )
+)

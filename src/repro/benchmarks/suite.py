@@ -1,0 +1,141 @@
+"""The eight-benchmark suite and its compile/run/measure plumbing.
+
+Mirrors the paper's Section 4 suite (ccom, grr, linpack, livermore, met,
+stanford, whet, yacc) with synthetic equivalents written in Tin — see
+DESIGN.md for the substitution argument per benchmark.
+
+Every benchmark is self-checking: its ``main`` returns an integer
+checksum, and the module provides a pure-Python :func:`reference`
+implementation computing the same value.  The integration tests compare
+the two at every optimization level, which exercises the whole compiler.
+
+Compilation and functional simulation are memoized per
+``(benchmark, options)`` because the experiment drivers sweep many machine
+configurations over the same trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..machine.config import MachineConfig
+from ..opt.driver import compile_source
+from ..opt.options import CompilerOptions
+from ..sim.interp import RunResult, run
+from ..sim.timing import TimingResult, simulate
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One benchmark program."""
+
+    name: str
+    description: str
+    source: Callable[[], str]
+    reference: Callable[[], int]
+    #: checksum tolerance under reassociating (careful-unroll) compiles
+    fp_tolerance: int = 0
+    #: options the paper's "official" version implies (e.g. linpack's
+    #: inner loops come unrolled four times)
+    default_overrides: dict = field(default_factory=dict, hash=False)
+
+
+_REGISTRY: dict[str, Benchmark] = {}
+
+
+def register(benchmark: Benchmark) -> Benchmark:
+    """Add a benchmark to the global registry."""
+    if benchmark.name in _REGISTRY:
+        raise ValueError(f"duplicate benchmark {benchmark.name!r}")
+    _REGISTRY[benchmark.name] = benchmark
+    return benchmark
+
+
+def all_benchmarks() -> list[Benchmark]:
+    """The suite in the paper's listing order."""
+    _ensure_loaded()
+    order = ["ccom", "grr", "linpack", "livermore", "met", "stanford",
+             "whet", "yacc"]
+    return [_REGISTRY[name] for name in order if name in _REGISTRY]
+
+
+def get(name: str) -> Benchmark:
+    """Look a benchmark up by name."""
+    _ensure_loaded()
+    return _REGISTRY[name]
+
+
+def _ensure_loaded() -> None:
+    """Import the program modules (they self-register)."""
+    import importlib
+
+    for name in ("ccom", "grr", "linpack", "livermore", "met", "stanford",
+                 "whet", "yacc"):
+        try:
+            importlib.import_module(f"repro.benchmarks.programs.{name}")
+        except ModuleNotFoundError as exc:
+            if name not in str(exc):
+                raise
+
+
+# ------------------------------------------------------------------- caching
+def _options_key(options: CompilerOptions) -> tuple:
+    return (
+        options.opt_level,
+        options.regfile.n_temp,
+        options.regfile.n_home,
+        options.unroll,
+        options.careful,
+        options.alias,
+        options.sched_heuristic,
+        options.schedule_for.name,
+        options.schedule_for.issue_width,
+        options.schedule_for.superpipeline_degree,
+        tuple(sorted(
+            (k.value, v) for k, v in options.schedule_for.latencies.items()
+        )),
+    )
+
+
+_RUN_CACHE: dict[tuple, RunResult] = {}
+
+
+def run_benchmark(
+    benchmark: Benchmark | str,
+    options: CompilerOptions | None = None,
+) -> RunResult:
+    """Compile and functionally execute a benchmark (memoized)."""
+    if isinstance(benchmark, str):
+        benchmark = get(benchmark)
+    opts = options or default_options(benchmark)
+    key = (benchmark.name, _options_key(opts))
+    cached = _RUN_CACHE.get(key)
+    if cached is not None:
+        return cached
+    program = compile_source(benchmark.source(), opts)
+    result = run(program)
+    _RUN_CACHE[key] = result
+    return result
+
+
+def default_options(benchmark: Benchmark, **kwargs) -> CompilerOptions:
+    """The benchmark's default compile options, with overrides applied."""
+    merged = dict(benchmark.default_overrides)
+    merged.update(kwargs)
+    return CompilerOptions(**merged)
+
+
+def measure(
+    benchmark: Benchmark | str,
+    config: MachineConfig,
+    options: CompilerOptions | None = None,
+) -> TimingResult:
+    """Run a benchmark and replay its trace on ``config``."""
+    result = run_benchmark(benchmark, options)
+    return simulate(result.trace, config)
+
+
+def clear_cache() -> None:
+    """Drop memoized runs (tests use this to bound memory)."""
+    _RUN_CACHE.clear()

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated Python errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TinSyntaxError(ReproError):
+    """Raised by the Tin lexer/parser on malformed source.
+
+    Carries the 1-based source ``line`` and ``column`` of the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{line}:{column}: {message}" if line else message)
+        self.line = line
+        self.column = column
+
+
+class TinSemanticError(ReproError):
+    """Raised during semantic analysis (undeclared names, type errors...)."""
+
+
+class CodegenError(ReproError):
+    """Raised when the code generator meets an AST shape it cannot lower."""
+
+
+class MachineConfigError(ReproError):
+    """Raised for inconsistent machine descriptions (e.g. uncovered class)."""
+
+
+class SimulationError(ReproError):
+    """Raised by the functional interpreter on illegal execution.
+
+    Examples: memory access out of bounds, division by zero, executing past
+    the end of a function, or exceeding the instruction budget.
+    """
+
+
+class RegisterAllocationError(ReproError):
+    """Raised when register allocation cannot honour the register budget."""
+
+
+class SchedulingError(ReproError):
+    """Raised when the scheduler produces or detects an invalid ordering."""

@@ -1,0 +1,68 @@
+"""The MultiTitan-like RISC instruction set and program representation."""
+
+from .instruction import Instruction, MemRef
+from .opcodes import (
+    COMPARE_IMM_FORM,
+    SIMPLE_CLASSES,
+    TERMINATORS,
+    InstrClass,
+    Opcode,
+    OpcodeInfo,
+)
+from .program import (
+    BasicBlock,
+    Function,
+    GlobalVar,
+    Program,
+    compute_dominators,
+    loop_depths,
+    natural_loops,
+)
+from .printer import format_function, format_instruction, format_program
+from .registers import (
+    ARG_REGS,
+    RA,
+    RV,
+    SCRATCH0,
+    SCRATCH1,
+    SP,
+    ZERO,
+    Reg,
+    RegisterFileSpec,
+    VirtualRegAllocator,
+    virtual,
+)
+from . import build
+
+__all__ = [
+    "ARG_REGS",
+    "BasicBlock",
+    "COMPARE_IMM_FORM",
+    "Function",
+    "GlobalVar",
+    "InstrClass",
+    "Instruction",
+    "MemRef",
+    "Opcode",
+    "OpcodeInfo",
+    "Program",
+    "RA",
+    "RV",
+    "Reg",
+    "RegisterFileSpec",
+    "SCRATCH0",
+    "SCRATCH1",
+    "SIMPLE_CLASSES",
+    "SP",
+    "TERMINATORS",
+    "VirtualRegAllocator",
+    "ZERO",
+    "build",
+    "compute_dominators",
+    "format_function",
+    "format_instruction",
+    "format_program",
+    "loop_depths",
+    "natural_loops",
+    "virtual",
+]

@@ -1,0 +1,110 @@
+"""Convenience constructors for instructions.
+
+These keep code generation and tests terse and enforce operand arity at
+construction time.
+"""
+
+from __future__ import annotations
+
+from .instruction import Instruction, MemRef
+from .opcodes import Opcode
+from .registers import RA, Reg
+
+
+def alu(op: Opcode, dest: Reg, a: Reg, b: Reg) -> Instruction:
+    """Three-register ALU operation ``dest <- a op b``."""
+    ins = Instruction(op, dest=dest, srcs=(a, b))
+    ins.validate()
+    return ins
+
+
+def alui(op: Opcode, dest: Reg, a: Reg, imm: int) -> Instruction:
+    """Register-immediate ALU operation ``dest <- a op imm``."""
+    ins = Instruction(op, dest=dest, srcs=(a,), imm=imm)
+    ins.validate()
+    return ins
+
+
+def unary(op: Opcode, dest: Reg, a: Reg) -> Instruction:
+    """One-source operation (``MOV``, ``FNEG``, conversions)."""
+    ins = Instruction(op, dest=dest, srcs=(a,))
+    ins.validate()
+    return ins
+
+
+def li(dest: Reg, value: int) -> Instruction:
+    """Load integer immediate."""
+    return Instruction(Opcode.LI, dest=dest, imm=int(value))
+
+
+def lif(dest: Reg, value: float) -> Instruction:
+    """Load floating-point immediate."""
+    return Instruction(Opcode.LIF, dest=dest, imm=float(value))
+
+
+def mov(dest: Reg, src: Reg) -> Instruction:
+    """Register-to-register move."""
+    return Instruction(Opcode.MOV, dest=dest, srcs=(src,))
+
+
+def lw(
+    dest: Reg,
+    base: Reg,
+    offset: int = 0,
+    mem: MemRef | None = None,
+    frame_slot: int | None = None,
+) -> Instruction:
+    """Load word ``dest <- offset(base)``."""
+    return Instruction(
+        Opcode.LW, dest=dest, srcs=(base,), imm=offset,
+        mem=mem, frame_slot=frame_slot,
+    )
+
+
+def sw(
+    value: Reg,
+    base: Reg,
+    offset: int = 0,
+    mem: MemRef | None = None,
+    frame_slot: int | None = None,
+) -> Instruction:
+    """Store word ``offset(base) <- value``."""
+    return Instruction(
+        Opcode.SW, srcs=(value, base), imm=offset,
+        mem=mem, frame_slot=frame_slot,
+    )
+
+
+def beqz(cond: Reg, target: str) -> Instruction:
+    """Branch to ``target`` if ``cond`` is zero."""
+    return Instruction(Opcode.BEQZ, srcs=(cond,), target=target)
+
+
+def bnez(cond: Reg, target: str) -> Instruction:
+    """Branch to ``target`` if ``cond`` is non-zero."""
+    return Instruction(Opcode.BNEZ, srcs=(cond,), target=target)
+
+
+def jump(target: str) -> Instruction:
+    """Unconditional jump."""
+    return Instruction(Opcode.J, target=target)
+
+
+def call(func: str) -> Instruction:
+    """Call ``func``; writes the return address into ``ra``."""
+    return Instruction(Opcode.CALL, dest=RA, target=func)
+
+
+def ret() -> Instruction:
+    """Return through ``ra``."""
+    return Instruction(Opcode.RET, srcs=(RA,))
+
+
+def nop() -> Instruction:
+    """No operation."""
+    return Instruction(Opcode.NOP)
+
+
+def halt() -> Instruction:
+    """Stop simulation."""
+    return Instruction(Opcode.HALT)

@@ -1,0 +1,128 @@
+"""Instruction and memory-reference representation.
+
+Instructions are mutable because optimization passes rewrite operands in
+place.  Memory instructions carry a :class:`MemRef` describing *what object*
+they touch; the scheduler's alias analysis uses it to decide whether two
+memory operations may conflict ("the scheduler must assume that two memory
+locations are the same unless it can prove otherwise", Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .opcodes import Opcode
+from .registers import Reg
+
+
+@dataclass(frozen=True, slots=True)
+class MemRef:
+    """Symbolic description of a memory access for alias analysis.
+
+    ``obj`` names the storage object: ``g:<name>`` for a global variable or
+    array, ``frame:<func>:<slot-or-array>`` for stack storage, or
+    ``param:<func>:<name>`` for storage reached through an array parameter.
+
+    ``offset`` is the constant word offset within the object when the access
+    address is statically known (scalar accesses, constant array indices);
+    ``None`` when the offset is computed at run time.
+
+    ``affine`` disambiguates accesses whose index is ``var + c`` for a loop
+    variable ``var``: the pair ``(var_key, c)``.  Two accesses to the same
+    object with the same ``var_key`` but different constants are provably
+    disjoint *provided* ``var`` is not redefined between them; the careful
+    loop unroller produces such accesses and the dependence DAG checks the
+    no-redefinition side condition.
+
+    ``may_alias_all`` marks accesses through array parameters, which may
+    refer to any array in the program until interprocedural alias analysis
+    narrows them down.  ``is_array`` distinguishes array storage from
+    scalar storage (an array parameter can never be bound to a scalar).
+    """
+
+    obj: str
+    offset: int | None = None
+    affine: tuple[str, int] | None = None
+    #: storage objects of the scalar variables appearing in the affine
+    #: core; the no-redefinition side condition is checked against these.
+    affine_vars: tuple[str, ...] = ()
+    may_alias_all: bool = False
+    is_array: bool = False
+
+    def with_offset(self, offset: int | None) -> "MemRef":
+        """Return a copy with a different constant offset."""
+        return replace(self, offset=offset)
+
+
+@dataclass(slots=True)
+class Instruction:
+    """One machine instruction.
+
+    ``dest`` is the written register (or ``None``), ``srcs`` the register
+    sources in operand order.  For ``SW`` the sources are ``(value, base)``.
+    ``imm`` holds the immediate / offset / literal operand, ``target`` the
+    label of a branch or the callee name of a ``CALL``.
+
+    ``frame_slot`` marks stack accesses whose final immediate offset is a
+    frame-slot index to be resolved once the frame size is known (see
+    ``repro.opt.frame``).
+    """
+
+    op: Opcode
+    dest: Reg | None = None
+    srcs: tuple[Reg, ...] = ()
+    imm: int | float | None = None
+    target: str | None = None
+    mem: MemRef | None = None
+    frame_slot: int | None = None
+    comment: str = field(default="", compare=False)
+
+    def copy(self) -> "Instruction":
+        """Return a shallow copy (operands are immutable, so this is safe)."""
+        return Instruction(
+            op=self.op,
+            dest=self.dest,
+            srcs=self.srcs,
+            imm=self.imm,
+            target=self.target,
+            mem=self.mem,
+            frame_slot=self.frame_slot,
+            comment=self.comment,
+        )
+
+    def validate(self) -> None:
+        """Check operand arity against the opcode's static properties."""
+        info = self.op.info
+        if len(self.srcs) != info.n_srcs:
+            raise ValueError(
+                f"{self.op.value}: expected {info.n_srcs} sources, "
+                f"got {len(self.srcs)}"
+            )
+        if info.has_dest and self.dest is None and self.op is not Opcode.CALL:
+            raise ValueError(f"{self.op.value}: missing destination")
+        if not info.has_dest and self.dest is not None:
+            raise ValueError(f"{self.op.value}: unexpected destination")
+        if info.has_imm and self.imm is None and self.frame_slot is None:
+            raise ValueError(f"{self.op.value}: missing immediate")
+        if info.is_branch and self.op not in (Opcode.RET,) and self.target is None:
+            raise ValueError(f"{self.op.value}: missing target")
+
+    @property
+    def is_terminator(self) -> bool:
+        """True if this instruction ends a basic block."""
+        from .opcodes import TERMINATORS
+
+        return self.op in TERMINATORS
+
+    def regs_read(self) -> tuple[Reg, ...]:
+        """Registers read by this instruction."""
+        return self.srcs
+
+    def reg_written(self) -> Reg | None:
+        """The register written by this instruction, if any."""
+        return self.dest
+
+    def __str__(self) -> str:
+        from .printer import format_instruction
+
+        return format_instruction(self)

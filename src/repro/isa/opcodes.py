@@ -1,0 +1,255 @@
+"""Opcodes and instruction classes of the MultiTitan-like RISC target.
+
+The paper groups operations into *fourteen classes* "selected so that
+operations in a given class are likely to have identical pipeline behavior
+in any machine" (Section 3).  :class:`InstrClass` reproduces that grouping;
+machine descriptions assign one operation latency per class and map classes
+onto functional units.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class InstrClass(enum.Enum):
+    """The fourteen instruction classes of the machine description."""
+
+    LOGICAL = "logical"      # and/or/xor and immediates
+    SHIFT = "shift"          # shifts
+    ADDSUB = "addsub"        # integer add/sub and integer compares
+    INTMUL = "intmul"        # integer multiply
+    INTDIV = "intdiv"        # integer divide / remainder
+    LOAD = "load"            # single-word load
+    STORE = "store"          # single-word store
+    BRANCH = "branch"        # branches, jumps, calls, returns
+    FPADD = "fpadd"          # FP add/sub/negate and FP compares
+    FPMUL = "fpmul"          # FP multiply
+    FPDIV = "fpdiv"          # FP divide
+    FPCVT = "fpcvt"          # int<->float conversions
+    MOVE = "move"            # register moves and immediate loads
+    MISC = "misc"            # nop, halt
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.name
+
+
+#: Classes the paper calls "simple operations": the vast majority of
+#: executed operations (Section 2 definitions).  Divides are excluded.
+SIMPLE_CLASSES = frozenset(
+    {
+        InstrClass.LOGICAL,
+        InstrClass.SHIFT,
+        InstrClass.ADDSUB,
+        InstrClass.LOAD,
+        InstrClass.STORE,
+        InstrClass.BRANCH,
+        InstrClass.FPADD,
+        InstrClass.FPMUL,
+        InstrClass.MOVE,
+        InstrClass.FPCVT,
+        InstrClass.MISC,
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class OpcodeInfo:
+    """Static properties of one opcode.
+
+    ``n_srcs`` counts register sources; ``has_dest`` says whether the opcode
+    writes a register; ``has_imm`` whether an immediate operand is required;
+    ``is_branch``/``is_cond_branch``/``is_mem`` classify control and memory
+    behaviour for the scheduler and simulator.
+    """
+
+    klass: InstrClass
+    n_srcs: int
+    has_dest: bool
+    has_imm: bool = False
+    is_branch: bool = False
+    is_cond_branch: bool = False
+    is_load: bool = False
+    is_store: bool = False
+    commutative: bool = False
+
+    @property
+    def is_mem(self) -> bool:
+        return self.is_load or self.is_store
+
+
+class Opcode(enum.Enum):
+    """All opcodes of the target instruction set."""
+
+    # Integer arithmetic (ADDSUB / INTMUL / INTDIV classes)
+    ADD = "add"
+    SUB = "sub"
+    ADDI = "addi"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    # Integer compares (results are 0/1 in a register; ADDSUB class)
+    SEQ = "seq"
+    SNE = "sne"
+    SLT = "slt"
+    SLE = "sle"
+    SGT = "sgt"
+    SGE = "sge"
+    SEQI = "seqi"
+    SNEI = "snei"
+    SLTI = "slti"
+    SLEI = "slei"
+    SGTI = "sgti"
+    SGEI = "sgei"
+    # Logical
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    # Shifts
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    SLLI = "slli"
+    SRLI = "srli"
+    SRAI = "srai"
+    # Moves / immediates
+    LI = "li"        # load integer immediate
+    LIF = "lif"      # load float immediate
+    MOV = "mov"      # register-to-register move
+    # Memory (word addressed, base register + immediate offset)
+    LW = "lw"
+    SW = "sw"
+    # Floating point
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FNEG = "fneg"
+    FEQ = "feq"
+    FNE = "fne"
+    FLT = "flt"
+    FLE = "fle"
+    CVTIF = "cvtif"  # int -> float
+    CVTFI = "cvtfi"  # float -> int (truncate)
+    # Control
+    BEQZ = "beqz"
+    BNEZ = "bnez"
+    J = "j"
+    CALL = "call"
+    RET = "ret"
+    # Misc
+    NOP = "nop"
+    HALT = "halt"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.name
+
+    @property
+    def info(self) -> OpcodeInfo:
+        """Static properties of this opcode."""
+        return _INFO[self]
+
+    @property
+    def klass(self) -> InstrClass:
+        """The instruction class this opcode belongs to."""
+        return _INFO[self].klass
+
+
+def _alu3(klass: InstrClass, commutative: bool = False) -> OpcodeInfo:
+    return OpcodeInfo(klass, n_srcs=2, has_dest=True, commutative=commutative)
+
+
+def _alu_imm(klass: InstrClass, commutative: bool = False) -> OpcodeInfo:
+    return OpcodeInfo(
+        klass, n_srcs=1, has_dest=True, has_imm=True, commutative=commutative
+    )
+
+
+_INFO: dict[Opcode, OpcodeInfo] = {
+    Opcode.ADD: _alu3(InstrClass.ADDSUB, commutative=True),
+    Opcode.SUB: _alu3(InstrClass.ADDSUB),
+    Opcode.ADDI: _alu_imm(InstrClass.ADDSUB),
+    Opcode.MUL: _alu3(InstrClass.INTMUL, commutative=True),
+    Opcode.DIV: _alu3(InstrClass.INTDIV),
+    Opcode.MOD: _alu3(InstrClass.INTDIV),
+    Opcode.SEQ: _alu3(InstrClass.ADDSUB, commutative=True),
+    Opcode.SNE: _alu3(InstrClass.ADDSUB, commutative=True),
+    Opcode.SLT: _alu3(InstrClass.ADDSUB),
+    Opcode.SLE: _alu3(InstrClass.ADDSUB),
+    Opcode.SGT: _alu3(InstrClass.ADDSUB),
+    Opcode.SGE: _alu3(InstrClass.ADDSUB),
+    Opcode.SEQI: _alu_imm(InstrClass.ADDSUB),
+    Opcode.SNEI: _alu_imm(InstrClass.ADDSUB),
+    Opcode.SLTI: _alu_imm(InstrClass.ADDSUB),
+    Opcode.SLEI: _alu_imm(InstrClass.ADDSUB),
+    Opcode.SGTI: _alu_imm(InstrClass.ADDSUB),
+    Opcode.SGEI: _alu_imm(InstrClass.ADDSUB),
+    Opcode.AND: _alu3(InstrClass.LOGICAL, commutative=True),
+    Opcode.OR: _alu3(InstrClass.LOGICAL, commutative=True),
+    Opcode.XOR: _alu3(InstrClass.LOGICAL, commutative=True),
+    Opcode.ANDI: _alu_imm(InstrClass.LOGICAL),
+    Opcode.ORI: _alu_imm(InstrClass.LOGICAL),
+    Opcode.XORI: _alu_imm(InstrClass.LOGICAL),
+    Opcode.SLL: _alu3(InstrClass.SHIFT),
+    Opcode.SRL: _alu3(InstrClass.SHIFT),
+    Opcode.SRA: _alu3(InstrClass.SHIFT),
+    Opcode.SLLI: _alu_imm(InstrClass.SHIFT),
+    Opcode.SRLI: _alu_imm(InstrClass.SHIFT),
+    Opcode.SRAI: _alu_imm(InstrClass.SHIFT),
+    Opcode.LI: OpcodeInfo(InstrClass.MOVE, n_srcs=0, has_dest=True, has_imm=True),
+    Opcode.LIF: OpcodeInfo(InstrClass.MOVE, n_srcs=0, has_dest=True, has_imm=True),
+    Opcode.MOV: OpcodeInfo(InstrClass.MOVE, n_srcs=1, has_dest=True),
+    Opcode.LW: OpcodeInfo(
+        InstrClass.LOAD, n_srcs=1, has_dest=True, has_imm=True, is_load=True
+    ),
+    Opcode.SW: OpcodeInfo(
+        InstrClass.STORE, n_srcs=2, has_dest=False, has_imm=True, is_store=True
+    ),
+    Opcode.FADD: _alu3(InstrClass.FPADD, commutative=True),
+    Opcode.FSUB: _alu3(InstrClass.FPADD),
+    Opcode.FMUL: _alu3(InstrClass.FPMUL, commutative=True),
+    Opcode.FDIV: _alu3(InstrClass.FPDIV),
+    Opcode.FNEG: OpcodeInfo(InstrClass.FPADD, n_srcs=1, has_dest=True),
+    Opcode.FEQ: _alu3(InstrClass.FPADD, commutative=True),
+    Opcode.FNE: _alu3(InstrClass.FPADD, commutative=True),
+    Opcode.FLT: _alu3(InstrClass.FPADD),
+    Opcode.FLE: _alu3(InstrClass.FPADD),
+    Opcode.CVTIF: OpcodeInfo(InstrClass.FPCVT, n_srcs=1, has_dest=True),
+    Opcode.CVTFI: OpcodeInfo(InstrClass.FPCVT, n_srcs=1, has_dest=True),
+    Opcode.BEQZ: OpcodeInfo(
+        InstrClass.BRANCH, n_srcs=1, has_dest=False,
+        is_branch=True, is_cond_branch=True,
+    ),
+    Opcode.BNEZ: OpcodeInfo(
+        InstrClass.BRANCH, n_srcs=1, has_dest=False,
+        is_branch=True, is_cond_branch=True,
+    ),
+    Opcode.J: OpcodeInfo(InstrClass.BRANCH, n_srcs=0, has_dest=False, is_branch=True),
+    Opcode.CALL: OpcodeInfo(
+        InstrClass.BRANCH, n_srcs=0, has_dest=True, is_branch=True
+    ),
+    Opcode.RET: OpcodeInfo(
+        InstrClass.BRANCH, n_srcs=1, has_dest=False, is_branch=True
+    ),
+    Opcode.NOP: OpcodeInfo(InstrClass.MISC, n_srcs=0, has_dest=False),
+    Opcode.HALT: OpcodeInfo(InstrClass.MISC, n_srcs=0, has_dest=False),
+}
+
+#: Opcodes that terminate a basic block when they appear last.
+TERMINATORS = frozenset(
+    {Opcode.BEQZ, Opcode.BNEZ, Opcode.J, Opcode.RET, Opcode.HALT}
+)
+
+#: Integer compare opcode -> its immediate-operand twin.
+COMPARE_IMM_FORM = {
+    Opcode.SEQ: Opcode.SEQI,
+    Opcode.SNE: Opcode.SNEI,
+    Opcode.SLT: Opcode.SLTI,
+    Opcode.SLE: Opcode.SLEI,
+    Opcode.SGT: Opcode.SGTI,
+    Opcode.SGE: Opcode.SGEI,
+}

@@ -1,0 +1,65 @@
+"""Assembly-style pretty printing for instructions and programs."""
+
+from __future__ import annotations
+
+from .instruction import Instruction
+from .opcodes import Opcode
+from .program import Function, Program
+
+
+def format_instruction(ins: Instruction) -> str:
+    """Render one instruction in a readable assembly syntax."""
+    op = ins.op
+    parts: list[str]
+    if op is Opcode.LW:
+        off = f"#{ins.frame_slot}" if ins.frame_slot is not None else str(ins.imm)
+        parts = [f"{op.value} {ins.dest.name} <- {off}({ins.srcs[0].name})"]
+    elif op is Opcode.SW:
+        off = f"#{ins.frame_slot}" if ins.frame_slot is not None else str(ins.imm)
+        parts = [f"{op.value} {off}({ins.srcs[1].name}) <- {ins.srcs[0].name}"]
+    elif op in (Opcode.LI, Opcode.LIF):
+        parts = [f"{op.value} {ins.dest.name} <- {ins.imm}"]
+    elif op in (Opcode.BEQZ, Opcode.BNEZ):
+        parts = [f"{op.value} {ins.srcs[0].name}, {ins.target}"]
+    elif op is Opcode.J:
+        parts = [f"{op.value} {ins.target}"]
+    elif op is Opcode.CALL:
+        parts = [f"{op.value} {ins.target}"]
+    elif op in (Opcode.RET, Opcode.NOP, Opcode.HALT):
+        parts = [op.value]
+    else:
+        operands = ", ".join(s.name for s in ins.srcs)
+        if op.info.has_imm:
+            operands = f"{operands}, {ins.imm}" if operands else str(ins.imm)
+        dest = f"{ins.dest.name} <- " if ins.dest is not None else ""
+        parts = [f"{op.value} {dest}{operands}"]
+    text = parts[0]
+    if ins.mem is not None:
+        text += f"    ; {ins.mem.obj}"
+        if ins.mem.offset is not None:
+            text += f"+{ins.mem.offset}"
+    if ins.comment:
+        text += f"    ; {ins.comment}"
+    return text
+
+
+def format_function(fn: Function) -> str:
+    """Render a whole function with block labels."""
+    lines = [f"func {fn.name}(frame={fn.frame_slots}):"]
+    for block in fn.blocks:
+        lines.append(f"{block.label}:")
+        for ins in block.instrs:
+            lines.append(f"    {format_instruction(ins)}")
+    return "\n".join(lines)
+
+
+def format_program(prog: Program) -> str:
+    """Render a whole program: globals then functions."""
+    lines = []
+    for g in prog.globals_.values():
+        kind = "float" if g.is_float else "int"
+        lines.append(f"global {g.name}: {kind}[{g.size}] @ {g.address}")
+    for fn in prog.functions.values():
+        lines.append("")
+        lines.append(format_function(fn))
+    return "\n".join(lines)

@@ -1,0 +1,277 @@
+"""Basic blocks, functions, programs, and CFG utilities.
+
+A :class:`Function` is a list of basic blocks in *layout order*: block 0 is
+the entry, and a block whose terminator is a conditional branch (or that has
+no terminator at all) falls through to the next block in layout order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .instruction import Instruction
+from .opcodes import Opcode
+
+
+@dataclass(slots=True)
+class BasicBlock:
+    """A straight-line sequence of instructions with a unique label."""
+
+    label: str
+    instrs: list[Instruction] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> Instruction | None:
+        """The trailing terminator instruction, if present."""
+        if self.instrs and self.instrs[-1].is_terminator:
+            return self.instrs[-1]
+        return None
+
+    def body(self) -> list[Instruction]:
+        """Instructions excluding the trailing terminator."""
+        if self.terminator is not None:
+            return self.instrs[:-1]
+        return list(self.instrs)
+
+
+@dataclass(slots=True)
+class Function:
+    """A compiled function: labelled basic blocks in layout order."""
+
+    name: str
+    blocks: list[BasicBlock] = field(default_factory=list)
+    frame_slots: int = 0          # number of stack slots in this frame
+    params: tuple[str, ...] = ()  # parameter names, for diagnostics
+    #: storage-object -> home register, filled in by global register
+    #: allocation; the scheduler's memory disambiguation consults it.
+    home_bindings: dict = field(default_factory=dict)
+
+    def block_map(self) -> dict[str, BasicBlock]:
+        """Label -> block mapping."""
+        return {b.label: b for b in self.blocks}
+
+    def block_index(self) -> dict[str, int]:
+        """Label -> layout-position mapping."""
+        return {b.label: i for i, b in enumerate(self.blocks)}
+
+    def successors(self) -> dict[str, list[str]]:
+        """CFG successor labels for every block, in layout order.
+
+        A conditional branch yields ``[taken, fallthrough]``; an
+        unconditional jump yields its target only; ``RET``/``HALT`` yield
+        nothing; a block with no terminator falls through.
+        """
+        succ: dict[str, list[str]] = {}
+        for i, block in enumerate(self.blocks):
+            out: list[str] = []
+            term = block.terminator
+            next_label = (
+                self.blocks[i + 1].label if i + 1 < len(self.blocks) else None
+            )
+            if term is None:
+                if next_label is not None:
+                    out.append(next_label)
+            elif term.op in (Opcode.BEQZ, Opcode.BNEZ):
+                assert term.target is not None
+                out.append(term.target)
+                if next_label is not None:
+                    out.append(next_label)
+            elif term.op is Opcode.J:
+                assert term.target is not None
+                out.append(term.target)
+            # RET / HALT: no successors
+            succ[block.label] = out
+        return succ
+
+    def predecessors(self) -> dict[str, list[str]]:
+        """CFG predecessor labels for every block."""
+        pred: dict[str, list[str]] = {b.label: [] for b in self.blocks}
+        for label, outs in self.successors().items():
+            for s in outs:
+                pred[s].append(label)
+        return pred
+
+    def instructions(self):
+        """Iterate over all instructions in layout order."""
+        for block in self.blocks:
+            yield from block.instrs
+
+    def instruction_count(self) -> int:
+        """Static instruction count."""
+        return sum(len(b.instrs) for b in self.blocks)
+
+    def rpo(self) -> list[str]:
+        """Reverse postorder of reachable blocks from the entry."""
+        succ = self.successors()
+        seen: set[str] = set()
+        order: list[str] = []
+
+        entry = self.blocks[0].label
+        stack: list[tuple[str, int]] = [(entry, 0)]
+        seen.add(entry)
+        while stack:
+            label, i = stack[-1]
+            outs = succ[label]
+            if i < len(outs):
+                stack[-1] = (label, i + 1)
+                nxt = outs[i]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                stack.pop()
+                order.append(label)
+        order.reverse()
+        return order
+
+    def validate(self) -> None:
+        """Structural sanity checks; raises ``ValueError`` on violation."""
+        labels = [b.label for b in self.blocks]
+        if len(labels) != len(set(labels)):
+            raise ValueError(f"{self.name}: duplicate block labels")
+        label_set = set(labels)
+        for block in self.blocks:
+            for k, ins in enumerate(block.instrs):
+                ins.validate()
+                if ins.is_terminator and k != len(block.instrs) - 1:
+                    raise ValueError(
+                        f"{self.name}/{block.label}: terminator "
+                        f"{ins.op.value} not at block end"
+                    )
+                if ins.op in (Opcode.BEQZ, Opcode.BNEZ, Opcode.J):
+                    if ins.target not in label_set:
+                        raise ValueError(
+                            f"{self.name}/{block.label}: unknown branch "
+                            f"target {ins.target!r}"
+                        )
+        last = self.blocks[-1]
+        if last.terminator is None:
+            raise ValueError(f"{self.name}: final block must end in terminator")
+
+
+@dataclass(slots=True)
+class GlobalVar:
+    """Layout record for one global variable or array."""
+
+    name: str
+    address: int          # word address of the first element
+    size: int             # in words
+    is_float: bool = False
+    initial: list[int | float] | None = None
+
+
+@dataclass(slots=True)
+class Program:
+    """A whole compiled program.
+
+    ``functions`` maps name -> :class:`Function`.  ``globals_`` maps global
+    name -> layout record.  ``entry`` is the function the simulator's start
+    stub calls; its integer return value is the program result (each
+    benchmark returns a checksum there).
+    """
+
+    functions: dict[str, Function] = field(default_factory=dict)
+    globals_: dict[str, GlobalVar] = field(default_factory=dict)
+    entry: str = "main"
+    data_size: int = 0    # words of global data
+
+    def validate(self) -> None:
+        """Validate every function and cross-function call targets."""
+        if self.entry not in self.functions:
+            raise ValueError(f"entry function {self.entry!r} not defined")
+        for fn in self.functions.values():
+            fn.validate()
+            for ins in fn.instructions():
+                if ins.op is Opcode.CALL and ins.target not in self.functions:
+                    raise ValueError(
+                        f"{fn.name}: call to undefined function {ins.target!r}"
+                    )
+
+    def instruction_count(self) -> int:
+        """Total static instruction count across functions."""
+        return sum(f.instruction_count() for f in self.functions.values())
+
+
+def compute_dominators(fn: Function) -> dict[str, set[str]]:
+    """Dominator sets for every reachable block (iterative dataflow).
+
+    Unreachable blocks are given dominator set = all blocks, the
+    conventional bottom value.
+    """
+    order = fn.rpo()
+    all_labels = {b.label for b in fn.blocks}
+    preds = fn.predecessors()
+    entry = fn.blocks[0].label
+    dom: dict[str, set[str]] = {label: set(all_labels) for label in all_labels}
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            if label == entry:
+                continue
+            reachable_preds = [p for p in preds[label] if p in order or p == entry]
+            new: set[str] | None = None
+            for p in reachable_preds:
+                new = set(dom[p]) if new is None else new & dom[p]
+            if new is None:
+                new = set()
+            new.add(label)
+            if new != dom[label]:
+                dom[label] = new
+                changed = True
+    return dom
+
+
+def natural_loops(fn: Function) -> list[tuple[str, set[str]]]:
+    """Natural loops of ``fn`` as ``(header, body-labels)`` pairs.
+
+    A back edge is an edge ``t -> h`` where ``h`` dominates ``t``.  Loops
+    sharing a header are merged.  Only reachable blocks participate.  The
+    returned list is sorted innermost first (smaller bodies first).
+    """
+    dom = compute_dominators(fn)
+    succ = fn.successors()
+    reachable = set(fn.rpo())
+    loops: dict[str, set[str]] = {}
+    preds = fn.predecessors()
+    for tail, outs in succ.items():
+        if tail not in reachable:
+            continue
+        for head in outs:
+            if head in dom.get(tail, set()):
+                body = {head, tail}
+                stack = [tail]
+                while stack:
+                    node = stack.pop()
+                    if node == head:
+                        continue
+                    for p in preds[node]:
+                        if p not in body and p in reachable:
+                            body.add(p)
+                            stack.append(p)
+                loops.setdefault(head, set()).update(body)
+    result = [(h, b) for h, b in loops.items()]
+    result.sort(key=lambda item: len(item[1]))
+    return result
+
+
+def remove_unreachable_blocks(fn: Function) -> int:
+    """Drop blocks unreachable from the entry; returns the removal count.
+
+    Safe with fallthrough layout: an unreachable block by definition has
+    no fallthrough predecessor, so splicing it out cannot redirect flow.
+    """
+    reachable = set(fn.rpo())
+    before = len(fn.blocks)
+    fn.blocks = [b for b in fn.blocks if b.label in reachable]
+    return before - len(fn.blocks)
+
+
+def loop_depths(fn: Function) -> dict[str, int]:
+    """Loop-nesting depth of each block (0 = not in any loop)."""
+    depths = {b.label: 0 for b in fn.blocks}
+    for _, body in natural_loops(fn):
+        for label in body:
+            depths[label] += 1
+    return depths

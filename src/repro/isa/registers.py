@@ -1,0 +1,150 @@
+"""Register model for the MultiTitan-like RISC target.
+
+The paper's compiler divides the register file into two disjoint parts:
+*expression temporaries* and *home locations* for global register allocation
+(Section 3).  We mirror that split.  The physical register file is laid out
+as follows (word-sized, unified integer/float, as in a simulator we store
+Python ints or floats directly):
+
+====================  =======================================================
+index                 role
+====================  =======================================================
+0                     hardwired zero (``zero``)
+1                     stack pointer (``sp``)
+2                     return address (``ra``)
+3                     scalar return value (``rv``)
+4 .. 9                argument registers (``a0`` .. ``a5``)
+10 .. 11              allocator scratch registers (spill reload targets)
+12 .. 12+T-1          expression temporaries (``t0`` .. )
+12+T .. 12+T+H-1      home registers for global register allocation
+====================  =======================================================
+
+``T`` (temporary count) and ``H`` (home count) are compile-time knobs; the
+paper uses 16 temporaries + 26 home registers for the optimization study and
+40 temporaries for the unrolling study.
+
+Before register allocation the compiler works with an unbounded supply of
+*virtual* registers.  Both kinds are represented by :class:`Reg`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Fixed physical register roles.
+ZERO_INDEX = 0
+SP_INDEX = 1
+RA_INDEX = 2
+RV_INDEX = 3
+FIRST_ARG_INDEX = 4
+NUM_ARG_REGS = 6
+SCRATCH0_INDEX = 10
+SCRATCH1_INDEX = 11
+FIRST_TEMP_INDEX = 12
+
+
+@dataclass(frozen=True, slots=True)
+class Reg:
+    """A register operand: physical (``virtual=False``) or virtual."""
+
+    index: int
+    virtual: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.name
+
+    @property
+    def name(self) -> str:
+        """Assembly-style name, e.g. ``r5`` or ``v12``."""
+        if self.virtual:
+            return f"v{self.index}"
+        special = {
+            ZERO_INDEX: "zero",
+            SP_INDEX: "sp",
+            RA_INDEX: "ra",
+            RV_INDEX: "rv",
+        }
+        if self.index in special:
+            return special[self.index]
+        return f"r{self.index}"
+
+
+# Canonical physical register singletons.
+ZERO = Reg(ZERO_INDEX)
+SP = Reg(SP_INDEX)
+RA = Reg(RA_INDEX)
+RV = Reg(RV_INDEX)
+SCRATCH0 = Reg(SCRATCH0_INDEX)
+SCRATCH1 = Reg(SCRATCH1_INDEX)
+ARG_REGS = tuple(Reg(FIRST_ARG_INDEX + i) for i in range(NUM_ARG_REGS))
+
+
+def virtual(index: int) -> Reg:
+    """Return the virtual register with the given index."""
+    return Reg(index, virtual=True)
+
+
+#: Flat-index offset for virtual registers, so simulators can index one
+#: register array with both physical and (not yet allocated) virtual
+#: registers without collisions.
+VIRT_OFFSET = 1 << 16
+
+
+def flat_index(reg: Reg) -> int:
+    """Collision-free integer index for physical *and* virtual registers."""
+    return reg.index + VIRT_OFFSET if reg.virtual else reg.index
+
+
+@dataclass(frozen=True, slots=True)
+class RegisterFileSpec:
+    """Sizing of the allocatable register file.
+
+    The paper treats the temporary/home split as an experimental knob:
+    "Our interface lets us specify how the compiler should divide the
+    registers between these two uses" (Section 3).
+    """
+
+    n_temp: int = 16
+    n_home: int = 26
+
+    def __post_init__(self) -> None:
+        if self.n_temp < 3:
+            raise ValueError("need at least 3 expression temporaries")
+        if self.n_home < 0:
+            raise ValueError("home register count must be non-negative")
+
+    @property
+    def temp_regs(self) -> tuple[Reg, ...]:
+        """Physical registers used as expression temporaries."""
+        return tuple(
+            Reg(FIRST_TEMP_INDEX + i) for i in range(self.n_temp)
+        )
+
+    @property
+    def home_regs(self) -> tuple[Reg, ...]:
+        """Physical registers used as variable home locations."""
+        base = FIRST_TEMP_INDEX + self.n_temp
+        return tuple(Reg(base + i) for i in range(self.n_home))
+
+    @property
+    def total_registers(self) -> int:
+        """Total size of the physical register file."""
+        return FIRST_TEMP_INDEX + self.n_temp + self.n_home
+
+
+class VirtualRegAllocator:
+    """Hands out fresh virtual registers during code generation."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def fresh(self) -> Reg:
+        """Return a previously unused virtual register."""
+        reg = Reg(self._next, virtual=True)
+        self._next += 1
+        return reg
+
+    @property
+    def count(self) -> int:
+        """Number of virtual registers handed out so far."""
+        return self._next

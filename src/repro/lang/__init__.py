@@ -1,0 +1,19 @@
+"""The Tin mini-language front end (stands in for Modula-2 / C)."""
+
+from . import ast
+from .codegen import finalize_frames, generate
+from .lexer import tokenize
+from .parser import parse
+from .semantics import ModuleInfo, ProcInfo, VarInfo, check
+
+__all__ = [
+    "ModuleInfo",
+    "ProcInfo",
+    "VarInfo",
+    "ast",
+    "check",
+    "finalize_frames",
+    "generate",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,198 @@
+"""Abstract syntax tree for the Tin language.
+
+Expression nodes carry a ``ty`` slot ("int" or "float") filled in by the
+semantic analyzer, which also inserts explicit :class:`Cast` nodes for the
+implicit int-to-float conversions of mixed arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+INT = "int"
+FLOAT = "float"
+
+
+# ---------------------------------------------------------------- expressions
+@dataclass(slots=True)
+class Expr:
+    """Base class for expressions."""
+
+    ty: str | None = field(default=None, init=False)
+    line: int = field(default=0, init=False)
+
+
+@dataclass(slots=True)
+class IntLit(Expr):
+    value: int
+
+
+@dataclass(slots=True)
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass(slots=True)
+class VarRef(Expr):
+    name: str
+
+
+@dataclass(slots=True)
+class Index(Expr):
+    """Array element reference ``name[index]``."""
+
+    name: str
+    index: "ExprT"
+
+
+@dataclass(slots=True)
+class Call(Expr):
+    """Procedure call ``name(args...)``; array arguments pass by reference."""
+
+    name: str
+    args: list["ExprT"]
+
+
+@dataclass(slots=True)
+class BinOp(Expr):
+    """Binary operation; ``op`` is the surface operator text (e.g. ``+``)."""
+
+    op: str
+    left: "ExprT"
+    right: "ExprT"
+
+
+@dataclass(slots=True)
+class UnOp(Expr):
+    """Unary operation: ``-`` (negate) or ``!`` (logical not)."""
+
+    op: str
+    operand: "ExprT"
+
+
+@dataclass(slots=True)
+class Cast(Expr):
+    """Explicit or compiler-inserted conversion ``int(e)`` / ``float(e)``."""
+
+    to: str
+    operand: "ExprT"
+
+
+ExprT = Union[
+    IntLit, FloatLit, VarRef, Index, Call, BinOp, UnOp, Cast
+]
+
+
+# ----------------------------------------------------------------- statements
+@dataclass(slots=True)
+class Stmt:
+    """Base class for statements."""
+
+    line: int = field(default=0, init=False)
+
+
+@dataclass(slots=True)
+class LocalDecl(Stmt):
+    """``var name, ... : type;`` inside a procedure body."""
+
+    names: list[str]
+    ty: str
+    size: int | None = None  # array length, or None for a scalar
+
+
+@dataclass(slots=True)
+class Assign(Stmt):
+    """``lvalue = expr;`` — lvalue is a VarRef or Index node."""
+
+    target: VarRef | Index
+    value: ExprT
+
+
+@dataclass(slots=True)
+class If(Stmt):
+    cond: ExprT
+    then: list["StmtT"]
+    els: list["StmtT"] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class While(Stmt):
+    cond: ExprT
+    body: list["StmtT"]
+
+
+@dataclass(slots=True)
+class For(Stmt):
+    """``for var = start to stop [by step] { body }`` — inclusive bounds,
+    constant non-zero step.  The loop-unrolling transformation targets
+    these nodes.
+    """
+
+    var: str
+    start: ExprT
+    stop: ExprT
+    step: int
+    body: list["StmtT"]
+
+
+@dataclass(slots=True)
+class Return(Stmt):
+    value: ExprT | None = None
+
+
+@dataclass(slots=True)
+class CallStmt(Stmt):
+    """An expression statement; only calls are allowed."""
+
+    call: Call
+
+
+StmtT = Union[LocalDecl, Assign, If, While, For, Return, CallStmt]
+
+
+# --------------------------------------------------------------- declarations
+@dataclass(slots=True)
+class Param:
+    """Procedure parameter.  ``size`` of -1 marks an unsized array
+    parameter (``int[]`` / ``float[]``), which passes by reference."""
+
+    name: str
+    ty: str
+    size: int | None = None
+
+
+@dataclass(slots=True)
+class Proc:
+    name: str
+    params: list[Param]
+    ret: str | None
+    body: list[StmtT]
+    line: int = 0
+
+
+@dataclass(slots=True)
+class GlobalDecl:
+    """``var name, ... : type;`` at module scope, optionally initialized."""
+
+    names: list[str]
+    ty: str
+    size: int | None = None
+    init: list[int | float] | None = None
+    line: int = 0
+
+
+@dataclass(slots=True)
+class ConstDecl:
+    name: str
+    value: int | float
+    line: int = 0
+
+
+@dataclass(slots=True)
+class Module:
+    """A parsed Tin compilation unit."""
+
+    consts: list[ConstDecl] = field(default_factory=list)
+    globals_: list[GlobalDecl] = field(default_factory=list)
+    procs: list[Proc] = field(default_factory=list)

@@ -1,0 +1,746 @@
+"""Code generation: checked Tin AST -> RISC IR with virtual registers.
+
+The generated code is deliberately *naive* — every variable access is a
+memory load or store, exactly like the unoptimized code the paper starts
+from ("A basic block in which all variables reside in memory must load
+those variables into registers before it can operate on them", Section 4.4).
+Optimization passes (``repro.opt``) then remove redundancy, promote
+variables into home registers, and schedule.
+
+Calling convention
+------------------
+* word-addressed memory; a word holds one int or one float;
+* arguments in ``a0..a5`` (scalars by value, arrays by base address);
+* scalar result in ``rv``; return address in ``ra``;
+* the frame is addressed upward from the adjusted ``sp``: slot 0 saves
+  ``ra``, then parameter homes, locals, local arrays, then (added later by
+  the register allocator) spill slots.  The prologue/epilogue stack-pointer
+  adjustments carry ``frame_slot`` markers -1/-2 and are patched once the
+  final frame size is known (:func:`finalize_frames`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CodegenError
+from ..isa import build
+from ..isa.instruction import Instruction, MemRef
+from ..isa.opcodes import COMPARE_IMM_FORM, Opcode
+from ..isa.program import BasicBlock, Function, GlobalVar, Program, remove_unreachable_blocks
+from ..isa.registers import ARG_REGS, RA, RV, SP, ZERO, Reg, VirtualRegAllocator
+from . import ast
+from .semantics import ModuleInfo, ProcInfo, VarInfo, check
+
+#: First word address of global data (low words are reserved/unmapped).
+DATA_BASE = 16
+
+#: Marker values of ``frame_slot`` on the prologue / epilogue SP adjusts.
+PROLOGUE_MARK = -1
+EPILOGUE_MARK = -2
+
+_INT_BINOPS = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "*": Opcode.MUL,
+    "/": Opcode.DIV,
+    "%": Opcode.MOD,
+    "&": Opcode.AND,
+    "|": Opcode.OR,
+    "^": Opcode.XOR,
+    "<<": Opcode.SLL,
+    ">>": Opcode.SRA,
+    "==": Opcode.SEQ,
+    "!=": Opcode.SNE,
+    "<": Opcode.SLT,
+    "<=": Opcode.SLE,
+    ">": Opcode.SGT,
+    ">=": Opcode.SGE,
+}
+
+_INT_IMM_BINOPS = {
+    "+": Opcode.ADDI,
+    "&": Opcode.ANDI,
+    "|": Opcode.ORI,
+    "^": Opcode.XORI,
+    "<<": Opcode.SLLI,
+    ">>": Opcode.SRAI,
+}
+
+_FLOAT_BINOPS = {
+    "+": Opcode.FADD,
+    "-": Opcode.FSUB,
+    "*": Opcode.FMUL,
+    "/": Opcode.FDIV,
+}
+
+#: float comparison -> (opcode, swap operands?)
+_FLOAT_COMPARES = {
+    "==": (Opcode.FEQ, False),
+    "!=": (Opcode.FNE, False),
+    "<": (Opcode.FLT, False),
+    "<=": (Opcode.FLE, False),
+    ">": (Opcode.FLT, True),
+    ">=": (Opcode.FLE, True),
+}
+
+
+@dataclass(slots=True)
+class _Storage:
+    """Where a variable lives before register promotion."""
+
+    var: VarInfo
+    global_addr: int | None = None   # word address (globals)
+    frame_slot: int | None = None    # slot index (params/locals)
+
+
+def generate(module: ast.Module, info: ModuleInfo | None = None) -> Program:
+    """Lower a checked module to a :class:`Program`.
+
+    If ``info`` is None the module is checked first.  Adds a ``_start``
+    stub that calls ``main`` and halts; ``main`` must return ``int``.
+    """
+    if info is None:
+        info = check(module)
+    main = info.procs.get("main")
+    if main is None or main.ret != ast.INT or main.params:
+        raise CodegenError("program needs a 'proc main(): int'")
+    program = Program(entry="_start")
+
+    address = DATA_BASE
+    for g in info.globals_.values():
+        size = g.size if g.is_array else 1
+        initial: list[int | float] | None = None
+        if g.init is not None:
+            fill = g.init
+            if len(fill) == 1 and size > 1:
+                initial = list(fill) * size
+            else:
+                initial = list(fill)
+        program.globals_[g.name] = GlobalVar(
+            g.name, address, size, g.ty == ast.FLOAT, initial
+        )
+        address += size
+    program.data_size = address
+
+    start = Function("_start")
+    start.blocks.append(
+        BasicBlock("_start.entry", [build.call("main"), build.halt()])
+    )
+    program.functions["_start"] = start
+
+    for proc in module.procs:
+        gen = _FuncGen(proc, info, program)
+        program.functions[proc.name] = gen.run()
+    program.validate()
+    return program
+
+
+class _FuncGen:
+    """Generates one function."""
+
+    def __init__(self, proc: ast.Proc, info: ModuleInfo, program: Program):
+        self.proc = proc
+        self.info = info
+        self.pinfo: ProcInfo = info.procs[proc.name]
+        self.program = program
+        self.vregs = VirtualRegAllocator()
+        self.blocks: list[BasicBlock] = []
+        self.cur: BasicBlock | None = None
+        self._labels = 0
+        self._slots = 1  # slot 0 saves ra
+        self.storage: dict[str, _Storage] = {}
+        self.exit_label = f"{proc.name}.exit"
+
+    # -------------------------------------------------------------- plumbing
+    def fresh(self) -> Reg:
+        return self.vregs.fresh()
+
+    def label(self, hint: str) -> str:
+        self._labels += 1
+        return f"{self.proc.name}.{hint}{self._labels}"
+
+    def emit(self, ins: Instruction) -> None:
+        assert self.cur is not None
+        self.cur.instrs.append(ins)
+
+    def start_block(self, label: str) -> None:
+        block = BasicBlock(label)
+        self.blocks.append(block)
+        self.cur = block
+
+    # --------------------------------------------------------------- storage
+    def _bind_storage(self) -> None:
+        for p in self.pinfo.params:
+            self.storage[p.name] = _Storage(p, frame_slot=self._slots)
+            self._slots += 1
+        for v in self.pinfo.locals_.values():
+            size = v.size if v.is_array else 1
+            self.storage[v.name] = _Storage(v, frame_slot=self._slots)
+            self._slots += size
+
+    def _lookup(self, name: str) -> _Storage:
+        st = self.storage.get(name)
+        if st is not None:
+            return st
+        g = self.program.globals_.get(name)
+        if g is None:
+            raise CodegenError(f"{self.proc.name}: unbound variable {name!r}")
+        var = self.info.globals_[name]
+        return _Storage(var, global_addr=g.address)
+
+    def _scalar_memref(self, st: _Storage) -> MemRef:
+        if st.global_addr is not None:
+            return MemRef(obj=f"g:{st.var.name}", offset=0)
+        return MemRef(obj=f"s:{self.proc.name}:{st.var.name}", offset=0)
+
+    def _load_scalar(self, st: _Storage) -> Reg:
+        v = self.fresh()
+        if st.global_addr is not None:
+            self.emit(build.lw(v, ZERO, st.global_addr, mem=self._scalar_memref(st)))
+        else:
+            assert st.frame_slot is not None
+            self.emit(
+                build.lw(
+                    v, SP, st.frame_slot,
+                    mem=self._scalar_memref(st), frame_slot=st.frame_slot,
+                )
+            )
+        return v
+
+    def _store_scalar(self, st: _Storage, value: Reg) -> None:
+        if st.global_addr is not None:
+            self.emit(
+                build.sw(value, ZERO, st.global_addr, mem=self._scalar_memref(st))
+            )
+        else:
+            assert st.frame_slot is not None
+            self.emit(
+                build.sw(
+                    value, SP, st.frame_slot,
+                    mem=self._scalar_memref(st), frame_slot=st.frame_slot,
+                )
+            )
+
+    def _array_base(self, st: _Storage) -> Reg:
+        """Base address of an array (global, local, or by-ref parameter)."""
+        v = self.fresh()
+        if st.var.by_ref:
+            assert st.frame_slot is not None
+            self.emit(
+                build.lw(
+                    v, SP, st.frame_slot,
+                    mem=self._scalar_memref(st), frame_slot=st.frame_slot,
+                )
+            )
+        elif st.global_addr is not None:
+            self.emit(build.li(v, st.global_addr))
+        else:
+            assert st.frame_slot is not None
+            self.emit(build.alui(Opcode.ADDI, v, SP, st.frame_slot))
+        return v
+
+    def _array_memref(
+        self,
+        st: _Storage,
+        offset: int | None,
+        affine: tuple[str, int] | None,
+        affine_vars: tuple[str, ...] = (),
+    ) -> MemRef:
+        if st.var.by_ref:
+            obj = f"p:{self.proc.name}:{st.var.name}"
+            may_alias = True
+        elif st.global_addr is not None:
+            obj = f"g:{st.var.name}"
+            may_alias = False
+        else:
+            obj = f"s:{self.proc.name}:{st.var.name}"
+            may_alias = False
+        return MemRef(
+            obj=obj, offset=offset, affine=affine, affine_vars=affine_vars,
+            may_alias_all=may_alias, is_array=True,
+        )
+
+    def _canonical_core(
+        self, expr: ast.ExprT, vars_out: set[str]
+    ) -> str | None:
+        """Canonical key of a pure integer index expression.
+
+        Returns ``None`` when the expression is not a pure function of
+        scalar variables and constants (calls, array loads, ...), in which
+        case no affine disambiguation is possible.  Collects the storage
+        objects of the variables involved into ``vars_out``.
+        """
+        if isinstance(expr, ast.IntLit):
+            return f"c{expr.value}"
+        if isinstance(expr, ast.VarRef):
+            obj = self._scalar_memref(self._lookup(expr.name)).obj
+            vars_out.add(obj)
+            return f"({obj})"
+        if isinstance(expr, ast.BinOp) and expr.op in ("+", "-", "*", "<<"):
+            left = self._canonical_core(expr.left, vars_out)
+            right = self._canonical_core(expr.right, vars_out)
+            if left is None or right is None:
+                return None
+            return f"({expr.op} {left} {right})"
+        if isinstance(expr, ast.UnOp) and expr.op == "-":
+            inner = self._canonical_core(expr.operand, vars_out)
+            return None if inner is None else f"(neg {inner})"
+        return None
+
+    def _flatten_sum(
+        self, expr: ast.ExprT, sign: int,
+        terms: list[tuple[int, ast.ExprT]], const: list[int],
+    ) -> None:
+        """Flatten an additive index expression into signed terms + const."""
+        if isinstance(expr, ast.IntLit):
+            const[0] += sign * expr.value
+        elif isinstance(expr, ast.BinOp) and expr.op == "+":
+            self._flatten_sum(expr.left, sign, terms, const)
+            self._flatten_sum(expr.right, sign, terms, const)
+        elif isinstance(expr, ast.BinOp) and expr.op == "-":
+            self._flatten_sum(expr.left, sign, terms, const)
+            self._flatten_sum(expr.right, -sign, terms, const)
+        elif isinstance(expr, ast.UnOp) and expr.op == "-":
+            self._flatten_sum(expr.operand, -sign, terms, const)
+        else:
+            terms.append((sign, expr))
+
+    def _split_index(
+        self, index: ast.ExprT
+    ) -> tuple[ast.ExprT | None, int, tuple[str, int] | None, tuple[str, ...]]:
+        """Split an index expression into (core, delta, affine tag, vars).
+
+        The additive tree is flattened so ``A[off + (i + 3)]`` becomes
+        core ``off + i``, delta 3; the delta lands in the load/store
+        displacement and the rebuilt core is *canonically ordered*, so all
+        unrolled copies share one address computation after CSE.  The
+        affine tag ``(core-key, delta)`` feeds the scheduler's memory
+        disambiguation: same object + same core key + different deltas
+        cannot collide, provided none of the core's variables is redefined
+        in between.
+        """
+        terms: list[tuple[int, ast.ExprT]] = []
+        const = [0]
+        self._flatten_sum(index, 1, terms, const)
+        delta = const[0]
+        if not terms:
+            return None, delta, None, ()
+
+        # Canonically order the terms so syntactically different copies
+        # rebuild the identical core expression (and CSE shares it).
+        vars_out: set[str] = set()
+        keyed: list[tuple[str | None, int, ast.ExprT]] = []
+        all_pure = True
+        for sign, term in terms:
+            key = self._canonical_core(term, vars_out)
+            if key is None:
+                all_pure = False
+            keyed.append((key, sign, term))
+        if all_pure:
+            keyed.sort(key=lambda item: (item[1], item[0]), reverse=True)
+
+        core: ast.ExprT | None = None
+        for key, sign, term in keyed:
+            piece = term if sign > 0 else ast.UnOp("-", term)
+            if sign < 0:
+                piece.ty = term.ty
+            if core is None:
+                core = piece
+            else:
+                merged = ast.BinOp("+", core, piece)
+                merged.ty = ast.INT
+                core = merged
+        assert core is not None
+
+        affine: tuple[str, int] | None = None
+        affine_vars: tuple[str, ...] = ()
+        if all_pure:
+            core_key = "+".join(
+                f"{'-' if sign < 0 else ''}{key}" for key, sign, _ in keyed
+            )
+            affine = (core_key, delta)
+            affine_vars = tuple(sorted(vars_out))
+        return core, delta, affine, affine_vars
+
+    def _element_address(
+        self, name: str, index: ast.ExprT
+    ) -> tuple[Reg, int, MemRef]:
+        """Compute (base register, displacement, memref) for ``name[index]``."""
+        st = self._lookup(name)
+        core, delta, affine, affine_vars = self._split_index(index)
+        if core is None:
+            # constant index: absolute or frame-relative displacement
+            if st.var.by_ref:
+                base = self._array_base(st)
+                return base, delta, self._array_memref(st, delta, None)
+            if st.global_addr is not None:
+                return (
+                    ZERO,
+                    st.global_addr + delta,
+                    self._array_memref(st, delta, None),
+                )
+            assert st.frame_slot is not None
+            return SP, st.frame_slot + delta, self._array_memref(st, delta, None)
+        vi = self.gen_expr(core)
+        base = self._array_base(st)
+        addr = self.fresh()
+        self.emit(build.alu(Opcode.ADD, addr, base, vi))
+        return addr, delta, self._array_memref(st, None, affine, affine_vars)
+
+    # ------------------------------------------------------------ entry point
+    def run(self) -> Function:
+        self._bind_storage()
+        self.start_block(f"{self.proc.name}.entry")
+        prologue = build.alui(Opcode.ADDI, SP, SP, 0)
+        prologue.frame_slot = PROLOGUE_MARK
+        prologue.comment = "prologue"
+        self.emit(prologue)
+        ra_mem = MemRef(obj=f"s:{self.proc.name}:__ra", offset=0)
+        self.emit(build.sw(RA, SP, 0, mem=ra_mem, frame_slot=0))
+        for i, p in enumerate(self.pinfo.params):
+            if i >= len(ARG_REGS):
+                raise CodegenError(
+                    f"{self.proc.name}: more than {len(ARG_REGS)} parameters"
+                )
+            self._store_scalar(self.storage[p.name], ARG_REGS[i])
+
+        self.gen_stmts(self.proc.body)
+
+        # Fall off the end of a void procedure -> return.
+        self.start_block(self.exit_label)
+        self.emit(build.lw(RA, SP, 0, mem=ra_mem, frame_slot=0))
+        epilogue = build.alui(Opcode.ADDI, SP, SP, 0)
+        epilogue.frame_slot = EPILOGUE_MARK
+        epilogue.comment = "epilogue"
+        self.emit(epilogue)
+        self.emit(build.ret())
+
+        fn = Function(
+            self.proc.name,
+            self.blocks,
+            frame_slots=self._slots,
+            params=tuple(p.name for p in self.pinfo.params),
+        )
+        remove_unreachable_blocks(fn)
+        finalize_frames(fn)
+        return fn
+
+    # -------------------------------------------------------------- statements
+    def gen_stmts(self, stmts: list[ast.StmtT]) -> None:
+        for stmt in stmts:
+            self.gen_stmt(stmt)
+
+    def gen_stmt(self, stmt: ast.StmtT) -> None:
+        if isinstance(stmt, ast.LocalDecl):
+            return
+        if isinstance(stmt, ast.Assign):
+            self._gen_assign(stmt)
+        elif isinstance(stmt, ast.If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                v = self.gen_expr(stmt.value)
+                self.emit(build.mov(RV, v))
+            self.emit(build.jump(self.exit_label))
+            self.start_block(self.label("dead"))
+        elif isinstance(stmt, ast.CallStmt):
+            self._gen_call(stmt.call)
+        else:  # pragma: no cover
+            raise CodegenError(f"unhandled statement {stmt!r}")
+
+    def _gen_assign(self, stmt: ast.Assign) -> None:
+        value = self.gen_expr(stmt.value)
+        if isinstance(stmt.target, ast.Index):
+            base, disp, mem = self._element_address(
+                stmt.target.name, stmt.target.index
+            )
+            frame = disp if base is SP else None
+            self.emit(build.sw(value, base, disp, mem=mem, frame_slot=frame))
+        else:
+            self._store_scalar(self._lookup(stmt.target.name), value)
+
+    def _gen_if(self, stmt: ast.If) -> None:
+        end = self.label("endif")
+        els = self.label("else") if stmt.els else end
+        self.gen_cond_false(stmt.cond, els)
+        self.start_block(self.label("then"))
+        self.gen_stmts(stmt.then)
+        if stmt.els:
+            self.emit(build.jump(end))
+            self.start_block(els)
+            self.gen_stmts(stmt.els)
+        self.start_block(end)
+
+    def _gen_while(self, stmt: ast.While) -> None:
+        head = self.label("while")
+        exit_ = self.label("wend")
+        self.start_block(head)
+        self.gen_cond_false(stmt.cond, exit_)
+        self.start_block(self.label("wbody"))
+        self.gen_stmts(stmt.body)
+        self.emit(build.jump(head))
+        self.start_block(exit_)
+
+    def _gen_for(self, stmt: ast.For) -> None:
+        st = self._lookup(stmt.var)
+        start = self.gen_expr(stmt.start)
+        self._store_scalar(st, start)
+        limit_imm: int | None = None
+        limit_reg: Reg | None = None
+        if isinstance(stmt.stop, ast.IntLit):
+            limit_imm = stmt.stop.value
+        else:
+            limit_reg = self.gen_expr(stmt.stop)
+        head = self.label("for")
+        exit_ = self.label("fend")
+        self.start_block(head)
+        i = self._load_scalar(st)
+        cond = self.fresh()
+        cmp_op = Opcode.SLE if stmt.step > 0 else Opcode.SGE
+        if limit_imm is not None:
+            self.emit(
+                build.alui(COMPARE_IMM_FORM[cmp_op], cond, i, limit_imm)
+            )
+        else:
+            assert limit_reg is not None
+            self.emit(build.alu(cmp_op, cond, i, limit_reg))
+        self.emit(build.beqz(cond, exit_))
+        self.start_block(self.label("fbody"))
+        self.gen_stmts(stmt.body)
+        i2 = self._load_scalar(st)
+        inc = self.fresh()
+        self.emit(build.alui(Opcode.ADDI, inc, i2, stmt.step))
+        self._store_scalar(st, inc)
+        self.emit(build.jump(head))
+        self.start_block(exit_)
+
+    # ------------------------------------------------------------- conditions
+    def gen_cond_false(self, cond: ast.ExprT, false_label: str) -> None:
+        """Emit code that branches to ``false_label`` when ``cond`` is false
+        and falls through otherwise."""
+        if isinstance(cond, ast.BinOp) and cond.op == "&&":
+            self.gen_cond_false(cond.left, false_label)
+            self.start_block(self.label("and"))
+            self.gen_cond_false(cond.right, false_label)
+            return
+        if isinstance(cond, ast.BinOp) and cond.op == "||":
+            true_label = self.label("or")
+            self.gen_cond_true(cond.left, true_label)
+            self.start_block(self.label("orr"))
+            self.gen_cond_false(cond.right, false_label)
+            self.start_block(true_label)
+            return
+        if isinstance(cond, ast.UnOp) and cond.op == "!":
+            self.gen_cond_true(cond.operand, false_label)
+            self.start_block(self.label("not"))
+            return
+        v = self.gen_expr(cond)
+        self.emit(build.beqz(v, false_label))
+
+    def gen_cond_true(self, cond: ast.ExprT, true_label: str) -> None:
+        """Emit code that branches to ``true_label`` when ``cond`` is true."""
+        if isinstance(cond, ast.BinOp) and cond.op == "||":
+            self.gen_cond_true(cond.left, true_label)
+            self.start_block(self.label("or"))
+            self.gen_cond_true(cond.right, true_label)
+            return
+        if isinstance(cond, ast.BinOp) and cond.op == "&&":
+            false_label = self.label("nand")
+            self.gen_cond_false(cond.left, false_label)
+            self.start_block(self.label("andt"))
+            self.gen_cond_true(cond.right, true_label)
+            self.start_block(false_label)
+            return
+        if isinstance(cond, ast.UnOp) and cond.op == "!":
+            self.gen_cond_false(cond.operand, true_label)
+            self.start_block(self.label("nott"))
+            return
+        v = self.gen_expr(cond)
+        self.emit(build.bnez(v, true_label))
+
+    # ------------------------------------------------------------ expressions
+    def gen_expr(self, expr: ast.ExprT) -> Reg:
+        if isinstance(expr, ast.IntLit):
+            v = self.fresh()
+            self.emit(build.li(v, expr.value))
+            return v
+        if isinstance(expr, ast.FloatLit):
+            v = self.fresh()
+            self.emit(build.lif(v, expr.value))
+            return v
+        if isinstance(expr, ast.VarRef):
+            return self._load_scalar(self._lookup(expr.name))
+        if isinstance(expr, ast.Index):
+            base, disp, mem = self._element_address(expr.name, expr.index)
+            v = self.fresh()
+            frame = disp if base is SP else None
+            self.emit(build.lw(v, base, disp, mem=mem, frame_slot=frame))
+            return v
+        if isinstance(expr, ast.Call):
+            result = self._gen_call(expr)
+            if result is None:
+                raise CodegenError(
+                    f"void call to {expr.name!r} used as a value"
+                )
+            return result
+        if isinstance(expr, ast.Cast):
+            inner = self.gen_expr(expr.operand)
+            if expr.operand.ty == expr.to:
+                return inner
+            v = self.fresh()
+            op = Opcode.CVTIF if expr.to == ast.FLOAT else Opcode.CVTFI
+            self.emit(build.unary(op, v, inner))
+            return v
+        if isinstance(expr, ast.UnOp):
+            return self._gen_unop(expr)
+        if isinstance(expr, ast.BinOp):
+            return self._gen_binop(expr)
+        raise CodegenError(f"unhandled expression {expr!r}")
+
+    def _gen_unop(self, expr: ast.UnOp) -> Reg:
+        if expr.op == "-" and isinstance(expr.operand, ast.IntLit):
+            v = self.fresh()
+            self.emit(build.li(v, -expr.operand.value))
+            return v
+        if expr.op == "-" and isinstance(expr.operand, ast.FloatLit):
+            v = self.fresh()
+            self.emit(build.lif(v, -expr.operand.value))
+            return v
+        inner = self.gen_expr(expr.operand)
+        v = self.fresh()
+        if expr.op == "!":
+            self.emit(build.alui(Opcode.SEQI, v, inner, 0))
+        elif expr.ty == ast.FLOAT:
+            self.emit(build.unary(Opcode.FNEG, v, inner))
+        else:
+            self.emit(build.alu(Opcode.SUB, v, ZERO, inner))
+        return v
+
+    def _gen_binop(self, expr: ast.BinOp) -> Reg:
+        if expr.op in ("&&", "||"):
+            return self._gen_shortcircuit(expr)
+        left_ty = expr.left.ty
+        if left_ty == ast.FLOAT:
+            if expr.op in _FLOAT_BINOPS:
+                a = self.gen_expr(expr.left)
+                b = self.gen_expr(expr.right)
+                v = self.fresh()
+                self.emit(build.alu(_FLOAT_BINOPS[expr.op], v, a, b))
+                return v
+            op, swap = _FLOAT_COMPARES[expr.op]
+            a = self.gen_expr(expr.left)
+            b = self.gen_expr(expr.right)
+            if swap:
+                a, b = b, a
+            v = self.fresh()
+            self.emit(build.alu(op, v, a, b))
+            return v
+        # integer operations, with immediate forms where profitable
+        if isinstance(expr.right, ast.IntLit):
+            imm = expr.right.value
+            if expr.op in _INT_IMM_BINOPS:
+                a = self.gen_expr(expr.left)
+                v = self.fresh()
+                self.emit(build.alui(_INT_IMM_BINOPS[expr.op], v, a, imm))
+                return v
+            if expr.op == "-":
+                a = self.gen_expr(expr.left)
+                v = self.fresh()
+                self.emit(build.alui(Opcode.ADDI, v, a, -imm))
+                return v
+            if expr.op in ("==", "!=", "<", "<=", ">", ">="):
+                a = self.gen_expr(expr.left)
+                v = self.fresh()
+                base_op = _INT_BINOPS[expr.op]
+                self.emit(build.alui(COMPARE_IMM_FORM[base_op], v, a, imm))
+                return v
+        if (
+            isinstance(expr.left, ast.IntLit)
+            and expr.op in ("+", "&", "|", "^")
+        ):
+            b = self.gen_expr(expr.right)
+            v = self.fresh()
+            self.emit(
+                build.alui(_INT_IMM_BINOPS[expr.op], v, b, expr.left.value)
+            )
+            return v
+        a = self.gen_expr(expr.left)
+        b = self.gen_expr(expr.right)
+        v = self.fresh()
+        self.emit(build.alu(_INT_BINOPS[expr.op], v, a, b))
+        return v
+
+    def _gen_shortcircuit(self, expr: ast.BinOp) -> Reg:
+        """Short-circuit ``&&`` / ``||`` producing a 0/1 value."""
+        result = self.fresh()
+        done = self.label("scend")
+        if expr.op == "&&":
+            fail = self.label("scf")
+            self.gen_cond_false(expr.left, fail)
+            self.start_block(self.label("sc"))
+            self.gen_cond_false(expr.right, fail)
+            self.start_block(self.label("sct"))
+            self.emit(build.li(result, 1))
+            self.emit(build.jump(done))
+            self.start_block(fail)
+            self.emit(build.li(result, 0))
+        else:
+            ok = self.label("sct")
+            self.gen_cond_true(expr.left, ok)
+            self.start_block(self.label("sc"))
+            self.gen_cond_true(expr.right, ok)
+            self.start_block(self.label("scf"))
+            self.emit(build.li(result, 0))
+            self.emit(build.jump(done))
+            self.start_block(ok)
+            self.emit(build.li(result, 1))
+        self.start_block(done)
+        return result
+
+    def _gen_call(self, call: ast.Call) -> Reg | None:
+        proc = self.info.procs[call.name]
+        if len(call.args) > len(ARG_REGS):
+            raise CodegenError(
+                f"{self.proc.name}: call to {call.name!r} passes too many args"
+            )
+        values: list[tuple[Reg, MemRef | None]] = []
+        for arg, param in zip(call.args, proc.params):
+            if param.is_array:
+                assert isinstance(arg, ast.VarRef)
+                st = self._lookup(arg.name)
+                # Annotate the argument move with the array object so the
+                # interprocedural alias pass can bind the callee's
+                # parameter accesses to it.
+                values.append((self._array_base(st), self._array_memref(st, None, None)))
+            else:
+                values.append((self.gen_expr(arg), None))
+        for i, (v, annotation) in enumerate(values):
+            ins = build.mov(ARG_REGS[i], v)
+            ins.mem = annotation
+            self.emit(ins)
+        self.emit(build.call(call.name))
+        if proc.ret is None:
+            return None
+        out = self.fresh()
+        self.emit(build.mov(out, RV))
+        return out
+
+
+def finalize_frames(fn: Function) -> None:
+    """Patch the prologue/epilogue SP adjustments to the final frame size.
+
+    Must be re-run whenever a pass (register allocation) grows
+    ``fn.frame_slots``.
+    """
+    size = fn.frame_slots
+    for block in fn.blocks:
+        for ins in block.instrs:
+            if ins.op is Opcode.ADDI and ins.frame_slot == PROLOGUE_MARK:
+                ins.imm = -size
+            elif ins.op is Opcode.ADDI and ins.frame_slot == EPILOGUE_MARK:
+                ins.imm = size

@@ -1,0 +1,89 @@
+"""Lexer for the Tin language.
+
+Tin is the small imperative language the benchmark suite is written in; it
+stands in for the Modula-2 / C sources of the paper's benchmarks.  Comments
+run from ``#`` to end of line.
+"""
+
+from __future__ import annotations
+
+from ..errors import TinSyntaxError
+from .tokens import KEYWORDS, SYMBOLS, Token, TokKind
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`TinSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(msg: str) -> TinSyntaxError:
+        return TinSyntaxError(msg, line, col)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        start_col = col
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            while j < n and source[j].isdigit():
+                j += 1
+            if j < n and source[j] == ".":
+                is_float = True
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            if j < n and source[j] in "eE":
+                k = j + 1
+                if k < n and source[k] in "+-":
+                    k += 1
+                if k < n and source[k].isdigit():
+                    is_float = True
+                    j = k
+                    while j < n and source[j].isdigit():
+                        j += 1
+            text = source[i:j]
+            try:
+                value: int | float = float(text) if is_float else int(text)
+            except ValueError:
+                raise error(f"bad numeric literal {text!r}") from None
+            kind = TokKind.FLOAT if is_float else TokKind.INT
+            tokens.append(Token(kind, text, value, line, start_col))
+            col += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = TokKind.KEYWORD if text in KEYWORDS else TokKind.IDENT
+            tokens.append(Token(kind, text, None, line, start_col))
+            col += j - i
+            i = j
+            continue
+        for sym in SYMBOLS:
+            if source.startswith(sym, i):
+                tokens.append(Token(TokKind.SYMBOL, sym, None, line, start_col))
+                i += len(sym)
+                col += len(sym)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+    tokens.append(Token(TokKind.EOF, "", None, line, col))
+    return tokens

@@ -1,0 +1,393 @@
+"""Recursive-descent parser for the Tin language.
+
+Grammar sketch (C-flavoured surface syntax, Modula-2-sized semantics)::
+
+    module    := { constdecl | globaldecl | procdecl }
+    constdecl := "const" IDENT "=" ["-"] literal ";"
+    globaldecl:= "var" IDENT {"," IDENT} ":" type ["=" init] ";"
+    type      := ("int" | "float") [ "[" INT "]" ]
+    procdecl  := "proc" IDENT "(" [param {"," param}] ")" [":" scalартype] block
+    param     := IDENT ":" ("int" | "float") [ "[" "]" ]
+    block     := "{" { stmt } "}"
+    stmt      := localdecl | assign | if | while | for | return | callstmt
+    for       := "for" IDENT "=" expr "to" expr ["by" ["-"] INT] block
+
+Expression precedence (loosest to tightest): ``||``, ``&&``,
+``| ^ &``, ``== !=``, ``< <= > >=``, ``<< >>``, ``+ -``, ``* / %``,
+unary ``- !``, primary.  ``int(e)`` and ``float(e)`` are conversion
+intrinsics.
+"""
+
+from __future__ import annotations
+
+from ..errors import TinSyntaxError
+from . import ast
+from .lexer import tokenize
+from .tokens import Token, TokKind
+
+
+class Parser:
+    """Single-use recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: list[Token]):
+        self._toks = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------- utilities
+    @property
+    def _cur(self) -> Token:
+        return self._toks[self._pos]
+
+    def _error(self, msg: str) -> TinSyntaxError:
+        tok = self._cur
+        return TinSyntaxError(
+            f"{msg} (found {tok.text or tok.kind.value!r})", tok.line, tok.column
+        )
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        if tok.kind is not TokKind.EOF:
+            self._pos += 1
+        return tok
+
+    def _check(self, text: str) -> bool:
+        tok = self._cur
+        return tok.kind in (TokKind.SYMBOL, TokKind.KEYWORD) and tok.text == text
+
+    def _accept(self, text: str) -> bool:
+        if self._check(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, text: str) -> Token:
+        if not self._check(text):
+            raise self._error(f"expected {text!r}")
+        return self._advance()
+
+    def _ident(self) -> str:
+        if self._cur.kind is not TokKind.IDENT:
+            raise self._error("expected identifier")
+        return self._advance().text
+
+    # ------------------------------------------------------------ top level
+    def parse_module(self) -> ast.Module:
+        """Parse a whole compilation unit."""
+        module = ast.Module()
+        while self._cur.kind is not TokKind.EOF:
+            if self._check("const"):
+                module.consts.append(self._const_decl())
+            elif self._check("var"):
+                module.globals_.append(self._global_decl())
+            elif self._check("proc"):
+                module.procs.append(self._proc_decl())
+            else:
+                raise self._error("expected 'const', 'var' or 'proc'")
+        return module
+
+    def _literal(self) -> int | float:
+        neg = self._accept("-")
+        tok = self._cur
+        if tok.kind not in (TokKind.INT, TokKind.FLOAT):
+            raise self._error("expected numeric literal")
+        self._advance()
+        value = tok.value
+        assert value is not None
+        return -value if neg else value
+
+    def _const_decl(self) -> ast.ConstDecl:
+        line = self._cur.line
+        self._expect("const")
+        name = self._ident()
+        self._expect("=")
+        value = self._literal()
+        self._expect(";")
+        return ast.ConstDecl(name, value, line=line)
+
+    def _type(self) -> tuple[str, int | None]:
+        if self._accept("int"):
+            ty = ast.INT
+        elif self._accept("float"):
+            ty = ast.FLOAT
+        else:
+            raise self._error("expected type")
+        size: int | None = None
+        if self._accept("["):
+            tok = self._cur
+            if tok.kind is not TokKind.INT:
+                raise self._error("expected array size")
+            self._advance()
+            size = int(tok.value)  # type: ignore[arg-type]
+            if size <= 0:
+                raise self._error("array size must be positive")
+            self._expect("]")
+        return ty, size
+
+    def _global_decl(self) -> ast.GlobalDecl:
+        line = self._cur.line
+        self._expect("var")
+        names = [self._ident()]
+        while self._accept(","):
+            names.append(self._ident())
+        self._expect(":")
+        ty, size = self._type()
+        init: list[int | float] | None = None
+        if self._accept("="):
+            if self._accept("{"):
+                init = [self._literal()]
+                while self._accept(","):
+                    init.append(self._literal())
+                self._expect("}")
+            else:
+                init = [self._literal()]
+        self._expect(";")
+        return ast.GlobalDecl(names, ty, size, init, line=line)
+
+    def _proc_decl(self) -> ast.Proc:
+        line = self._cur.line
+        self._expect("proc")
+        name = self._ident()
+        self._expect("(")
+        params: list[ast.Param] = []
+        if not self._check(")"):
+            params.append(self._param())
+            while self._accept(","):
+                params.append(self._param())
+        self._expect(")")
+        ret: str | None = None
+        if self._accept(":"):
+            if self._accept("int"):
+                ret = ast.INT
+            elif self._accept("float"):
+                ret = ast.FLOAT
+            else:
+                raise self._error("expected return type")
+        body = self._block()
+        return ast.Proc(name, params, ret, body, line=line)
+
+    def _param(self) -> ast.Param:
+        name = self._ident()
+        self._expect(":")
+        if self._accept("int"):
+            ty = ast.INT
+        elif self._accept("float"):
+            ty = ast.FLOAT
+        else:
+            raise self._error("expected parameter type")
+        size: int | None = None
+        if self._accept("["):
+            self._expect("]")
+            size = -1  # unsized array parameter, passed by reference
+        return ast.Param(name, ty, size)
+
+    # ------------------------------------------------------------ statements
+    def _block(self) -> list[ast.StmtT]:
+        self._expect("{")
+        stmts: list[ast.StmtT] = []
+        while not self._check("}"):
+            stmts.append(self._stmt())
+        self._expect("}")
+        return stmts
+
+    def _stmt(self) -> ast.StmtT:
+        line = self._cur.line
+        if self._check("var"):
+            return self._local_decl()
+        if self._check("if"):
+            return self._if_stmt()
+        if self._check("while"):
+            self._advance()
+            self._expect("(")
+            cond = self._expr()
+            self._expect(")")
+            body = self._block()
+            node = ast.While(cond, body)
+            node.line = line
+            return node
+        if self._check("for"):
+            return self._for_stmt()
+        if self._check("return"):
+            self._advance()
+            value = None if self._check(";") else self._expr()
+            self._expect(";")
+            node = ast.Return(value)
+            node.line = line
+            return node
+        # assignment or call statement
+        if self._cur.kind is not TokKind.IDENT:
+            raise self._error("expected statement")
+        name = self._ident()
+        if self._check("("):
+            call = self._call_tail(name, line)
+            self._expect(";")
+            stmt = ast.CallStmt(call)
+            stmt.line = line
+            return stmt
+        target: ast.VarRef | ast.Index
+        if self._accept("["):
+            index = self._expr()
+            self._expect("]")
+            target = ast.Index(name, index)
+        else:
+            target = ast.VarRef(name)
+        target.line = line
+        self._expect("=")
+        value = self._expr()
+        self._expect(";")
+        node = ast.Assign(target, value)
+        node.line = line
+        return node
+
+    def _local_decl(self) -> ast.LocalDecl:
+        line = self._cur.line
+        self._expect("var")
+        names = [self._ident()]
+        while self._accept(","):
+            names.append(self._ident())
+        self._expect(":")
+        ty, size = self._type()
+        self._expect(";")
+        node = ast.LocalDecl(names, ty, size)
+        node.line = line
+        return node
+
+    def _if_stmt(self) -> ast.If:
+        line = self._cur.line
+        self._expect("if")
+        self._expect("(")
+        cond = self._expr()
+        self._expect(")")
+        then = self._block()
+        els: list[ast.StmtT] = []
+        if self._accept("else"):
+            if self._check("if"):
+                els = [self._if_stmt()]
+            else:
+                els = self._block()
+        node = ast.If(cond, then, els)
+        node.line = line
+        return node
+
+    def _for_stmt(self) -> ast.For:
+        line = self._cur.line
+        self._expect("for")
+        var = self._ident()
+        self._expect("=")
+        start = self._expr()
+        self._expect("to")
+        stop = self._expr()
+        step = 1
+        if self._accept("by"):
+            neg = self._accept("-")
+            tok = self._cur
+            if tok.kind is not TokKind.INT:
+                raise self._error("for-step must be an integer literal")
+            self._advance()
+            step = int(tok.value)  # type: ignore[arg-type]
+            if neg:
+                step = -step
+            if step == 0:
+                raise self._error("for-step must be non-zero")
+        body = self._block()
+        node = ast.For(var, start, stop, step, body)
+        node.line = line
+        return node
+
+    # ----------------------------------------------------------- expressions
+    _BIN_LEVELS = (
+        ("||",),
+        ("&&",),
+        ("|", "^", "&"),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    )
+
+    def _expr(self) -> ast.ExprT:
+        return self._binary(0)
+
+    def _binary(self, level: int) -> ast.ExprT:
+        if level == len(self._BIN_LEVELS):
+            return self._unary()
+        ops = self._BIN_LEVELS[level]
+        left = self._binary(level + 1)
+        while any(self._check(op) for op in ops):
+            line = self._cur.line
+            op = self._advance().text
+            right = self._binary(level + 1)
+            node = ast.BinOp(op, left, right)
+            node.line = line
+            left = node
+        return left
+
+    def _unary(self) -> ast.ExprT:
+        line = self._cur.line
+        if self._accept("-"):
+            node = ast.UnOp("-", self._unary())
+            node.line = line
+            return node
+        if self._accept("!"):
+            node = ast.UnOp("!", self._unary())
+            node.line = line
+            return node
+        return self._primary()
+
+    def _call_tail(self, name: str, line: int) -> ast.Call:
+        self._expect("(")
+        args: list[ast.ExprT] = []
+        if not self._check(")"):
+            args.append(self._expr())
+            while self._accept(","):
+                args.append(self._expr())
+        self._expect(")")
+        node = ast.Call(name, args)
+        node.line = line
+        return node
+
+    def _primary(self) -> ast.ExprT:
+        tok = self._cur
+        line = tok.line
+        if tok.kind is TokKind.INT:
+            self._advance()
+            node: ast.ExprT = ast.IntLit(int(tok.value))  # type: ignore[arg-type]
+            node.line = line
+            return node
+        if tok.kind is TokKind.FLOAT:
+            self._advance()
+            node = ast.FloatLit(float(tok.value))  # type: ignore[arg-type]
+            node.line = line
+            return node
+        if self._check("(" ):
+            self._advance()
+            inner = self._expr()
+            self._expect(")")
+            return inner
+        if self._check("int") or self._check("float"):
+            to = self._advance().text
+            self._expect("(")
+            operand = self._expr()
+            self._expect(")")
+            node = ast.Cast(to, operand)
+            node.line = line
+            return node
+        if tok.kind is TokKind.IDENT:
+            name = self._ident()
+            if self._check("("):
+                return self._call_tail(name, line)
+            if self._accept("["):
+                index = self._expr()
+                self._expect("]")
+                node = ast.Index(name, index)
+                node.line = line
+                return node
+            node = ast.VarRef(name)
+            node.line = line
+            return node
+        raise self._error("expected expression")
+
+
+def parse(source: str) -> ast.Module:
+    """Parse Tin source text into a :class:`repro.lang.ast.Module`."""
+    return Parser(tokenize(source)).parse_module()

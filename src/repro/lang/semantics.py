@@ -1,0 +1,361 @@
+"""Semantic analysis for Tin.
+
+The checker decorates the AST in place:
+
+* every expression node gets its ``ty`` ("int" or "float");
+* implicit int-to-float conversions become explicit :class:`~repro.lang.ast.Cast`
+  nodes, so code generation never converts silently;
+* references to ``const`` names are replaced by literals.
+
+It also builds the symbol tables code generation consumes: one
+:class:`VarInfo` per global / parameter / local, and a :class:`ProcInfo`
+per procedure.  Locals are function-scoped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TinSemanticError
+from . import ast
+
+_INT_ONLY_OPS = {"%", "<<", ">>", "&", "|", "^", "&&", "||"}
+_COMPARISONS = {"==", "!=", "<", "<=", ">", ">="}
+
+
+@dataclass(slots=True)
+class VarInfo:
+    """One variable: global, parameter, or local."""
+
+    name: str
+    ty: str                      # element type: "int" or "float"
+    kind: str                    # "global" | "param" | "local"
+    size: int | None = None     # array length; None for scalars; -1 for
+                                 # unsized (by-reference) array parameters
+    init: list[int | float] | None = None
+
+    @property
+    def is_array(self) -> bool:
+        return self.size is not None
+
+    @property
+    def by_ref(self) -> bool:
+        """Array parameters pass as a base address."""
+        return self.kind == "param" and self.is_array
+
+
+@dataclass(slots=True)
+class ProcInfo:
+    """Signature and symbol table of one procedure."""
+
+    name: str
+    params: list[VarInfo] = field(default_factory=list)
+    ret: str | None = None
+    locals_: dict[str, VarInfo] = field(default_factory=dict)
+
+    def lookup(self, name: str) -> VarInfo | None:
+        """Look a name up in param/local scope (not globals)."""
+        if name in self.locals_:
+            return self.locals_[name]
+        for p in self.params:
+            if p.name == name:
+                return p
+        return None
+
+
+@dataclass(slots=True)
+class ModuleInfo:
+    """Symbol tables for a whole checked module."""
+
+    consts: dict[str, int | float] = field(default_factory=dict)
+    globals_: dict[str, VarInfo] = field(default_factory=dict)
+    procs: dict[str, ProcInfo] = field(default_factory=dict)
+
+
+def check(module: ast.Module) -> ModuleInfo:
+    """Type-check ``module`` in place and return its symbol tables."""
+    return _Checker(module).run()
+
+
+class _Checker:
+    def __init__(self, module: ast.Module):
+        self.module = module
+        self.info = ModuleInfo()
+        self._proc: ProcInfo | None = None
+
+    def _error(self, node, msg: str) -> TinSemanticError:
+        line = getattr(node, "line", 0)
+        return TinSemanticError(f"line {line}: {msg}")
+
+    # -------------------------------------------------------------- top level
+    def run(self) -> ModuleInfo:
+        for const in self.module.consts:
+            if const.name in self.info.consts:
+                raise self._error(const, f"duplicate const {const.name!r}")
+            self.info.consts[const.name] = const.value
+        for decl in self.module.globals_:
+            for name in decl.names:
+                if name in self.info.globals_ or name in self.info.consts:
+                    raise self._error(decl, f"duplicate global {name!r}")
+                init = decl.init
+                if init is not None and decl.size is not None:
+                    if len(init) not in (1, decl.size):
+                        raise self._error(
+                            decl, f"initializer length mismatch for {name!r}"
+                        )
+                self.info.globals_[name] = VarInfo(
+                    name, decl.ty, "global", decl.size, init
+                )
+        for proc in self.module.procs:
+            if proc.name in self.info.procs:
+                raise self._error(proc, f"duplicate procedure {proc.name!r}")
+            pinfo = ProcInfo(proc.name, ret=proc.ret)
+            seen: set[str] = set()
+            for p in proc.params:
+                if p.name in seen:
+                    raise self._error(proc, f"duplicate parameter {p.name!r}")
+                seen.add(p.name)
+                pinfo.params.append(VarInfo(p.name, p.ty, "param", p.size))
+            self.info.procs[proc.name] = pinfo
+        for proc in self.module.procs:
+            self._check_proc(proc)
+        return self.info
+
+    # ------------------------------------------------------------- procedures
+    def _check_proc(self, proc: ast.Proc) -> None:
+        pinfo = self.info.procs[proc.name]
+        self._proc = pinfo
+        self._collect_locals(proc.body, pinfo)
+        self._check_stmts(proc.body)
+        if pinfo.ret is not None:
+            if not proc.body or not self._always_returns(proc.body):
+                raise self._error(
+                    proc, f"procedure {proc.name!r} must end with a return"
+                )
+        self._proc = None
+
+    def _always_returns(self, stmts: list[ast.StmtT]) -> bool:
+        if not stmts:
+            return False
+        last = stmts[-1]
+        if isinstance(last, ast.Return):
+            return True
+        if isinstance(last, ast.If) and last.els:
+            return self._always_returns(last.then) and self._always_returns(
+                last.els
+            )
+        return False
+
+    def _collect_locals(self, stmts: list[ast.StmtT], pinfo: ProcInfo) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.LocalDecl):
+                for name in stmt.names:
+                    if pinfo.lookup(name) is not None:
+                        raise self._error(stmt, f"duplicate local {name!r}")
+                    pinfo.locals_[name] = VarInfo(name, stmt.ty, "local", stmt.size)
+            elif isinstance(stmt, ast.If):
+                self._collect_locals(stmt.then, pinfo)
+                self._collect_locals(stmt.els, pinfo)
+            elif isinstance(stmt, ast.While):
+                self._collect_locals(stmt.body, pinfo)
+            elif isinstance(stmt, ast.For):
+                self._collect_locals(stmt.body, pinfo)
+
+    # ------------------------------------------------------------- statements
+    def _check_stmts(self, stmts: list[ast.StmtT]) -> None:
+        for i, stmt in enumerate(stmts):
+            if isinstance(stmt, ast.LocalDecl):
+                continue
+            if isinstance(stmt, ast.Assign):
+                stmts[i] = self._check_assign(stmt)
+            elif isinstance(stmt, ast.If):
+                stmt.cond = self._check_cond(stmt.cond)
+                self._check_stmts(stmt.then)
+                self._check_stmts(stmt.els)
+            elif isinstance(stmt, ast.While):
+                stmt.cond = self._check_cond(stmt.cond)
+                self._check_stmts(stmt.body)
+            elif isinstance(stmt, ast.For):
+                self._check_for(stmt)
+            elif isinstance(stmt, ast.Return):
+                self._check_return(stmt)
+            elif isinstance(stmt, ast.CallStmt):
+                call = self._check_expr(stmt.call)
+                assert isinstance(call, ast.Call)
+                stmt.call = call
+            else:  # pragma: no cover - parser produces no other nodes
+                raise self._error(stmt, f"unknown statement {stmt!r}")
+
+    def _var(self, node, name: str) -> VarInfo:
+        assert self._proc is not None
+        var = self._proc.lookup(name)
+        if var is None:
+            var = self.info.globals_.get(name)
+        if var is None:
+            raise self._error(node, f"undeclared variable {name!r}")
+        return var
+
+    def _check_assign(self, stmt: ast.Assign) -> ast.Assign:
+        target = stmt.target
+        if isinstance(target, ast.Index):
+            var = self._var(target, target.name)
+            if not var.is_array:
+                raise self._error(target, f"{target.name!r} is not an array")
+            target.index = self._coerce(self._check_expr(target.index), ast.INT)
+            target.ty = var.ty
+        else:
+            var = self._var(target, target.name)
+            if var.is_array:
+                raise self._error(
+                    target, f"cannot assign whole array {target.name!r}"
+                )
+            target.ty = var.ty
+        stmt.value = self._coerce(self._check_expr(stmt.value), var.ty)
+        return stmt
+
+    def _check_cond(self, cond: ast.ExprT) -> ast.ExprT:
+        cond = self._check_expr(cond)
+        if cond.ty != ast.INT:
+            raise self._error(cond, "condition must be an int expression")
+        return cond
+
+    def _check_for(self, stmt: ast.For) -> None:
+        var = self._var(stmt, stmt.var)
+        if var.ty != ast.INT or var.is_array:
+            raise self._error(stmt, "for-variable must be an int scalar")
+        stmt.start = self._coerce(self._check_expr(stmt.start), ast.INT)
+        stmt.stop = self._coerce(self._check_expr(stmt.stop), ast.INT)
+        self._check_stmts(stmt.body)
+
+    def _check_return(self, stmt: ast.Return) -> None:
+        assert self._proc is not None
+        ret = self._proc.ret
+        if stmt.value is None:
+            if ret is not None:
+                raise self._error(stmt, "missing return value")
+            return
+        if ret is None:
+            raise self._error(stmt, "returning a value from a void procedure")
+        stmt.value = self._coerce(self._check_expr(stmt.value), ret)
+
+    # ------------------------------------------------------------ expressions
+    def _coerce(self, expr: ast.ExprT, want: str) -> ast.ExprT:
+        if expr.ty == want:
+            return expr
+        if expr.ty == ast.INT and want == ast.FLOAT:
+            cast = ast.Cast(ast.FLOAT, expr)
+            cast.ty = ast.FLOAT
+            return cast
+        raise self._error(
+            expr, f"cannot implicitly convert {expr.ty} to {want}"
+        )
+
+    def _check_expr(self, expr: ast.ExprT) -> ast.ExprT:
+        if isinstance(expr, ast.IntLit):
+            expr.ty = ast.INT
+            return expr
+        if isinstance(expr, ast.FloatLit):
+            expr.ty = ast.FLOAT
+            return expr
+        if isinstance(expr, ast.VarRef):
+            assert self._proc is not None
+            if self._proc.lookup(expr.name) is None and (
+                expr.name in self.info.consts
+            ):
+                value = self.info.consts[expr.name]
+                lit: ast.ExprT
+                if isinstance(value, int):
+                    lit = ast.IntLit(value)
+                    lit.ty = ast.INT
+                else:
+                    lit = ast.FloatLit(value)
+                    lit.ty = ast.FLOAT
+                lit.line = expr.line
+                return lit
+            var = self._var(expr, expr.name)
+            if var.is_array:
+                raise self._error(
+                    expr, f"array {expr.name!r} used without an index"
+                )
+            expr.ty = var.ty
+            return expr
+        if isinstance(expr, ast.Index):
+            var = self._var(expr, expr.name)
+            if not var.is_array:
+                raise self._error(expr, f"{expr.name!r} is not an array")
+            expr.index = self._coerce(self._check_expr(expr.index), ast.INT)
+            expr.ty = var.ty
+            return expr
+        if isinstance(expr, ast.Call):
+            return self._check_call(expr)
+        if isinstance(expr, ast.Cast):
+            expr.operand = self._check_expr(expr.operand)
+            if expr.operand.ty not in (ast.INT, ast.FLOAT):
+                raise self._error(expr, "bad cast operand")
+            expr.ty = expr.to
+            return expr
+        if isinstance(expr, ast.UnOp):
+            expr.operand = self._check_expr(expr.operand)
+            if expr.op == "!":
+                if expr.operand.ty != ast.INT:
+                    raise self._error(expr, "'!' needs an int operand")
+                expr.ty = ast.INT
+            else:
+                expr.ty = expr.operand.ty
+            return expr
+        if isinstance(expr, ast.BinOp):
+            return self._check_binop(expr)
+        raise self._error(expr, f"unknown expression {expr!r}")
+
+    def _check_binop(self, expr: ast.BinOp) -> ast.ExprT:
+        expr.left = self._check_expr(expr.left)
+        expr.right = self._check_expr(expr.right)
+        lt, rt = expr.left.ty, expr.right.ty
+        if expr.op in _INT_ONLY_OPS:
+            if lt != ast.INT or rt != ast.INT:
+                raise self._error(expr, f"{expr.op!r} needs int operands")
+            expr.ty = ast.INT
+            return expr
+        if expr.op in _COMPARISONS:
+            if lt != rt:
+                expr.left = self._coerce(expr.left, ast.FLOAT)
+                expr.right = self._coerce(expr.right, ast.FLOAT)
+            expr.ty = ast.INT
+            return expr
+        # arithmetic: + - * /
+        if lt != rt:
+            expr.left = self._coerce(expr.left, ast.FLOAT)
+            expr.right = self._coerce(expr.right, ast.FLOAT)
+            expr.ty = ast.FLOAT
+        else:
+            expr.ty = lt
+        return expr
+
+    def _check_call(self, expr: ast.Call) -> ast.Call:
+        proc = self.info.procs.get(expr.name)
+        if proc is None:
+            raise self._error(expr, f"call to undeclared procedure {expr.name!r}")
+        if len(expr.args) != len(proc.params):
+            raise self._error(
+                expr,
+                f"{expr.name!r} expects {len(proc.params)} arguments, "
+                f"got {len(expr.args)}",
+            )
+        for i, (arg, param) in enumerate(zip(expr.args, proc.params)):
+            if param.is_array:
+                if not isinstance(arg, (ast.VarRef,)):
+                    raise self._error(
+                        expr, f"argument {i + 1} of {expr.name!r} must be an array name"
+                    )
+                var = self._var(arg, arg.name)
+                if not var.is_array or var.ty != param.ty:
+                    raise self._error(
+                        expr,
+                        f"argument {i + 1} of {expr.name!r} must be a "
+                        f"{param.ty} array",
+                    )
+                arg.ty = param.ty  # marks an array reference argument
+            else:
+                expr.args[i] = self._coerce(self._check_expr(arg), param.ty)
+        expr.ty = proc.ret
+        return expr

@@ -1,0 +1,46 @@
+"""Token definitions for the Tin language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokKind(enum.Enum):
+    """Lexical token kinds."""
+
+    INT = "int-literal"
+    FLOAT = "float-literal"
+    IDENT = "identifier"
+    KEYWORD = "keyword"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "const", "var", "proc", "int", "float",
+        "if", "else", "while", "for", "to", "by", "return",
+    }
+)
+
+#: Multi-character symbols, longest first so the lexer can match greedily.
+SYMBOLS = (
+    "==", "!=", "<=", ">=", "<<", ">>", "&&", "||",
+    "(", ")", "{", "}", "[", "]", ",", ";", ":",
+    "+", "-", "*", "/", "%", "&", "|", "^", "!", "<", ">", "=",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: TokKind
+    text: str
+    value: int | float | None = None
+    line: int = 0
+    column: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.value}, {self.text!r})"

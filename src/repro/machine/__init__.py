@@ -1,0 +1,46 @@
+"""Machine taxonomy and parameterizable machine descriptions (Section 2)."""
+
+from .config import FunctionalUnit, MachineConfig, UNIT_LATENCIES, unit
+from .metrics import (
+    PAPER_FREQUENCIES,
+    average_degree_of_superpipelining,
+    dynamic_frequencies,
+    machine_degree,
+    required_parallelism,
+)
+from .presets import (
+    CRAY1_LATENCIES,
+    MULTITITAN_LATENCIES,
+    base_machine,
+    cray1,
+    ideal_superscalar,
+    multititan,
+    superpipelined,
+    superpipelined_superscalar,
+    superscalar_with_class_conflicts,
+    underpipelined_half_issue,
+    underpipelined_slow_cycle,
+)
+
+__all__ = [
+    "CRAY1_LATENCIES",
+    "FunctionalUnit",
+    "MULTITITAN_LATENCIES",
+    "MachineConfig",
+    "PAPER_FREQUENCIES",
+    "UNIT_LATENCIES",
+    "average_degree_of_superpipelining",
+    "base_machine",
+    "cray1",
+    "dynamic_frequencies",
+    "ideal_superscalar",
+    "machine_degree",
+    "multititan",
+    "required_parallelism",
+    "superpipelined",
+    "superpipelined_superscalar",
+    "superscalar_with_class_conflicts",
+    "underpipelined_half_issue",
+    "underpipelined_slow_cycle",
+    "unit",
+]

@@ -1,0 +1,79 @@
+"""The *average degree of superpipelining* metric (Section 2.7, Table 2-1).
+
+"If we multiply the latency of each instruction class by the frequency we
+observe for that instruction class when we perform our benchmark set, we get
+the average degree of superpipelining."
+
+The paper computes the metric with the static frequency mix reproduced in
+:data:`PAPER_FREQUENCIES`; :func:`dynamic_frequencies` derives the same kind
+of mix from a measured trace so both variants can be compared.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Mapping
+
+from ..isa.opcodes import InstrClass
+from .config import MachineConfig
+
+#: The instruction-class frequency mix of Table 2-1.  The paper's
+#: aggregate "FP" row is attributed to the FP-add class (its latency is the
+#: one the table uses for both machines).
+PAPER_FREQUENCIES: Mapping[InstrClass, float] = MappingProxyType(
+    {
+        InstrClass.LOGICAL: 0.10,
+        InstrClass.SHIFT: 0.10,
+        InstrClass.ADDSUB: 0.20,
+        InstrClass.LOAD: 0.20,
+        InstrClass.STORE: 0.15,
+        InstrClass.BRANCH: 0.15,
+        InstrClass.FPADD: 0.10,
+    }
+)
+
+
+def average_degree_of_superpipelining(
+    latencies: Mapping[InstrClass, int],
+    frequencies: Mapping[InstrClass, float] = PAPER_FREQUENCIES,
+) -> float:
+    """Frequency-weighted mean operation latency.
+
+    Table 2-1 evaluates to 1.7 for the MultiTitan and 4.4 for the CRAY-1
+    under :data:`PAPER_FREQUENCIES`.
+    """
+    return sum(
+        freq * latencies[klass] for klass, freq in frequencies.items()
+    )
+
+
+def machine_degree(
+    config: MachineConfig,
+    frequencies: Mapping[InstrClass, float] = PAPER_FREQUENCIES,
+) -> float:
+    """Average degree of superpipelining of a machine config, in base cycles.
+
+    Latencies stored in minor cycles are converted to base cycles first, so
+    an (n, m) machine's metric reflects latency as seen by the programmer.
+    """
+    weighted = average_degree_of_superpipelining(config.latencies, frequencies)
+    return config.minor_to_base(weighted)
+
+
+def dynamic_frequencies(
+    class_counts: Mapping[InstrClass, int],
+) -> dict[InstrClass, float]:
+    """Normalize per-class dynamic instruction counts into frequencies."""
+    total = sum(class_counts.values())
+    if total == 0:
+        raise ValueError("empty class count histogram")
+    return {klass: count / total for klass, count in class_counts.items()}
+
+
+def required_parallelism(n: int, m: float) -> float:
+    """Instruction-level parallelism needed to fully utilize an (n, m)
+    superpipelined superscalar machine (Figure 4-3): simply ``n * m``.
+    """
+    if n < 1 or m < 1:
+        raise ValueError("degrees must be >= 1")
+    return n * m

@@ -1,0 +1,166 @@
+"""Machine presets used throughout the paper.
+
+The taxonomy of Section 2:
+
+* the **base machine** — one instruction per cycle, every simple operation
+  latency one cycle;
+* **underpipelined** machines — cycle time longer than a simple operation,
+  or issue rate below one per cycle (Figures 2-2, 2-3);
+* **superscalar** machines of degree *n* — *n* instructions per cycle;
+* **superpipelined** machines of degree *m* — one instruction per minor
+  cycle, minor cycle time 1/m of the base cycle, simple-operation latency
+  *m* minor cycles;
+* **superpipelined superscalar** machines of degree (n, m);
+* real slightly/heavily superpipelined machines: the **MultiTitan** and
+  the **CRAY-1** with their published per-class latencies (Table 2-1).
+"""
+
+from __future__ import annotations
+
+from ..isa.opcodes import InstrClass
+from .config import MachineConfig, unit
+
+_K = InstrClass
+
+
+def base_machine() -> MachineConfig:
+    """The paper's base machine: (n=1, m=1), all latencies one."""
+    return MachineConfig(name="base")
+
+
+def ideal_superscalar(n: int) -> MachineConfig:
+    """Ideal superscalar of degree ``n``: no class conflicts (Fig 2-4)."""
+    return MachineConfig(name=f"superscalar-{n}", issue_width=n)
+
+
+def superpipelined(m: int) -> MachineConfig:
+    """Superpipelined machine of degree ``m`` (Fig 2-6).
+
+    Cycle time is 1/m of the base machine; every simple operation therefore
+    takes m minor cycles given the same implementation technology.
+    """
+    return MachineConfig(
+        name=f"superpipelined-{m}",
+        issue_width=1,
+        superpipeline_degree=m,
+        latencies={k: m for k in InstrClass},
+    )
+
+
+def superpipelined_superscalar(n: int, m: int) -> MachineConfig:
+    """Superpipelined superscalar of degree (n, m) (Fig 2-7)."""
+    return MachineConfig(
+        name=f"superpipelined-superscalar-{n}x{m}",
+        issue_width=n,
+        superpipeline_degree=m,
+        latencies={k: m for k in InstrClass},
+    )
+
+
+def underpipelined_slow_cycle() -> MachineConfig:
+    """Underpipelined machine whose cycle is two base cycles (Fig 2-2).
+
+    It executes an operation and writes back the result in the same,
+    doubly long pipestage; performance is half the base machine.
+    """
+    return MachineConfig(name="underpipelined-cycle2", cycle_scale=2)
+
+
+def underpipelined_half_issue() -> MachineConfig:
+    """Underpipelined machine issuing one instruction per two cycles
+    (Fig 2-3), modelled with a single all-class functional unit whose
+    issue latency is two cycles (like loads on the Berkeley RISC II).
+    """
+    return MachineConfig(
+        name="underpipelined-issue2",
+        units=(
+            unit("all", list(InstrClass), issue_latency=2, multiplicity=1),
+        ),
+    )
+
+
+#: MultiTitan per-class operation latencies (Table 2-1): ALU one cycle,
+#: loads/stores/branches two cycles, floating point three cycles.
+MULTITITAN_LATENCIES: dict[InstrClass, int] = {
+    _K.LOGICAL: 1,
+    _K.SHIFT: 1,
+    _K.ADDSUB: 1,
+    _K.INTMUL: 3,
+    _K.INTDIV: 12,
+    _K.LOAD: 2,
+    _K.STORE: 2,
+    _K.BRANCH: 2,
+    _K.FPADD: 3,
+    _K.FPMUL: 3,
+    _K.FPDIV: 12,
+    _K.FPCVT: 3,
+    _K.MOVE: 1,
+    _K.MISC: 1,
+}
+
+#: CRAY-1 per-class operation latencies (Table 2-1): logical 1, shift 2,
+#: add/sub 3, load 11, store 1, branch 3, floating point 7.  Divide-class
+#: latencies follow the CRAY-1 reciprocal-approximation unit.
+CRAY1_LATENCIES: dict[InstrClass, int] = {
+    _K.LOGICAL: 1,
+    _K.SHIFT: 2,
+    _K.ADDSUB: 3,
+    _K.INTMUL: 7,
+    _K.INTDIV: 25,
+    _K.LOAD: 11,
+    _K.STORE: 1,
+    _K.BRANCH: 3,
+    _K.FPADD: 7,
+    _K.FPMUL: 7,
+    _K.FPDIV: 25,
+    _K.FPCVT: 7,
+    _K.MOVE: 1,
+    _K.MISC: 1,
+}
+
+
+def multititan(issue_width: int = 1) -> MachineConfig:
+    """The MultiTitan: a slightly superpipelined machine (degree ~1.7)."""
+    return MachineConfig(
+        name=f"multititan-w{issue_width}",
+        issue_width=issue_width,
+        latencies=dict(MULTITITAN_LATENCIES),
+    )
+
+
+def cray1(issue_width: int = 1) -> MachineConfig:
+    """The CRAY-1 scalar pipeline: heavily superpipelined (degree ~4.4)."""
+    return MachineConfig(
+        name=f"cray1-w{issue_width}",
+        issue_width=issue_width,
+        latencies=dict(CRAY1_LATENCIES),
+    )
+
+
+def superscalar_with_class_conflicts(n: int, n_mem_units: int = 1) -> MachineConfig:
+    """Degree-``n`` superscalar where only some units were duplicated.
+
+    Section 2.3.2: duplicating only register ports / decode but not all
+    functional units creates *class conflicts*.  Here ALU-type units are
+    fully duplicated but only ``n_mem_units`` load/store units exist.
+    """
+    return MachineConfig(
+        name=f"superscalar-{n}-mem{n_mem_units}",
+        issue_width=n,
+        units=(
+            unit(
+                "alu",
+                [
+                    _K.LOGICAL, _K.SHIFT, _K.ADDSUB, _K.INTMUL, _K.INTDIV,
+                    _K.MOVE, _K.MISC, _K.BRANCH,
+                ],
+                multiplicity=n,
+            ),
+            unit(
+                "fpu",
+                [_K.FPADD, _K.FPMUL, _K.FPDIV, _K.FPCVT],
+                multiplicity=n,
+            ),
+            unit("mem", [_K.LOAD, _K.STORE], multiplicity=n_mem_units),
+        ),
+    )

@@ -1,0 +1,38 @@
+"""Optimization passes and the compile-pipeline driver."""
+
+from .alias import bind_array_parameters, may_conflict
+from .cleanup import cleanup_control_flow, remove_redundant_jumps, thread_jumps
+from .dataflow import Liveness, liveness
+from .driver import compile_module, compile_source
+from .globalopt import loop_invariant_code_motion
+from .local import dead_code_elimination, value_number_function
+from .options import AliasLevel, CompilerOptions, OptLevel
+from .regalloc import (
+    AllocationStats,
+    assign_temporaries,
+    promote_variables,
+)
+from .unroll import UnrollStats, unroll_module
+
+__all__ = [
+    "AliasLevel",
+    "AllocationStats",
+    "CompilerOptions",
+    "Liveness",
+    "OptLevel",
+    "UnrollStats",
+    "assign_temporaries",
+    "bind_array_parameters",
+    "cleanup_control_flow",
+    "compile_module",
+    "compile_source",
+    "dead_code_elimination",
+    "liveness",
+    "loop_invariant_code_motion",
+    "may_conflict",
+    "promote_variables",
+    "remove_redundant_jumps",
+    "thread_jumps",
+    "unroll_module",
+    "value_number_function",
+]

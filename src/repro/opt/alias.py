@@ -1,0 +1,164 @@
+"""Memory alias analysis.
+
+:func:`may_conflict` is the oracle the scheduler's dependence DAG and the
+local value numbering use to decide whether two memory operations can touch
+the same word.  Its precision is controlled by
+:class:`~repro.opt.options.AliasLevel`.
+
+:func:`bind_array_parameters` is the interprocedural analysis of careful
+unrolling ("to do interprocedural alias analysis to determine when memory
+references are independent", Section 6): when every call site binds an
+array parameter to the same concrete array, the parameter's accesses are
+re-labelled with that array's storage object.
+"""
+
+from __future__ import annotations
+
+from ..isa.instruction import MemRef
+from ..isa.opcodes import Opcode
+from ..isa.program import Program
+from .options import AliasLevel
+
+
+def may_conflict(a: MemRef | None, b: MemRef | None, level: AliasLevel) -> bool:
+    """May the two accesses touch the same word?
+
+    At every level, two accesses whose addresses are *statically known*
+    (a named scalar, a constant array index — but not an access through an
+    array parameter, whose base is unknown) conflict only when the
+    addresses are equal: any scheduler gets that much by comparing
+    displacement fields.  Beyond that, CONSERVATIVE assumes everything
+    else collides ("the scheduler must assume that two memory locations
+    are the same unless it can prove otherwise").
+
+    Note the AFFINE same-object test has a side condition — none of the
+    affine core's variables may be redefined between the two accesses —
+    which the *caller* must check (see ``repro.sched.dag``); this function
+    only compares the static references.
+    """
+    if a is None or b is None:
+        return True
+    known_a = a.offset is not None and not a.may_alias_all
+    known_b = b.offset is not None and not b.may_alias_all
+    if known_a and known_b:
+        return a.obj == b.obj and a.offset == b.offset
+    if level <= AliasLevel.CONSERVATIVE:
+        return True
+    if a.obj == b.obj:
+        if (
+            level >= AliasLevel.AFFINE
+            and a.offset is not None
+            and b.offset is not None
+        ):
+            return a.offset == b.offset
+        # Same-object accesses with *affine* tags can be disambiguated,
+        # but only under a positional side condition (no redefinition of
+        # the index variables in between) that this position-free oracle
+        # cannot check; the scheduler's DAG builder applies that rule.
+        return True
+    # Distinct array parameters of the same function are assumed
+    # independent at AFFINE level: this is the Fortran argument-aliasing
+    # rule the original Linpack/Livermore codes rely on, and the result
+    # the paper's hand "interprocedural alias analysis" established.
+    if (
+        level >= AliasLevel.AFFINE
+        and a.obj.startswith("p:")
+        and b.obj.startswith("p:")
+    ):
+        return False
+    # Distinct objects.  Accesses through an (unbound) array parameter can
+    # alias any array-like storage, but never a named scalar.
+    if a.may_alias_all or b.may_alias_all:
+        other = b if a.may_alias_all else a
+        return other.is_array or other.may_alias_all
+    return False
+
+
+def bind_array_parameters(program: Program, max_rounds: int = 4) -> int:
+    """Interprocedural binding of array parameters to concrete arrays.
+
+    Scans every call site for the argument moves the code generator
+    annotated with the passed array's storage object.  If *all* call sites
+    of a function pass the same object for a parameter, the function's
+    ``p:<fn>:<param>`` references are rewritten to that object.  Iterates
+    so pass-through chains (f passes its own parameter to g) resolve.
+
+    Returns the number of parameters bound.
+    """
+    bound_total = 0
+    for _ in range(max_rounds):
+        bindings = _collect_bindings(program)
+        # A parameter binding resolves when exactly one non-parameter
+        # object is seen for it.  We only rewrite a function when *every*
+        # array parameter resolves and the bound objects are pairwise
+        # distinct — a partial or overlapping rewrite would defeat the
+        # argument-independence rule applied at AFFINE level.
+        per_fn: dict[str, dict[str, str | None]] = {}
+        for key, objs in bindings.items():
+            fn_name = key.split(":", 2)[1]
+            obj = next(iter(objs)) if len(objs) == 1 else None
+            if obj is not None and obj.startswith("p:"):
+                obj = None
+            per_fn.setdefault(fn_name, {})[key] = obj
+        resolved: dict[str, str] = {}
+        for fn_name, param_objs in per_fn.items():
+            objs = list(param_objs.values())
+            if all(o is not None for o in objs) and len(set(objs)) == len(objs):
+                resolved.update(param_objs)  # type: ignore[arg-type]
+        if not resolved:
+            break
+        changed = _apply_bindings(program, resolved)
+        bound_total += changed
+        if not changed:
+            break
+    return bound_total
+
+
+def _collect_bindings(program: Program) -> dict[str, set[str]]:
+    """param key ('p:<fn>:<name>') -> set of argument objects seen."""
+    param_keys: dict[str, list[str]] = {}
+    for fn in program.functions.values():
+        param_keys[fn.name] = [f"p:{fn.name}:{p}" for p in fn.params]
+
+    bindings: dict[str, set[str]] = {}
+    for fn in program.functions.values():
+        for block in fn.blocks:
+            pending: dict[int, str] = {}
+            for ins in block.instrs:
+                if (
+                    ins.op is Opcode.MOV
+                    and ins.mem is not None
+                    and ins.dest is not None
+                    and not ins.dest.virtual
+                ):
+                    # argument-register move annotated with the array object
+                    pending[ins.dest.index] = ins.mem.obj
+                elif ins.op is Opcode.CALL:
+                    callee = program.functions.get(ins.target or "")
+                    if callee is not None:
+                        from ..isa.registers import FIRST_ARG_INDEX
+
+                        for i, _param in enumerate(callee.params):
+                            key = f"p:{callee.name}:{callee.params[i]}"
+                            obj = pending.get(FIRST_ARG_INDEX + i)
+                            if obj is not None:
+                                bindings.setdefault(key, set()).add(obj)
+                    pending.clear()
+    return bindings
+
+
+def _apply_bindings(program: Program, resolved: dict[str, str]) -> int:
+    """Rewrite MemRefs whose object resolved; returns rewrite count."""
+    from dataclasses import replace
+
+    changed = 0
+    for fn in program.functions.values():
+        for block in fn.blocks:
+            for ins in block.instrs:
+                mem = ins.mem
+                if mem is not None and mem.obj in resolved:
+                    ins.mem = replace(
+                        mem, obj=resolved[mem.obj], may_alias_all=False
+                    )
+                    changed += 1
+    return changed

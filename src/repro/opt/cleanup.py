@@ -1,0 +1,83 @@
+"""Control-flow cleanup: jump threading and redundant-jump removal.
+
+Code generation (especially after short-circuit lowering and loop
+unrolling) leaves behind empty blocks that only jump onward, and jumps
+whose target is the very next block.  Branches are real instructions in
+the trace, so cleaning these up matters for the measured numbers the
+same way it did for the paper's compiler.
+
+Passes:
+
+* :func:`thread_jumps` — retarget any branch whose destination block is
+  empty except for an unconditional jump, following chains (with cycle
+  protection), then drop the now-unreachable trampolines;
+* :func:`remove_redundant_jumps` — delete a ``J`` whose target is the
+  next block in layout order (fallthrough reaches it anyway).
+"""
+
+from __future__ import annotations
+
+from ..isa.opcodes import Opcode
+from ..isa.program import Function, remove_unreachable_blocks
+
+
+def thread_jumps(fn: Function) -> int:
+    """Retarget branches through empty jump-only blocks; returns the
+    number of retargeted edges."""
+    block_map = fn.block_map()
+
+    def resolve(label: str) -> str:
+        seen = {label}
+        current = label
+        while True:
+            block = block_map[current]
+            if len(block.instrs) != 1:
+                return current
+            only = block.instrs[0]
+            if only.op is not Opcode.J:
+                return current
+            nxt = only.target
+            assert nxt is not None
+            if nxt in seen:      # empty jump cycle: leave it alone
+                return current
+            seen.add(nxt)
+            current = nxt
+
+    changed = 0
+    for block in fn.blocks:
+        term = block.terminator
+        if term is None or term.op not in (Opcode.J, Opcode.BEQZ, Opcode.BNEZ):
+            continue
+        assert term.target is not None
+        final = resolve(term.target)
+        if final != term.target:
+            term.target = final
+            changed += 1
+    if changed:
+        remove_unreachable_blocks(fn)
+    return changed
+
+
+def remove_redundant_jumps(fn: Function) -> int:
+    """Drop ``J next-block`` terminators; returns the removal count."""
+    removed = 0
+    for i, block in enumerate(fn.blocks[:-1]):
+        term = block.terminator
+        if (
+            term is not None
+            and term.op is Opcode.J
+            and term.target == fn.blocks[i + 1].label
+        ):
+            block.instrs.pop()
+            removed += 1
+    return removed
+
+
+def cleanup_control_flow(fn: Function) -> int:
+    """Run both cleanups to a fixpoint; returns total changes."""
+    total = 0
+    while True:
+        changed = thread_jumps(fn) + remove_redundant_jumps(fn)
+        total += changed
+        if not changed:
+            return total

@@ -1,0 +1,78 @@
+"""Dataflow analyses over the CFG: liveness of virtual registers.
+
+All optimization passes run before temporary assignment, when values live
+in *virtual* registers; the handful of physical registers present (sp, ra,
+rv, argument registers) are pinned by convention and never subject to
+removal or renaming, so liveness is computed for virtual registers only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.instruction import Instruction
+from ..isa.program import Function
+from ..isa.registers import Reg
+
+
+def _uses_defs(ins: Instruction) -> tuple[list[Reg], Reg | None]:
+    """Virtual registers used and defined by one instruction."""
+    uses = [r for r in ins.srcs if r.virtual]
+    dest = ins.dest if ins.dest is not None and ins.dest.virtual else None
+    return uses, dest
+
+
+@dataclass(slots=True)
+class Liveness:
+    """Per-block live-in/live-out sets of virtual registers."""
+
+    live_in: dict[str, set[Reg]]
+    live_out: dict[str, set[Reg]]
+
+
+def liveness(fn: Function) -> Liveness:
+    """Backward may-liveness of virtual registers over ``fn``'s CFG."""
+    use: dict[str, set[Reg]] = {}
+    deff: dict[str, set[Reg]] = {}
+    for block in fn.blocks:
+        u: set[Reg] = set()
+        d: set[Reg] = set()
+        for ins in block.instrs:
+            ins_uses, ins_def = _uses_defs(ins)
+            for r in ins_uses:
+                if r not in d:
+                    u.add(r)
+            if ins_def is not None:
+                d.add(ins_def)
+        use[block.label] = u
+        deff[block.label] = d
+
+    succ = fn.successors()
+    live_in = {b.label: set(use[b.label]) for b in fn.blocks}
+    live_out: dict[str, set[Reg]] = {b.label: set() for b in fn.blocks}
+
+    changed = True
+    order = list(reversed(fn.blocks))
+    while changed:
+        changed = False
+        for block in order:
+            label = block.label
+            out: set[Reg] = set()
+            for s in succ[label]:
+                out |= live_in[s]
+            if out != live_out[label]:
+                live_out[label] = out
+            new_in = use[label] | (out - deff[label])
+            if new_in != live_in[label]:
+                live_in[label] = new_in
+                changed = True
+    return Liveness(live_in=live_in, live_out=live_out)
+
+
+def defs_in_function(fn: Function) -> dict[Reg, int]:
+    """Count of definitions of each virtual register across the function."""
+    counts: dict[Reg, int] = {}
+    for ins in fn.instructions():
+        if ins.dest is not None and ins.dest.virtual:
+            counts[ins.dest] = counts.get(ins.dest, 0) + 1
+    return counts

@@ -1,0 +1,87 @@
+"""The compile pipeline: source -> optimized, scheduled machine code.
+
+Order of phases (mirroring the paper's language system):
+
+1. parse; loop unrolling (source-to-source, naive or careful);
+2. semantic analysis; code generation (naive code, virtual registers);
+3. intra-block optimization (value numbering) + dead-code elimination;
+4. global optimization (loop-invariant code motion) + DCE;
+5. global register allocation (home registers) + cleanup VN/DCE;
+6. interprocedural alias binding (careful mode);
+7. temporary assignment (linear scan onto the temp pool);
+8. pipeline scheduling for the target machine description.
+"""
+
+from __future__ import annotations
+
+from ..isa.program import Program
+from ..lang import ast
+from ..lang.codegen import generate
+from ..lang.parser import parse
+from ..lang.semantics import check
+from ..sched.list_scheduler import schedule_function
+from .alias import bind_array_parameters
+from .cleanup import cleanup_control_flow
+from .globalopt import loop_invariant_code_motion
+from .local import dead_code_elimination, value_number_function
+from .options import CompilerOptions, OptLevel
+from .regalloc import assign_temporaries, promote_variables
+from .unroll import resolve_partial_decls, unroll_module
+
+
+def compile_source(
+    source: str, options: CompilerOptions | None = None
+) -> Program:
+    """Compile Tin source text under ``options`` (defaults to full opt)."""
+    module = parse(source)
+    return compile_module(module, options)
+
+
+def compile_module(
+    module: ast.Module, options: CompilerOptions | None = None
+) -> Program:
+    """Compile a freshly parsed module.  The module is consumed (the
+    unroller rewrites it in place); parse a new one per compilation."""
+    opts = options or CompilerOptions()
+
+    if opts.unroll > 1:
+        unroll_module(module, opts.unroll, opts.careful)
+        resolve_partial_decls(module)
+
+    info = check(module)
+    program = generate(module, info)
+
+    if opts.do_local:
+        for fn in program.functions.values():
+            value_number_function(fn, opts.alias_level)
+            dead_code_elimination(fn)
+            cleanup_control_flow(fn)
+
+    if opts.do_global:
+        for fn in program.functions.values():
+            loop_invariant_code_motion(fn, opts.alias_level)
+            dead_code_elimination(fn)
+            cleanup_control_flow(fn)
+
+    if opts.do_regalloc:
+        promote_variables(program, opts.regfile)
+        if opts.do_local:
+            for fn in program.functions.values():
+                value_number_function(fn, opts.alias_level)
+                dead_code_elimination(fn)
+
+    if opts.careful:
+        bind_array_parameters(program)
+
+    for fn in program.functions.values():
+        assign_temporaries(fn, opts.regfile)
+
+    if opts.do_schedule:
+        for fn in program.functions.values():
+            schedule_function(
+                fn, opts.schedule_for, opts.alias_level,
+                opts.sched_heuristic,
+            )
+
+    program.validate()
+    return program

@@ -1,0 +1,201 @@
+"""Global optimizations: loop-invariant code motion.
+
+This is the paper's "global optimizations" step (Figure 4-8): "to move
+invariant code out of a loop, we just remove a large computation and
+replace it with a reference to a single temporary" (Section 4.4).
+
+The pass finds natural loops, materializes a preheader in front of each
+header, and hoists invariant computations into it:
+
+* pure, non-trapping computations (ALU, moves, immediates, FP except
+  divides) may be hoisted speculatively from anywhere in the loop body;
+* loads may be hoisted only from the header block (which is executed at
+  least once whenever the preheader runs) and only when no store or call
+  in the loop may touch the same memory.
+
+Correctness conditions: the destination is a virtual register with a
+single definition in the loop, is not live into the header (no use before
+the definition), is not live at any loop exit, and every source is loop
+invariant (defined outside, or by an already-hoisted instruction).
+"""
+
+from __future__ import annotations
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import InstrClass, Opcode
+from ..isa.program import BasicBlock, Function, natural_loops
+from ..isa.registers import Reg
+from .alias import may_conflict
+from .dataflow import liveness
+from .options import AliasLevel
+
+_PURE_CLASSES = frozenset(
+    {
+        InstrClass.LOGICAL,
+        InstrClass.SHIFT,
+        InstrClass.ADDSUB,
+        InstrClass.INTMUL,
+        InstrClass.FPADD,
+        InstrClass.FPMUL,
+        InstrClass.FPCVT,
+        InstrClass.MOVE,
+    }
+)
+
+
+def loop_invariant_code_motion(
+    fn: Function, alias_level: AliasLevel = AliasLevel.CONSERVATIVE
+) -> int:
+    """Hoist loop-invariant code in ``fn``; returns #hoisted instructions."""
+    hoisted_total = 0
+    processed: set[str] = set()
+    while True:
+        loops = natural_loops(fn)  # innermost (smallest) first
+        target = None
+        for header, body in loops:
+            if header not in processed:
+                target = (header, body)
+                break
+        if target is None:
+            break
+        header, body = target
+        processed.add(header)
+        hoisted_total += _process_loop(fn, header, body, alias_level)
+    return hoisted_total
+
+
+def _ensure_preheader(fn: Function, header: str, body: set[str]) -> BasicBlock:
+    """Insert a preheader block immediately before ``header``."""
+    index = fn.block_index()[header]
+    pre_label = f"{header}.pre"
+    assert pre_label not in fn.block_index(), "preheader already exists"
+
+    # Safety: no in-loop predecessor may reach the header by fallthrough,
+    # or the preheader would execute on the back edge.  Our code generator
+    # always uses explicit jumps for back edges.
+    if index > 0:
+        prev = fn.blocks[index - 1]
+        if prev.label in body and prev.terminator is None:
+            raise AssertionError(
+                f"{fn.name}: in-loop fallthrough into loop header {header}"
+            )
+        if prev.label in body and prev.terminator is not None:
+            term = prev.terminator
+            if term.op in (Opcode.BEQZ, Opcode.BNEZ):
+                raise AssertionError(
+                    f"{fn.name}: in-loop conditional fallthrough into "
+                    f"loop header {header}"
+                )
+
+    pre = BasicBlock(pre_label)
+    fn.blocks.insert(index, pre)
+    for block in fn.blocks:
+        if block.label in body or block.label == pre_label:
+            continue
+        term = block.terminator
+        if term is not None and term.target == header and term.op in (
+            Opcode.J, Opcode.BEQZ, Opcode.BNEZ,
+        ):
+            term.target = pre_label
+    return pre
+
+
+def _process_loop(
+    fn: Function, header: str, body: set[str], alias_level: AliasLevel
+) -> int:
+    pre = _ensure_preheader(fn, header, body)
+    block_map = fn.block_map()
+    body_blocks = [b for b in fn.blocks if b.label in body]
+
+    # Definition counts for every register (physical included: a CALL
+    # defines ra, which makes ra-derived values variant).
+    def_count: dict[Reg, int] = {}
+    store_refs = []
+    has_call = False
+    from ..isa.registers import ARG_REGS, RV
+
+    global_homes = tuple(
+        reg for obj, reg in fn.home_bindings.items() if obj.startswith("g:")
+    )
+    for block in body_blocks:
+        for ins in block.instrs:
+            if ins.dest is not None:
+                def_count[ins.dest] = def_count.get(ins.dest, 0) + 1
+            if ins.op.info.is_store:
+                store_refs.append(ins.mem)
+            if ins.op is Opcode.CALL:
+                has_call = True
+                # the callee may clobber rv, the argument registers, and
+                # home registers holding globals
+                for reg in (RV, *ARG_REGS, *global_homes):
+                    def_count[reg] = def_count.get(reg, 0) + 1
+
+    succ = fn.successors()
+    exit_targets = {
+        s
+        for label in body
+        for s in succ[label]
+        if s not in body
+    }
+
+    # The alias cap: affine disambiguation is only valid between points
+    # with no redefinition of the index variables; across loop iterations
+    # the index variable advances, so cap the oracle at object precision.
+    cap = min(alias_level, AliasLevel.OBJECT)
+
+    hoisted = 0
+    changed = True
+    while changed:
+        changed = False
+        lv = liveness(fn)
+        live_stop = set(lv.live_in[header])
+        for target in exit_targets:
+            live_stop |= lv.live_in[target]
+        for block in body_blocks:
+            kept: list[Instruction] = []
+            for ins in block.instrs:
+                if _hoistable(
+                    ins, block, header, def_count, store_refs, has_call,
+                    live_stop, cap,
+                ):
+                    pre.instrs.append(ins)
+                    def_count[ins.dest] -= 1  # now invariant for its users
+                    hoisted += 1
+                    changed = True
+                else:
+                    kept.append(ins)
+            block.instrs = kept
+    return hoisted
+
+
+def _hoistable(
+    ins: Instruction,
+    block: BasicBlock,
+    header: str,
+    def_count: dict[Reg, int],
+    store_refs: list,
+    has_call: bool,
+    live_stop: set[Reg],
+    alias_cap: AliasLevel,
+) -> bool:
+    dest = ins.dest
+    if dest is None or not dest.virtual:
+        return False
+    if def_count.get(dest, 0) != 1:
+        return False
+    if dest in live_stop:
+        return False
+    for src in ins.srcs:
+        if def_count.get(src, 0) != 0:
+            return False
+    if ins.op.info.is_load:
+        if has_call or block.label != header:
+            return False
+        return not any(
+            may_conflict(ins.mem, s, alias_cap) for s in store_refs
+        )
+    if ins.op.klass not in _PURE_CLASSES:
+        return False
+    if ins.op in (Opcode.DIV, Opcode.MOD, Opcode.FDIV):
+        return False
+    return True

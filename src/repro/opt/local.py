@@ -1,0 +1,399 @@
+"""Intra-block optimizations: local value numbering and dead-code removal.
+
+The value-numbering pass implements, in one sweep per basic block, the
+paper's "intra-block optimizations":
+
+* constant folding (including floating point) and algebraic identities;
+* strength reduction of multiplies by powers of two into shifts;
+* copy propagation through ``MOV`` chains;
+* common subexpression elimination, including redundant-load elimination
+  and store-to-load forwarding keyed on *value-identical addresses*
+  (the Livermore "address of A[I] computed twice" case of Section 4.4).
+
+Dead-code elimination is liveness-based and only ever deletes
+instructions that write an unused **virtual** register; stores, calls and
+control flow are never touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa import build
+from ..isa.instruction import Instruction, MemRef
+from ..isa.opcodes import Opcode
+from ..isa.program import Function
+from ..isa.registers import ZERO, Reg
+from ..sim.interp import _ALU_FUNCS
+from .alias import may_conflict
+from .dataflow import liveness
+from .options import AliasLevel
+
+_COMMUTATIVE = frozenset(
+    op for op in Opcode if op.info.commutative
+)
+
+#: opcodes whose removal when dead could suppress a runtime fault; the
+#: classical optimizer removes them anyway (so do we), but folding a
+#: *constant* division by zero is never done.
+_TRAPPING = frozenset({Opcode.DIV, Opcode.MOD, Opcode.FDIV})
+
+_FLOAT_RESULT = frozenset(
+    {Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FNEG,
+     Opcode.CVTIF, Opcode.LIF}
+)
+
+
+@dataclass(slots=True)
+class _AvailLoad:
+    """One memory word known to be in a register."""
+
+    mem: MemRef | None
+    addr_key: tuple[int, int]   # (value number of base, displacement)
+    vn: int
+
+
+@dataclass(slots=True)
+class _VNState:
+    next_vn: int = 0
+    reg_vn: dict[Reg, int] = field(default_factory=dict)
+    vn_regs: dict[int, list[Reg]] = field(default_factory=dict)
+    vn_const: dict[int, int | float] = field(default_factory=dict)
+    expr_vn: dict[tuple, int] = field(default_factory=dict)
+    loads: list[_AvailLoad] = field(default_factory=list)
+
+    def fresh(self) -> int:
+        vn = self.next_vn
+        self.next_vn += 1
+        return vn
+
+    def vn_of(self, reg: Reg) -> int:
+        vn = self.reg_vn.get(reg)
+        if vn is None:
+            vn = self.fresh()
+            self.reg_vn[reg] = vn
+            self.vn_regs.setdefault(vn, []).append(reg)
+        return vn
+
+    def const_vn(self, value: int | float, is_float: bool) -> int:
+        key = ("const", is_float, repr(value))
+        vn = self.expr_vn.get(key)
+        if vn is None:
+            vn = self.fresh()
+            self.expr_vn[key] = vn
+            self.vn_const[vn] = value
+        return vn
+
+    def canonical(self, vn: int) -> Reg | None:
+        regs = self.vn_regs.get(vn)
+        if regs:
+            return regs[0]
+        return None
+
+    def set_reg(self, reg: Reg, vn: int) -> None:
+        old = self.reg_vn.get(reg)
+        if old is not None:
+            holders = self.vn_regs.get(old)
+            if holders and reg in holders:
+                holders.remove(reg)
+        self.reg_vn[reg] = vn
+        self.vn_regs.setdefault(vn, []).append(reg)
+
+    def kill_reg(self, reg: Reg) -> None:
+        old = self.reg_vn.pop(reg, None)
+        if old is not None:
+            holders = self.vn_regs.get(old)
+            if holders and reg in holders:
+                holders.remove(reg)
+
+
+def value_number_function(
+    fn: Function, alias_level: AliasLevel = AliasLevel.CONSERVATIVE
+) -> int:
+    """Run local value numbering over every block; returns #rewrites."""
+    changed = 0
+    # Home registers that hold *global* variables are written by callees;
+    # local home registers are callee-save and survive calls.
+    global_homes = tuple(
+        reg for obj, reg in fn.home_bindings.items() if obj.startswith("g:")
+    )
+    for block in fn.blocks:
+        changed += _value_number_block(block, alias_level, global_homes)
+    return changed
+
+
+def _value_number_block(
+    block, alias_level: AliasLevel, global_homes: tuple[Reg, ...] = ()
+) -> int:
+    state = _VNState()
+    state.set_reg(ZERO, state.const_vn(0, is_float=False))
+    out: list[Instruction] = []
+    changed = 0
+    # Loads may be disambiguated against stores at OBJECT precision at
+    # most: affine claims carry a side condition local VN cannot check.
+    kill_level = min(alias_level, AliasLevel.OBJECT)
+
+    for ins in block.instrs:
+        ins, delta = _process(ins, state, kill_level, global_homes)
+        changed += delta
+        out.append(ins)
+    block.instrs = out
+    return changed
+
+
+def _replace_srcs(ins: Instruction, state: _VNState) -> bool:
+    """Canonicalize sources through copy propagation."""
+    new_srcs = []
+    replaced = False
+    for r in ins.srcs:
+        vn = state.vn_of(r)
+        canon = state.canonical(vn)
+        if canon is not None and canon != r:
+            new_srcs.append(canon)
+            replaced = True
+        else:
+            new_srcs.append(r)
+    if replaced:
+        ins.srcs = tuple(new_srcs)
+    return replaced
+
+
+def _process(
+    ins: Instruction,
+    state: _VNState,
+    kill_level: AliasLevel,
+    global_homes: tuple[Reg, ...] = (),
+) -> tuple[Instruction, int]:
+    op = ins.op
+    info = op.info
+    changed = 1 if _replace_srcs(ins, state) else 0
+
+    if op in (Opcode.LI, Opcode.LIF):
+        vn = state.const_vn(ins.imm, is_float=op is Opcode.LIF)
+        assert ins.dest is not None
+        state.set_reg(ins.dest, vn)
+        return ins, changed
+
+    if op is Opcode.MOV:
+        vn = state.vn_of(ins.srcs[0])
+        assert ins.dest is not None
+        state.set_reg(ins.dest, vn)
+        return ins, changed
+
+    if op is Opcode.LW:
+        base_vn = state.vn_of(ins.srcs[0])
+        addr_key = (base_vn, int(ins.imm or 0))
+        for avail in state.loads:
+            if avail.addr_key == addr_key:
+                canon = state.canonical(avail.vn)
+                if canon is not None and ins.dest is not None:
+                    new = build.mov(ins.dest, canon)
+                    new.comment = "cse-load"
+                    state.set_reg(ins.dest, avail.vn)
+                    return new, changed + 1
+        vn = state.fresh()
+        assert ins.dest is not None
+        state.set_reg(ins.dest, vn)
+        state.loads.append(_AvailLoad(ins.mem, addr_key, vn))
+        return ins, changed
+
+    if op is Opcode.SW:
+        value_vn = state.vn_of(ins.srcs[0])
+        base_vn = state.vn_of(ins.srcs[1])
+        addr_key = (base_vn, int(ins.imm or 0))
+        kept: list[_AvailLoad] = []
+        for avail in state.loads:
+            if avail.addr_key == addr_key:
+                continue  # superseded below
+            if may_conflict(ins.mem, avail.mem, kill_level):
+                continue
+            kept.append(avail)
+        kept.append(_AvailLoad(ins.mem, addr_key, value_vn))
+        state.loads = kept
+        return ins, changed
+
+    if op is Opcode.CALL:
+        state.loads.clear()
+        # The callee may clobber ra, rv, the argument registers, and any
+        # home register holding a global variable (it may assign to the
+        # global); local home registers are callee-save.
+        from ..isa.registers import ARG_REGS, RA, RV
+
+        for reg in (RA, RV, *ARG_REGS, *global_homes):
+            state.kill_reg(reg)
+        if ins.dest is not None:
+            state.set_reg(ins.dest, state.fresh())
+        return ins, changed
+
+    if info.is_branch or op in (Opcode.NOP, Opcode.HALT):
+        return ins, changed
+
+    # Plain computational instruction.
+    assert ins.dest is not None
+    src_vns = tuple(state.vn_of(r) for r in ins.srcs)
+    consts = [state.vn_const.get(v) for v in src_vns]
+
+    folded = _try_fold(ins, consts, state)
+    if folded is not None:
+        return folded, changed + 1
+
+    simplified = _try_identity(ins, src_vns, consts, state)
+    if simplified is not None:
+        return simplified, changed + 1
+
+    reduced = _try_strength_reduce(ins, src_vns, consts, state)
+    if reduced is not None:
+        ins = reduced
+        changed += 1
+        src_vns = tuple(state.vn_of(r) for r in ins.srcs)
+
+    key_vns = src_vns
+    if op in _COMMUTATIVE:
+        key_vns = tuple(sorted(src_vns))
+    key = (ins.op.value, key_vns, ins.imm)
+    existing = state.expr_vn.get(key)
+    if existing is not None and ins.op not in _TRAPPING:
+        canon = state.canonical(existing)
+        if canon is not None:
+            new = build.mov(ins.dest, canon)
+            new.comment = "cse"
+            state.set_reg(ins.dest, existing)
+            return new, changed + 1
+    vn = state.fresh()
+    state.expr_vn[key] = vn
+    state.set_reg(ins.dest, vn)
+    return ins, changed
+
+
+def _try_fold(ins: Instruction, consts, state: _VNState) -> Instruction | None:
+    """Constant-fold when every operand is a known constant."""
+    if any(c is None for c in consts) and ins.srcs:
+        return None
+    fnc = _ALU_FUNCS.get(ins.op)
+    if fnc is None:
+        return None
+    try:
+        if ins.op.info.has_imm and len(consts) == 1:
+            value = fnc(consts[0], ins.imm)
+        elif len(consts) == 2:
+            value = fnc(consts[0], consts[1])
+        elif len(consts) == 1:
+            value = fnc(consts[0])
+        else:
+            return None
+    except Exception:
+        return None  # e.g. constant division by zero: leave it to run time
+    assert ins.dest is not None
+    is_float = isinstance(value, float)
+    new = build.lif(ins.dest, value) if is_float else build.li(ins.dest, value)
+    new.comment = "fold"
+    state.set_reg(ins.dest, state.const_vn(value, is_float))
+    return new
+
+
+def _copy_to(dest: Reg, vn: int, state: _VNState) -> Instruction | None:
+    canon = state.canonical(vn)
+    if canon is None:
+        return None
+    new = build.mov(dest, canon)
+    new.comment = "identity"
+    state.set_reg(dest, vn)
+    return new
+
+
+def _try_identity(
+    ins: Instruction, src_vns, consts, state: _VNState
+) -> Instruction | None:
+    """Algebraic identities: x+0, x-0, x*1, x*0, x<<0, x|0, x^0 ..."""
+    op = ins.op
+    dest = ins.dest
+    assert dest is not None
+    if op in (Opcode.ADDI, Opcode.ORI, Opcode.XORI, Opcode.SLLI, Opcode.SRAI,
+              Opcode.SRLI) and ins.imm == 0:
+        return _copy_to(dest, src_vns[0], state)
+    if op in (Opcode.ADD, Opcode.OR, Opcode.XOR):
+        if consts[1] == 0:
+            return _copy_to(dest, src_vns[0], state)
+        if consts[0] == 0:
+            return _copy_to(dest, src_vns[1], state)
+    if op is Opcode.SUB and consts[1] == 0:
+        return _copy_to(dest, src_vns[0], state)
+    if op is Opcode.MUL:
+        for a, b in ((0, 1), (1, 0)):
+            if consts[a] == 1:
+                return _copy_to(dest, src_vns[b], state)
+            if consts[a] == 0:
+                new = build.li(dest, 0)
+                new.comment = "mul0"
+                state.set_reg(dest, state.const_vn(0, is_float=False))
+                return new
+    if op is Opcode.FMUL:
+        for a, b in ((0, 1), (1, 0)):
+            if consts[a] == 1.0:
+                return _copy_to(dest, src_vns[b], state)
+    if op is Opcode.FADD:
+        for a, b in ((0, 1), (1, 0)):
+            if consts[a] == 0.0:
+                return _copy_to(dest, src_vns[b], state)
+    if op is Opcode.FSUB and consts[1] == 0.0:
+        return _copy_to(dest, src_vns[0], state)
+    return None
+
+
+def _try_strength_reduce(
+    ins: Instruction, src_vns, consts, state: _VNState
+) -> Instruction | None:
+    """Rewrite integer multiply by a power of two into a shift."""
+    if ins.op is not Opcode.MUL:
+        return None
+    for a, b in ((1, 0), (0, 1)):
+        c = consts[a]
+        if isinstance(c, int) and c > 1 and (c & (c - 1)) == 0:
+            assert ins.dest is not None
+            new = build.alui(
+                Opcode.SLLI, ins.dest, ins.srcs[b], c.bit_length() - 1
+            )
+            new.comment = "strength"
+            return new
+    return None
+
+
+def dead_code_elimination(fn: Function, max_rounds: int = 10) -> int:
+    """Remove instructions whose virtual destination is never used.
+
+    Liveness-driven; iterates until fixpoint because deleting a use can
+    make its producers dead.  Returns the number of removed instructions.
+    """
+    removed_total = 0
+    for _ in range(max_rounds):
+        lv = liveness(fn)
+        removed = 0
+        for block in fn.blocks:
+            live: set[Reg] = set(lv.live_out[block.label])
+            kept_rev: list[Instruction] = []
+            for ins in reversed(block.instrs):
+                dest = ins.dest
+                removable = (
+                    dest is not None
+                    and dest.virtual
+                    and dest not in live
+                    and not ins.op.info.is_store
+                    and not ins.op.info.is_branch
+                )
+                if not removable and ins.op is Opcode.MOV:
+                    if dest == ins.srcs[0]:
+                        removable = True  # mov x <- x
+                if removable:
+                    removed += 1
+                    continue
+                if dest is not None and dest.virtual:
+                    live.discard(dest)
+                for r in ins.srcs:
+                    if r.virtual:
+                        live.add(r)
+                kept_rev.append(ins)
+            block.instrs = list(reversed(kept_rev))
+        removed_total += removed
+        if removed == 0:
+            break
+    return removed_total

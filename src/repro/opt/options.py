@@ -1,0 +1,108 @@
+"""Compiler options: optimization levels and knobs.
+
+The optimization levels mirror the x-axis of the paper's Figure 4-8, where
+each step *adds* a set of optimizations:
+
+====  =====================  ==========================================
+code  name                   adds
+====  =====================  ==========================================
+0     NONE                   nothing (raw code generation)
+1     SCHEDULE               pipeline instruction scheduling
+2     LOCAL                  intra-block optimizations (VN/CSE/fold/DCE)
+3     GLOBAL                 global optimizations (LICM, global DCE)
+4     REGALLOC               global register allocation (home registers)
+====  =====================  ==========================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..isa.registers import RegisterFileSpec
+from ..machine.config import MachineConfig
+from ..machine.presets import ideal_superscalar
+
+
+class OptLevel(enum.IntEnum):
+    """Cumulative optimization levels (Figure 4-8's x-axis)."""
+
+    NONE = 0
+    SCHEDULE = 1
+    LOCAL = 2
+    GLOBAL = 3
+    REGALLOC = 4
+
+
+class AliasLevel(enum.IntEnum):
+    """How much the scheduler's memory disambiguation may assume.
+
+    CONSERVATIVE reproduces the paper's baseline scheduler: "the scheduler
+    must assume that two memory locations are the same unless it can prove
+    otherwise" — and it can prove nothing.  OBJECT distinguishes distinct
+    named storage objects.  AFFINE additionally separates accesses to the
+    same object whose indices provably differ by a constant (the analysis
+    behind *careful* loop unrolling).
+    """
+
+    CONSERVATIVE = 0
+    OBJECT = 1
+    AFFINE = 2
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """All knobs of the compile pipeline.
+
+    ``unroll`` is the loop-unrolling factor applied to innermost counted
+    loops (1 = none).  ``careful`` selects careful unrolling: reduction
+    reassociation, affine memory disambiguation, and interprocedural alias
+    analysis (Section 4.4's "careful" mode); plain unrolling with
+    ``careful=False`` is the paper's "naive" mode.
+
+    ``schedule_for`` is the machine description the pipeline scheduler
+    optimizes for; the paper's system schedules for the same specification
+    it simulates.
+    """
+
+    opt_level: OptLevel = OptLevel.REGALLOC
+    regfile: RegisterFileSpec = field(default_factory=RegisterFileSpec)
+    unroll: int = 1
+    careful: bool = False
+    alias: AliasLevel | None = None
+    schedule_for: MachineConfig = field(
+        default_factory=lambda: ideal_superscalar(8)
+    )
+    #: list-scheduling priority: "critical-path" or "source-order"
+    sched_heuristic: str = "critical-path"
+
+    def __post_init__(self) -> None:
+        if self.unroll < 1:
+            raise ValueError("unroll factor must be >= 1")
+        if self.sched_heuristic not in ("critical-path", "source-order"):
+            raise ValueError(
+                f"unknown scheduling heuristic {self.sched_heuristic!r}"
+            )
+
+    @property
+    def alias_level(self) -> AliasLevel:
+        """Effective alias level: explicit setting, else careful => AFFINE."""
+        if self.alias is not None:
+            return self.alias
+        return AliasLevel.AFFINE if self.careful else AliasLevel.CONSERVATIVE
+
+    @property
+    def do_schedule(self) -> bool:
+        return self.opt_level >= OptLevel.SCHEDULE
+
+    @property
+    def do_local(self) -> bool:
+        return self.opt_level >= OptLevel.LOCAL
+
+    @property
+    def do_global(self) -> bool:
+        return self.opt_level >= OptLevel.GLOBAL
+
+    @property
+    def do_regalloc(self) -> bool:
+        return self.opt_level >= OptLevel.REGALLOC

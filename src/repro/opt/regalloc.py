@@ -1,0 +1,389 @@
+"""Register allocation: home-register promotion and temporary assignment.
+
+Two passes, mirroring the paper's compiler (Section 3: "Our compiler
+divides the register set into two disjoint parts ... temporaries for
+short-term expressions ... home locations for local and global
+variables"):
+
+1. :func:`promote_variables` — *global register allocation* in the style
+   of Wall's link-time allocator: scalar variables are ranked by
+   loop-depth-weighted access counts and the hottest ones get dedicated
+   **home registers**; their loads and stores become register moves.
+   Globals hold their register program-wide; locals/params of different
+   functions reuse the remaining registers under a callee-save discipline.
+
+2. :func:`assign_temporaries` — linear-scan assignment of the unbounded
+   virtual registers onto the finite pool of **expression temporaries**,
+   spilling to stack slots when the pool is exhausted.  Values live across
+   a call are always spilled (the callee may use every temporary).
+   Temporary-pool size is the knob behind the paper's observation that
+   "using the same temporary register for two different values ...
+   introduces an artificial dependency" — a small pool forces reuse that
+   the scheduler then cannot undo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import RegisterAllocationError
+from ..isa import build
+from ..isa.instruction import Instruction, MemRef
+from ..isa.opcodes import Opcode
+from ..isa.program import Function, Program, loop_depths
+from ..isa.registers import SCRATCH0, SCRATCH1, SP, Reg, RegisterFileSpec
+from ..lang.codegen import finalize_frames
+from .dataflow import liveness
+
+# ------------------------------------------------------------------ promotion
+
+
+@dataclass(slots=True)
+class _Candidate:
+    obj: str                  # storage object, "g:x" or "s:fn:x"
+    weight: float
+    fn: str | None            # owning function for locals, None for globals
+
+
+def _is_promotable_scalar(mem: MemRef | None) -> bool:
+    if mem is None or mem.is_array or mem.may_alias_all:
+        return False
+    if ":__" in mem.obj:      # __ra, __save*, __spill*: allocator-internal
+        return False
+    return mem.obj.startswith(("g:", "s:"))
+
+
+def _collect_candidates(program: Program) -> list[_Candidate]:
+    weights: dict[str, float] = {}
+    owner: dict[str, str | None] = {}
+    for fn in program.functions.values():
+        depths = loop_depths(fn)
+        for block in fn.blocks:
+            w = 10.0 ** min(depths[block.label], 4)
+            for ins in block.instrs:
+                if ins.op not in (Opcode.LW, Opcode.SW):
+                    continue
+                if not _is_promotable_scalar(ins.mem):
+                    continue
+                obj = ins.mem.obj
+                weights[obj] = weights.get(obj, 0.0) + w
+                owner[obj] = None if obj.startswith("g:") else fn.name
+    ranked = [
+        _Candidate(obj, weight, owner[obj])
+        for obj, weight in weights.items()
+    ]
+    ranked.sort(key=lambda c: (-c.weight, c.obj))
+    return ranked
+
+
+def promote_variables(
+    program: Program, spec: RegisterFileSpec
+) -> dict[str, Reg]:
+    """Allocate home registers to the hottest scalar variables.
+
+    Returns the mapping from storage object to home register.  Rewrites
+    loads/stores of promoted variables into moves, adds callee-save
+    save/restore code for local home registers, initializes global home
+    registers in the ``_start`` stub, and records each function's visible
+    bindings in ``Function.home_bindings``.
+    """
+    home = spec.home_regs
+    if not home:
+        return {}
+    ranked = _collect_candidates(program)
+
+    global_count = 0
+    local_count: dict[str, int] = {}
+    assignment: dict[str, Reg] = {}
+    local_order: dict[str, list[str]] = {}
+    for cand in ranked:
+        max_local = max(local_count.values(), default=0)
+        if cand.fn is None:
+            if global_count + max_local < len(home):
+                global_count += 1
+                assignment[cand.obj] = home[global_count - 1]
+        else:
+            used = local_count.get(cand.fn, 0)
+            if global_count + used < len(home):
+                local_count[cand.fn] = used + 1
+                local_order.setdefault(cand.fn, []).append(cand.obj)
+
+    # Locals take registers above the global block.
+    for fn_name, objs in local_order.items():
+        for i, obj in enumerate(objs):
+            assignment[obj] = home[global_count + i]
+
+    if not assignment:
+        return {}
+
+    global_objs = {
+        obj for obj, _reg in assignment.items() if obj.startswith("g:")
+    }
+
+    for fn in program.functions.values():
+        written: set[Reg] = set()
+        visible: dict[str, Reg] = {}
+        for block in fn.blocks:
+            new_instrs: list[Instruction] = []
+            for ins in block.instrs:
+                reg = None
+                if ins.op in (Opcode.LW, Opcode.SW) and ins.mem is not None:
+                    reg = assignment.get(ins.mem.obj)
+                if reg is None:
+                    new_instrs.append(ins)
+                    continue
+                visible[ins.mem.obj] = reg
+                if ins.op is Opcode.LW:
+                    mov = build.mov(ins.dest, reg)
+                    mov.comment = "home-read"
+                    new_instrs.append(mov)
+                else:
+                    mov = build.mov(reg, ins.srcs[0])
+                    mov.comment = "home-write"
+                    new_instrs.append(mov)
+                    if ins.mem.obj not in global_objs:
+                        written.add(reg)
+            block.instrs = new_instrs
+        # every global binding is visible everywhere
+        for obj in global_objs:
+            visible[obj] = assignment[obj]
+        fn.home_bindings = visible
+        if fn.name != "_start":
+            _insert_callee_saves(fn, sorted(written, key=lambda r: r.index))
+
+    _init_global_homes(program, sorted(global_objs), assignment)
+    return assignment
+
+
+def _insert_callee_saves(fn: Function, regs: list[Reg]) -> None:
+    """Save/restore the home registers this function writes."""
+    if not regs:
+        return
+    entry = fn.blocks[0]
+    exit_block = next(
+        b for b in fn.blocks
+        if b.terminator is not None and b.terminator.op is Opcode.RET
+    )
+    saves: list[Instruction] = []
+    restores: list[Instruction] = []
+    for reg in regs:
+        slot = fn.frame_slots
+        fn.frame_slots += 1
+        mem = MemRef(obj=f"s:{fn.name}:__save{reg.index}", offset=0)
+        saves.append(build.sw(reg, SP, slot, mem=mem, frame_slot=slot))
+        restores.append(build.lw(reg, SP, slot, mem=mem, frame_slot=slot))
+    # entry block: [sp adjust, sw ra, ...]; insert saves after the ra save
+    entry.instrs[2:2] = saves
+    exit_block.instrs[0:0] = restores
+    finalize_frames(fn)
+
+
+def _init_global_homes(
+    program: Program, objs: list[str], assignment: dict[str, Reg]
+) -> None:
+    """Load initial global values into their home registers in ``_start``."""
+    from ..isa.registers import ZERO
+
+    start = program.functions["_start"]
+    loads: list[Instruction] = []
+    for obj in objs:
+        g = program.globals_[obj[2:]]
+        ins = build.lw(
+            assignment[obj], ZERO, g.address, mem=MemRef(obj=obj, offset=0)
+        )
+        ins.comment = "init-home"
+        loads.append(ins)
+    start.blocks[0].instrs[0:0] = loads
+
+
+# ----------------------------------------------------------- temporary regs
+
+
+@dataclass(slots=True)
+class _Interval:
+    reg: Reg
+    start: int
+    end: int
+    assigned: Reg | None = None
+    spilled: bool = False
+    slot: int | None = None
+
+
+@dataclass(slots=True)
+class AllocationStats:
+    """Outcome of temporary assignment (for tests and diagnostics)."""
+
+    n_virtual: int = 0
+    n_spilled: int = 0
+    spill_slots: int = 0
+
+
+def assign_temporaries(
+    fn: Function, spec: RegisterFileSpec
+) -> AllocationStats:
+    """Map virtual registers onto the temporary pool by linear scan."""
+    intervals, call_positions = _build_intervals(fn)
+    stats = AllocationStats(n_virtual=len(intervals))
+    if not intervals:
+        return stats
+
+    ordered = sorted(intervals.values(), key=lambda iv: (iv.start, iv.end))
+    pool = list(spec.temp_regs)
+    if len(pool) < 1:
+        raise RegisterAllocationError("empty temporary pool")
+
+    def _spill(iv: _Interval) -> None:
+        iv.spilled = True
+        iv.slot = fn.frame_slots
+        fn.frame_slots += 1
+        stats.n_spilled += 1
+        stats.spill_slots += 1
+
+    # Values live across a call are spilled outright: the callee may use
+    # every temporary register.
+    import bisect
+    from collections import deque
+
+    call_sorted = sorted(call_positions)
+    active: list[_Interval] = []
+    # FIFO recycling spreads values over the whole pool, so register reuse
+    # (and the WAR "artificial dependencies" it creates, Section 3) only
+    # appears once the pool is genuinely exhausted — which makes the
+    # temporary count the experimental knob the paper describes.
+    free: deque[Reg] = deque(pool)
+    for iv in ordered:
+        # CALL never reads or writes a virtual register, so any call
+        # position inside [start, end] means the value lives across it.
+        lo = bisect.bisect_left(call_sorted, iv.start)
+        crosses_call = lo < len(call_sorted) and call_sorted[lo] <= iv.end
+        if crosses_call:
+            _spill(iv)
+            continue
+        active = [a for a in active if a.end >= iv.start or _free(a, free)]
+        if free:
+            iv.assigned = free.popleft()
+            active.append(iv)
+        else:
+            victim = max(active, key=lambda a: a.end)
+            if victim.end > iv.end:
+                iv.assigned = victim.assigned
+                victim.assigned = None
+                _spill(victim)
+                active.remove(victim)
+                active.append(iv)
+            else:
+                _spill(iv)
+
+    _rewrite_spills(fn, intervals)
+    finalize_frames(fn)
+    return stats
+
+
+def _free(iv: _Interval, free: list[Reg]) -> bool:
+    """Expire ``iv``: return its register to the pool.  Always False so it
+    can be used as a filter predicate that drops the interval."""
+    if iv.assigned is not None:
+        free.append(iv.assigned)
+    return False
+
+
+def _build_intervals(
+    fn: Function,
+) -> tuple[dict[Reg, _Interval], list[int]]:
+    lv = liveness(fn)
+    intervals: dict[Reg, _Interval] = {}
+    call_positions: list[int] = []
+
+    def extend(reg: Reg, pos: int) -> None:
+        iv = intervals.get(reg)
+        if iv is None:
+            intervals[reg] = _Interval(reg, pos, pos)
+        else:
+            if pos < iv.start:
+                iv.start = pos
+            if pos > iv.end:
+                iv.end = pos
+
+    pos = 0
+    for block in fn.blocks:
+        block_start = pos
+        block_end = pos + max(len(block.instrs) - 1, 0)
+        for reg in lv.live_in[block.label]:
+            extend(reg, block_start)
+        for reg in lv.live_out[block.label]:
+            extend(reg, block_end)
+        for ins in block.instrs:
+            if ins.op is Opcode.CALL:
+                call_positions.append(pos)
+            if ins.dest is not None and ins.dest.virtual:
+                extend(ins.dest, pos)
+            for r in ins.srcs:
+                if r.virtual:
+                    extend(r, pos)
+            pos += 1
+    return intervals, call_positions
+
+
+def _rewrite_spills(fn: Function, intervals: dict[Reg, _Interval]) -> None:
+    """Apply the allocation: rename assigned vregs, wrap spilled ones in
+    scratch-register reloads/stores."""
+    for block in fn.blocks:
+        new_instrs: list[Instruction] = []
+        for ins in block.instrs:
+            scratch_map: dict[Reg, Reg] = {}
+            scratches = [SCRATCH0, SCRATCH1]
+            new_srcs = []
+            for r in ins.srcs:
+                if not r.virtual:
+                    new_srcs.append(r)
+                    continue
+                iv = intervals[r]
+                if iv.spilled:
+                    if r not in scratch_map:
+                        if not scratches:
+                            raise RegisterAllocationError(
+                                f"{fn.name}: more than two spilled sources"
+                            )
+                        scratch = scratches.pop(0)
+                        scratch_map[r] = scratch
+                        mem = MemRef(
+                            obj=f"s:{fn.name}:__spill{iv.slot}", offset=0
+                        )
+                        new_instrs.append(
+                            build.lw(
+                                scratch, SP, iv.slot,
+                                mem=mem, frame_slot=iv.slot,
+                            )
+                        )
+                    new_srcs.append(scratch_map[r])
+                else:
+                    assert iv.assigned is not None
+                    new_srcs.append(iv.assigned)
+            ins.srcs = tuple(new_srcs)
+
+            store_after: Instruction | None = None
+            if ins.dest is not None and ins.dest.virtual:
+                iv = intervals[ins.dest]
+                if iv.spilled:
+                    ins.dest = SCRATCH0
+                    mem = MemRef(
+                        obj=f"s:{fn.name}:__spill{iv.slot}", offset=0
+                    )
+                    store_after = build.sw(
+                        SCRATCH0, SP, iv.slot, mem=mem, frame_slot=iv.slot
+                    )
+                else:
+                    assert iv.assigned is not None
+                    ins.dest = iv.assigned
+            new_instrs.append(ins)
+            if store_after is not None:
+                new_instrs.append(store_after)
+        block.instrs = new_instrs
+
+    for ins in fn.instructions():
+        if (ins.dest is not None and ins.dest.virtual) or any(
+            r.virtual for r in ins.srcs
+        ):
+            raise RegisterAllocationError(
+                f"{fn.name}: virtual register survived allocation: {ins}"
+            )

@@ -1,0 +1,494 @@
+"""Loop unrolling — naive and careful (Section 4.4, Figure 4-6).
+
+The paper unrolled loops *by hand* in two ways:
+
+* **naive**: "simply duplicating the loop body inside the loop, and
+  allowing the normal code optimizer and scheduler to remove redundant
+  computations and to re-order the instructions";
+* **careful**: "we reassociate long strings of additions or
+  multiplications to maximize the parallelism, and we analyze the stores
+  in the unrolled loop so that stores from early copies of the loop do
+  not interfere with loads in later copies".
+
+We mechanize both as a source-to-source transformation on ``for`` loops
+(innermost counted loops with a constant step).  ``for v = a to b by s``
+with factor *u* becomes::
+
+    v = a; __limit = b;
+    while (v*sgn <= (__limit - (u-1)*s)*sgn) {   # main unrolled loop
+        body[v]; body[v+s]; ...; body[v+(u-1)*s];
+        v = v + u*s;
+    }
+    while (v*sgn <= __limit*sgn) { body[v]; v = v + s; }   # remainder
+
+Careful mode additionally rewrites accumulator statements
+``acc = acc + E`` appearing once per copy into partial sums combined by a
+balanced tree (floating-point reassociation — exactly the paper's use of
+"knowledge of operator associativity").  The store/load disambiguation
+half of careful mode lives in the scheduler's affine alias analysis
+(:mod:`repro.opt.alias`), enabled by the same ``careful`` option.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang import ast
+
+
+@dataclass(slots=True)
+class UnrollStats:
+    """What the unroller did (for logging and tests)."""
+
+    loops_unrolled: int = 0
+    reductions_reassociated: int = 0
+
+
+def unroll_module(
+    module: ast.Module, factor: int, careful: bool = False
+) -> UnrollStats:
+    """Unroll innermost ``for`` loops of every procedure, in place."""
+    stats = UnrollStats()
+    if factor <= 1:
+        return stats
+    namer = _Namer()
+    for proc in module.procs:
+        proc.body = _unroll_stmts(proc.body, factor, careful, namer, stats)
+    return stats
+
+
+class _Namer:
+    """Generates unique compiler-introduced local names."""
+
+    def __init__(self) -> None:
+        self._n = 0
+
+    def fresh(self, hint: str) -> str:
+        self._n += 1
+        return f"__{hint}{self._n}"
+
+
+def _unroll_stmts(
+    stmts: list[ast.StmtT],
+    factor: int,
+    careful: bool,
+    namer: _Namer,
+    stats: UnrollStats,
+) -> list[ast.StmtT]:
+    out: list[ast.StmtT] = []
+    for stmt in stmts:
+        if isinstance(stmt, ast.If):
+            stmt.then = _unroll_stmts(stmt.then, factor, careful, namer, stats)
+            stmt.els = _unroll_stmts(stmt.els, factor, careful, namer, stats)
+            out.append(stmt)
+        elif isinstance(stmt, ast.While):
+            stmt.body = _unroll_stmts(stmt.body, factor, careful, namer, stats)
+            out.append(stmt)
+        elif isinstance(stmt, ast.For):
+            if _is_innermost(stmt) and not _assigns_var(stmt.body, stmt.var):
+                out.extend(
+                    _unroll_for(stmt, factor, careful, namer, stats)
+                )
+            else:
+                stmt.body = _unroll_stmts(
+                    stmt.body, factor, careful, namer, stats
+                )
+                out.append(stmt)
+        else:
+            out.append(stmt)
+    return out
+
+
+def _is_innermost(stmt: ast.For) -> bool:
+    """True when the loop body contains no further loops."""
+
+    def has_loop(stmts: list[ast.StmtT]) -> bool:
+        for s in stmts:
+            if isinstance(s, (ast.For, ast.While)):
+                return True
+            if isinstance(s, ast.If) and (has_loop(s.then) or has_loop(s.els)):
+                return True
+        return False
+
+    return not has_loop(stmt.body)
+
+
+def _assigns_var(stmts: list[ast.StmtT], name: str) -> bool:
+    for s in stmts:
+        if isinstance(s, ast.Assign):
+            if isinstance(s.target, ast.VarRef) and s.target.name == name:
+                return True
+        elif isinstance(s, ast.If):
+            if _assigns_var(s.then, name) or _assigns_var(s.els, name):
+                return True
+        elif isinstance(s, (ast.While, ast.For)):
+            if _assigns_var(s.body, name):  # pragma: no cover - innermost only
+                return True
+    return False
+
+
+def _contains_return(stmts: list[ast.StmtT]) -> bool:
+    for s in stmts:
+        if isinstance(s, ast.Return):
+            return True
+        if isinstance(s, ast.If) and (
+            _contains_return(s.then) or _contains_return(s.els)
+        ):
+            return True
+        if isinstance(s, (ast.While, ast.For)) and _contains_return(s.body):
+            return True
+    return False
+
+
+def _extract_decls(
+    stmts: list[ast.StmtT], decls: list[ast.StmtT]
+) -> list[ast.StmtT]:
+    """Return ``stmts`` with every (possibly nested) LocalDecl moved into
+    ``decls``; the structure of the remaining statements is preserved."""
+    out: list[ast.StmtT] = []
+    for st in stmts:
+        if isinstance(st, ast.LocalDecl):
+            decls.append(st)
+        elif isinstance(st, ast.If):
+            st.then = _extract_decls(st.then, decls)
+            st.els = _extract_decls(st.els, decls)
+            out.append(st)
+        elif isinstance(st, (ast.While, ast.For)):
+            st.body = _extract_decls(st.body, decls)
+            out.append(st)
+        else:
+            out.append(st)
+    return out
+
+
+def _unroll_for(
+    loop: ast.For,
+    factor: int,
+    careful: bool,
+    namer: _Namer,
+    stats: UnrollStats,
+) -> list[ast.StmtT]:
+    if _contains_return(loop.body):
+        # An early exit would skip the remaining copies' bookkeeping; the
+        # paper unrolled only straight-line numeric loops, so skip these.
+        return [loop]
+    stats.loops_unrolled += 1
+    v, s, u = loop.var, loop.step, factor
+
+    # Locals are function-scoped: hoist every declaration out of the body
+    # (even ones nested in conditionals) so the copies don't redeclare.
+    decls: list[ast.StmtT] = []
+    body = _extract_decls(loop.body, decls)
+
+    limit = namer.fresh("limit")
+    out: list[ast.StmtT] = list(decls)
+    out.append(ast.LocalDecl([limit], ast.INT))
+    out.append(ast.Assign(ast.VarRef(v), loop.start))
+    out.append(ast.Assign(ast.VarRef(limit), loop.stop))
+
+    copies = [
+        [_subst_stmt(st, v, k * s) for st in body] for k in range(u)
+    ]
+    if careful:
+        extra_decls = _reassociate(copies, v, loop, namer, stats)
+        out.extend(extra_decls)
+
+    main_body: list[ast.StmtT] = []
+    for copy in copies:
+        main_body.extend(copy)
+    main_body.append(
+        ast.Assign(
+            ast.VarRef(v),
+            ast.BinOp("+", ast.VarRef(v), ast.IntLit(u * s)),
+        )
+    )
+    cmp_op = "<=" if s > 0 else ">="
+    main_cond = ast.BinOp(
+        cmp_op,
+        ast.VarRef(v),
+        ast.BinOp("-", ast.VarRef(limit), ast.IntLit((u - 1) * s)),
+    )
+    out.append(ast.While(main_cond, main_body))
+
+    rem_body: list[ast.StmtT] = [_subst_stmt(st, v, 0) for st in body]
+    rem_body.append(
+        ast.Assign(
+            ast.VarRef(v), ast.BinOp("+", ast.VarRef(v), ast.IntLit(s))
+        )
+    )
+    out.append(
+        ast.While(ast.BinOp(cmp_op, ast.VarRef(v), ast.VarRef(limit)), rem_body)
+    )
+    return out
+
+
+# --------------------------------------------------------------- reassociation
+def _reassociate(
+    copies: list[list[ast.StmtT]],
+    loopvar: str,
+    loop: ast.For,
+    namer: _Namer,
+    stats: UnrollStats,
+) -> list[ast.StmtT]:
+    """Rewrite per-copy accumulations into balanced partial-sum trees.
+
+    A statement position qualifies when every copy holds
+    ``acc = acc op E_k`` (op in {+, *}), ``acc`` is a scalar referenced
+    nowhere else in the body, and ``E_k`` does not mention ``acc``.
+    Copy *k* is rewritten to ``__pk = E_k`` and the final copy is followed
+    by ``acc = acc op tree(__p0 .. __p{u-1})``.
+
+    Returns the declarations for the introduced partial temporaries.
+    """
+    u = len(copies)
+    original = list(copies[0])  # untouched snapshot for the analysis
+    decls: list[ast.StmtT] = []
+    # Reversed so the tree-combining inserts into the last copy do not
+    # shift the positions of accumulations handled later.
+    for pos in reversed(range(len(original))):
+        shape = _accumulation_shape(original[pos])
+        if shape is None:
+            continue
+        acc, op = shape
+        if acc == loopvar:
+            continue
+        # acc must appear exactly twice in the whole body: target + operand.
+        refs = sum(_count_refs(s, acc) for s in original)
+        if refs != 2:
+            continue
+        if not all(
+            _accumulation_shape(copy[pos]) == (acc, op) for copy in copies
+        ):
+            continue  # pragma: no cover - copies are substitutions of base
+        temps = [namer.fresh("p") for _ in range(u)]
+        for k, copy in enumerate(copies):
+            st = copy[pos]
+            assert isinstance(st, ast.Assign)
+            term = _accumulation_term(st, acc)
+            copy[pos] = ast.Assign(ast.VarRef(temps[k]), term)
+        tree = _balanced_tree(op, [ast.VarRef(t) for t in temps])
+        copies[-1].insert(
+            pos + 1,
+            ast.Assign(
+                ast.VarRef(acc), ast.BinOp(op, ast.VarRef(acc), tree)
+            ),
+        )
+        # The partials inherit the accumulator's type; declare as float
+        # when the accumulator is float, which sema will verify.  We do
+        # not know the type before sema, so declare with the accumulator's
+        # declared type looked up lazily at semantic analysis via a
+        # same-type marker: a float literal initialisation is not
+        # available in locals, so emit the declaration using the type
+        # recorded on the loop's enclosing procedure later.  In practice
+        # the accumulator's type is discovered by name lookup during
+        # semantic analysis; we declare the partials with the placeholder
+        # type stored on the statement and fix it there.
+        decls.append(_PartialDecl(temps, acc))
+        stats.reductions_reassociated += 1
+    return decls
+
+
+class _PartialDecl(ast.LocalDecl):
+    """LocalDecl whose type is resolved to another variable's type.
+
+    Semantic analysis cannot see this class; :func:`resolve_partial_decls`
+    rewrites these into ordinary declarations once variable types are
+    known (it runs between unrolling and semantic analysis).
+    """
+
+    def __init__(self, names: list[str], like: str):
+        super().__init__(names=names, ty=ast.INT)
+        self.like = like
+
+
+def resolve_partial_decls(module: ast.Module) -> None:
+    """Give reassociation temporaries the type of their accumulator."""
+    global_types = {}
+    for g in module.globals_:
+        for name in g.names:
+            if g.size is None:
+                global_types[name] = g.ty
+    for proc in module.procs:
+        local_types = dict(global_types)
+        for p in proc.params:
+            if p.size is None:
+                local_types[p.name] = p.ty
+        _collect_scalar_types(proc.body, local_types)
+        _fix_decls(proc.body, local_types)
+
+
+def _collect_scalar_types(stmts: list[ast.StmtT], types: dict[str, str]) -> None:
+    for s in stmts:
+        if isinstance(s, ast.LocalDecl) and s.size is None:
+            if not isinstance(s, _PartialDecl):
+                for name in s.names:
+                    types[name] = s.ty
+        elif isinstance(s, ast.If):
+            _collect_scalar_types(s.then, types)
+            _collect_scalar_types(s.els, types)
+        elif isinstance(s, (ast.While, ast.For)):
+            _collect_scalar_types(s.body, types)
+
+
+def _fix_decls(stmts: list[ast.StmtT], types: dict[str, str]) -> None:
+    for i, s in enumerate(stmts):
+        if isinstance(s, _PartialDecl):
+            ty = types.get(s.like, ast.INT)
+            stmts[i] = ast.LocalDecl(names=s.names, ty=ty)
+        elif isinstance(s, ast.If):
+            _fix_decls(s.then, types)
+            _fix_decls(s.els, types)
+        elif isinstance(s, (ast.While, ast.For)):
+            _fix_decls(s.body, types)
+
+
+def _accumulation_shape(stmt: ast.StmtT):
+    """``acc = acc op E`` -> (acc, op); otherwise None."""
+    if not isinstance(stmt, ast.Assign):
+        return None
+    if not isinstance(stmt.target, ast.VarRef):
+        return None
+    acc = stmt.target.name
+    value = stmt.value
+    if not isinstance(value, ast.BinOp) or value.op not in ("+", "*"):
+        return None
+    left_is_acc = isinstance(value.left, ast.VarRef) and value.left.name == acc
+    right_is_acc = (
+        isinstance(value.right, ast.VarRef) and value.right.name == acc
+    )
+    if left_is_acc == right_is_acc:  # both or neither
+        return None
+    term = value.right if left_is_acc else value.left
+    if _expr_refs(term, acc):
+        return None
+    return acc, value.op
+
+
+def _accumulation_term(stmt: ast.Assign, acc: str) -> ast.ExprT:
+    value = stmt.value
+    assert isinstance(value, ast.BinOp)
+    if isinstance(value.left, ast.VarRef) and value.left.name == acc:
+        return value.right
+    return value.left
+
+
+def _balanced_tree(op: str, leaves: list[ast.ExprT]) -> ast.ExprT:
+    if len(leaves) == 1:
+        return leaves[0]
+    mid = len(leaves) // 2
+    return ast.BinOp(
+        op, _balanced_tree(op, leaves[:mid]), _balanced_tree(op, leaves[mid:])
+    )
+
+
+def _count_refs(stmt: ast.StmtT, name: str) -> int:
+    count = 0
+    if isinstance(stmt, ast.Assign):
+        if isinstance(stmt.target, ast.VarRef) and stmt.target.name == name:
+            count += 1
+        if isinstance(stmt.target, ast.Index):
+            count += _expr_refs(stmt.target.index, name)
+        count += _expr_refs(stmt.value, name)
+    elif isinstance(stmt, ast.If):
+        count += _expr_refs(stmt.cond, name)
+        count += sum(_count_refs(s, name) for s in stmt.then)
+        count += sum(_count_refs(s, name) for s in stmt.els)
+    elif isinstance(stmt, (ast.While,)):
+        count += _expr_refs(stmt.cond, name)
+        count += sum(_count_refs(s, name) for s in stmt.body)
+    elif isinstance(stmt, ast.For):
+        count += _expr_refs(stmt.start, name) + _expr_refs(stmt.stop, name)
+        count += sum(_count_refs(s, name) for s in stmt.body)
+    elif isinstance(stmt, ast.Return) and stmt.value is not None:
+        count += _expr_refs(stmt.value, name)
+    elif isinstance(stmt, ast.CallStmt):
+        count += _expr_refs(stmt.call, name)
+    return count
+
+
+def _expr_refs(expr: ast.ExprT, name: str) -> int:
+    if isinstance(expr, ast.VarRef):
+        return 1 if expr.name == name else 0
+    if isinstance(expr, ast.Index):
+        base = 1 if expr.name == name else 0
+        return base + _expr_refs(expr.index, name)
+    if isinstance(expr, ast.BinOp):
+        return _expr_refs(expr.left, name) + _expr_refs(expr.right, name)
+    if isinstance(expr, (ast.UnOp, ast.Cast)):
+        return _expr_refs(expr.operand, name)
+    if isinstance(expr, ast.Call):
+        return sum(_expr_refs(a, name) for a in expr.args)
+    return 0
+
+
+# ------------------------------------------------------------- substitution
+def _subst_stmt(stmt: ast.StmtT, var: str, delta: int) -> ast.StmtT:
+    """Clone ``stmt`` with ``var`` replaced by ``var + delta``."""
+    if isinstance(stmt, ast.Assign):
+        target = stmt.target
+        if isinstance(target, ast.Index):
+            new_target: ast.VarRef | ast.Index = ast.Index(
+                target.name, _subst_expr(target.index, var, delta)
+            )
+        else:
+            new_target = ast.VarRef(target.name)
+        return ast.Assign(new_target, _subst_expr(stmt.value, var, delta))
+    if isinstance(stmt, ast.If):
+        return ast.If(
+            _subst_expr(stmt.cond, var, delta),
+            [_subst_stmt(s, var, delta) for s in stmt.then],
+            [_subst_stmt(s, var, delta) for s in stmt.els],
+        )
+    if isinstance(stmt, ast.While):
+        return ast.While(
+            _subst_expr(stmt.cond, var, delta),
+            [_subst_stmt(s, var, delta) for s in stmt.body],
+        )
+    if isinstance(stmt, ast.For):
+        return ast.For(
+            stmt.var,
+            _subst_expr(stmt.start, var, delta),
+            _subst_expr(stmt.stop, var, delta),
+            stmt.step,
+            [_subst_stmt(s, var, delta) for s in stmt.body],
+        )
+    if isinstance(stmt, ast.Return):
+        value = (
+            None if stmt.value is None else _subst_expr(stmt.value, var, delta)
+        )
+        return ast.Return(value)
+    if isinstance(stmt, ast.CallStmt):
+        call = _subst_expr(stmt.call, var, delta)
+        assert isinstance(call, ast.Call)
+        return ast.CallStmt(call)
+    if isinstance(stmt, ast.LocalDecl):
+        return ast.LocalDecl(list(stmt.names), stmt.ty, stmt.size)
+    raise TypeError(f"cannot substitute into {stmt!r}")  # pragma: no cover
+
+
+def _subst_expr(expr: ast.ExprT, var: str, delta: int) -> ast.ExprT:
+    if isinstance(expr, ast.IntLit):
+        return ast.IntLit(expr.value)
+    if isinstance(expr, ast.FloatLit):
+        return ast.FloatLit(expr.value)
+    if isinstance(expr, ast.VarRef):
+        if expr.name == var and delta != 0:
+            return ast.BinOp("+", ast.VarRef(var), ast.IntLit(delta))
+        return ast.VarRef(expr.name)
+    if isinstance(expr, ast.Index):
+        return ast.Index(expr.name, _subst_expr(expr.index, var, delta))
+    if isinstance(expr, ast.Call):
+        return ast.Call(
+            expr.name, [_subst_expr(a, var, delta) for a in expr.args]
+        )
+    if isinstance(expr, ast.BinOp):
+        return ast.BinOp(
+            expr.op,
+            _subst_expr(expr.left, var, delta),
+            _subst_expr(expr.right, var, delta),
+        )
+    if isinstance(expr, ast.UnOp):
+        return ast.UnOp(expr.op, _subst_expr(expr.operand, var, delta))
+    if isinstance(expr, ast.Cast):
+        return ast.Cast(expr.to, _subst_expr(expr.operand, var, delta))
+    raise TypeError(f"cannot substitute into {expr!r}")  # pragma: no cover

@@ -1,0 +1,6 @@
+"""Pipeline instruction scheduling (dependence DAG + list scheduling)."""
+
+from .dag import DepDAG, build_dag
+from .list_scheduler import schedule_block, schedule_function
+
+__all__ = ["DepDAG", "build_dag", "schedule_block", "schedule_function"]

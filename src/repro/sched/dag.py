@@ -1,0 +1,184 @@
+"""Dependence DAG construction for basic-block scheduling.
+
+Edges encode every ordering the scheduled code must preserve:
+
+* register true/anti/output dependences (RAW with the producer's operation
+  latency as the edge weight; WAR and WAW as pure ordering edges — the
+  paper's "artificial dependencies" from temporary-register reuse);
+* memory dependences filtered through the alias oracle
+  (:mod:`repro.opt.alias`), including the affine same-object
+  disambiguation of careful unrolling with its no-redefinition side
+  condition;
+* calls as full scheduling barriers;
+* the block terminator, which everything precedes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.instruction import Instruction, MemRef
+from ..isa.opcodes import Opcode
+from ..isa.program import BasicBlock
+from ..isa.registers import Reg
+from ..machine.config import MachineConfig
+from ..opt.alias import may_conflict
+from ..opt.options import AliasLevel
+
+
+@dataclass(slots=True)
+class DepDAG:
+    """Dependence DAG over one basic block's instructions."""
+
+    n: int
+    preds: list[dict[int, int]] = field(default_factory=list)  # j -> latency
+    succs: list[dict[int, int]] = field(default_factory=list)
+
+    def add_edge(self, src: int, dst: int, latency: int) -> None:
+        """Add (or strengthen) an edge ``src`` before ``dst``."""
+        if src == dst:
+            return
+        cur = self.succs[src].get(dst)
+        if cur is None or latency > cur:
+            self.succs[src][dst] = latency
+            self.preds[dst][src] = latency
+
+    def topological_order(self) -> list[int]:
+        """A topological order (Kahn); raises on cycles."""
+        indeg = [len(p) for p in self.preds]
+        stack = [i for i in range(self.n) if indeg[i] == 0]
+        out: list[int] = []
+        while stack:
+            i = stack.pop()
+            out.append(i)
+            for s in self.succs[i]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    stack.append(s)
+        if len(out) != self.n:
+            raise ValueError("dependence graph has a cycle")
+        return out
+
+
+def _writes_by_object(
+    instrs: list[Instruction], home_bindings: dict[str, Reg]
+) -> dict[str, list[int]]:
+    """Positions that redefine each scalar storage object.
+
+    A scalar changes either through a store to its memory object or, once
+    promoted, through a write of its home register.
+    """
+    reg_to_objs: dict[Reg, list[str]] = {}
+    for obj, reg in home_bindings.items():
+        reg_to_objs.setdefault(reg, []).append(obj)
+    writes: dict[str, list[int]] = {}
+    for i, ins in enumerate(instrs):
+        if ins.op.info.is_store and ins.mem is not None:
+            writes.setdefault(ins.mem.obj, []).append(i)
+        if ins.dest is not None:
+            for obj in reg_to_objs.get(ins.dest, ()):
+                writes.setdefault(obj, []).append(i)
+    return writes
+
+
+def _mem_disjoint(
+    a: MemRef | None,
+    b: MemRef | None,
+    i: int,
+    j: int,
+    level: AliasLevel,
+    writes: dict[str, list[int]],
+) -> bool:
+    """Are the accesses at positions ``i < j`` provably disjoint?
+
+    Applies the affine rule only when none of the affine core's variables
+    is redefined strictly between the two positions.
+    """
+    if may_conflict(a, b, level) is False:
+        return True
+    if level < AliasLevel.AFFINE or a is None or b is None:
+        return False
+    if a.obj != b.obj:
+        return False
+    if a.offset is not None and b.offset is not None:
+        return a.offset != b.offset
+    if (
+        a.affine is None
+        or b.affine is None
+        or a.affine[0] != b.affine[0]
+        or a.affine[1] == b.affine[1]
+    ):
+        return False
+    for var in set(a.affine_vars) | set(b.affine_vars):
+        for pos in writes.get(var, ()):
+            if i < pos < j:
+                return False
+    return True
+
+
+def build_dag(
+    block: BasicBlock,
+    config: MachineConfig,
+    alias_level: AliasLevel = AliasLevel.CONSERVATIVE,
+    home_bindings: dict[str, Reg] | None = None,
+) -> DepDAG:
+    """Build the dependence DAG for ``block`` under ``config``.
+
+    RAW edges carry the producer's operation latency (in the config's
+    minor cycles); ordering-only edges carry latency 0.
+    """
+    instrs = block.instrs
+    n = len(instrs)
+    dag = DepDAG(n, [dict() for _ in range(n)], [dict() for _ in range(n)])
+    writes = _writes_by_object(instrs, home_bindings or {})
+
+    last_def: dict[Reg, int] = {}
+    uses_since_def: dict[Reg, list[int]] = {}
+    mem_ops: list[tuple[int, MemRef | None, bool]] = []
+    barrier: int | None = None
+
+    for i, ins in enumerate(instrs):
+        info = ins.op.info
+
+        if barrier is not None:
+            dag.add_edge(barrier, i, 1)
+
+        for src in ins.srcs:
+            j = last_def.get(src)
+            if j is not None:
+                dag.add_edge(j, i, config.latencies[instrs[j].op.klass])
+            uses_since_def.setdefault(src, []).append(i)
+
+        dest = ins.dest
+        if dest is not None:
+            for u in uses_since_def.get(dest, ()):
+                dag.add_edge(u, i, 0)  # WAR
+            j = last_def.get(dest)
+            if j is not None:
+                dag.add_edge(j, i, 0)  # WAW
+            last_def[dest] = i
+            uses_since_def[dest] = []
+
+        if info.is_mem:
+            for j, mem_j, j_is_store in mem_ops:
+                if not (j_is_store or info.is_store):
+                    continue  # load-load never conflicts
+                if _mem_disjoint(mem_j, ins.mem, j, i, alias_level, writes):
+                    continue
+                latency = (
+                    config.latencies[Opcode.SW.klass]
+                    if j_is_store and info.is_load
+                    else 0
+                )
+                dag.add_edge(j, i, latency)
+            mem_ops.append((i, ins.mem, info.is_store))
+
+        if ins.op is Opcode.CALL:
+            for j in range(i):
+                dag.add_edge(j, i, 0)
+            barrier = i
+
+    if n and instrs[-1].is_terminator:
+        for j in range(n - 1):
+            dag.add_edge(j, n - 1, 0)
+    return dag

@@ -1,0 +1,32 @@
+"""Functional and timing simulation."""
+
+from .cache import (
+    CacheConfig,
+    CacheResult,
+    ICacheResult,
+    simulate_with_cache,
+    simulate_with_icache,
+)
+from .interp import RunResult, flatten, run
+from .limits import branch_inhibition, dataflow_limit, simulate_out_of_order
+from .timing import TimingResult, issue_schedule, parallelism, simulate
+from .trace import Trace
+
+__all__ = [
+    "CacheConfig",
+    "CacheResult",
+    "ICacheResult",
+    "RunResult",
+    "TimingResult",
+    "Trace",
+    "branch_inhibition",
+    "dataflow_limit",
+    "flatten",
+    "issue_schedule",
+    "parallelism",
+    "run",
+    "simulate",
+    "simulate_out_of_order",
+    "simulate_with_cache",
+    "simulate_with_icache",
+]

@@ -1,0 +1,280 @@
+"""Cache modelling (Section 5.1, Table 5-1).
+
+Two layers:
+
+* the paper's *arithmetic* miss-cost model — cycles per instruction,
+  cycle time and memory time give the miss cost in cycles and in average
+  instruction times (Table 5-1), and the worked example showing how cache
+  misses dilute the speedup of parallel instruction issue;
+* an actual direct-mapped cache simulator that replays a trace and
+  charges loads a miss penalty, so the dilution can be *measured* on the
+  benchmark suite rather than assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.config import MachineConfig
+from .timing import TimingResult, _static_records
+from .trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class MissCostRow:
+    """One machine of Table 5-1."""
+
+    machine: str
+    cycles_per_instr: float
+    cycle_ns: float
+    memory_ns: float
+
+    @property
+    def miss_cost_cycles(self) -> float:
+        """Cache miss cost in machine cycles."""
+        return self.memory_ns / self.cycle_ns
+
+    @property
+    def miss_cost_instructions(self) -> float:
+        """Cache miss cost in average instruction times."""
+        return self.miss_cost_cycles / self.cycles_per_instr
+
+
+#: The three machines of Table 5-1: a CISC (VAX 11/780), a RISC
+#: (WRL Titan) and the projected future superscalar.
+TABLE_5_1 = (
+    MissCostRow("VAX 11/780", 10.0, 200.0, 1200.0),
+    MissCostRow("WRL Titan", 1.4, 45.0, 540.0),
+    MissCostRow("future superscalar", 0.5, 5.0, 350.0),
+)
+
+
+def parallel_issue_speedup_with_misses(
+    issue_cpi_before: float = 1.0,
+    issue_cpi_after: float = 0.5,
+    miss_cpi: float = 1.0,
+) -> tuple[float, float]:
+    """The Section 5.1 worked example.
+
+    Returns ``(speedup_with_misses, speedup_without_misses)``: for the
+    paper's numbers (1.0 cpi -> 0.5 cpi issue, plus 1.0 cpi of misses)
+    that is (1.33, 2.0) — "much less than the improvement ... when cache
+    misses are ignored".
+    """
+    with_misses = (issue_cpi_before + miss_cpi) / (issue_cpi_after + miss_cpi)
+    without = issue_cpi_before / issue_cpi_after
+    return with_misses, without
+
+
+@dataclass(frozen=True, slots=True)
+class CacheConfig:
+    """A direct-mapped data cache (word-addressed, like the simulator)."""
+
+    size_words: int = 1024
+    line_words: int = 4
+    miss_penalty: int = 10    # minor cycles added to a missing load
+
+    def __post_init__(self) -> None:
+        if self.size_words % self.line_words != 0:
+            raise ValueError("cache size must be a multiple of the line size")
+        if self.line_words & (self.line_words - 1):
+            raise ValueError("line size must be a power of two")
+
+    @property
+    def n_lines(self) -> int:
+        return self.size_words // self.line_words
+
+
+@dataclass(frozen=True, slots=True)
+class CacheResult:
+    """Timing result plus cache statistics."""
+
+    timing: TimingResult
+    loads: int
+    load_misses: int
+
+    @property
+    def miss_rate(self) -> float:
+        if self.loads == 0:
+            return 0.0
+        return self.load_misses / self.loads
+
+
+def simulate_with_cache(
+    trace: Trace, config: MachineConfig, cache: CacheConfig
+) -> CacheResult:
+    """Replay ``trace`` on ``config`` with a direct-mapped data cache.
+
+    Same in-order issue model as :func:`repro.sim.timing.simulate`;
+    a load that misses completes ``miss_penalty`` minor cycles later.
+    Stores are write-through/no-allocate and never stall (the paper's
+    cost model concerns read misses).
+    """
+    records, max_reg = _static_records(trace, config)
+    width = config.issue_width
+    reg_ready = [0] * (max_reg + 1)
+    mem_ready: dict[int, int] = {}
+    ops = trace.ops
+    addrs = trace.addrs
+
+    n_lines = cache.n_lines
+    line_words = cache.line_words
+    tags = [-1] * n_lines
+    loads = 0
+    misses = 0
+
+    cur_cycle = 0
+    cur_count = 0
+    last_finish = 0
+
+    for i, si in enumerate(ops):
+        srcs, dest, lat, unit, is_load, is_store, _is_cbr = records[si]
+        t = cur_cycle
+        for s in srcs:
+            r = reg_ready[s]
+            if r > t:
+                t = r
+        if is_load:
+            r = mem_ready.get(addrs[i], 0)
+            if r > t:
+                t = r
+        while True:
+            if t == cur_cycle and cur_count >= width:
+                t += 1
+            if unit is not None:
+                free = unit.free
+                best = min(range(len(free)), key=free.__getitem__)
+                if free[best] > t:
+                    t = free[best]
+                    continue
+                free[best] = t + unit.issue_latency
+            break
+        if t > cur_cycle:
+            cur_cycle, cur_count = t, 1
+        else:
+            cur_count += 1
+
+        if is_load:
+            loads += 1
+            line = addrs[i] // line_words
+            idx = line % n_lines
+            if tags[idx] != line:
+                tags[idx] = line
+                misses += 1
+                lat = lat + cache.miss_penalty
+        # stores are write-through / no-allocate: no tag state change
+
+        finish = t + lat
+        if dest >= 0:
+            reg_ready[dest] = finish
+        if is_store:
+            mem_ready[addrs[i]] = finish
+        if finish > last_finish:
+            last_finish = finish
+
+    timing = TimingResult(
+        config_name=f"{config.name}+cache",
+        instructions=len(ops),
+        minor_cycles=last_finish,
+        base_cycles=config.minor_to_base(last_finish),
+    )
+    return CacheResult(timing=timing, loads=loads, load_misses=misses)
+
+
+@dataclass(frozen=True, slots=True)
+class ICacheResult:
+    """Timing result plus instruction-cache statistics."""
+
+    timing: TimingResult
+    fetches: int
+    fetch_misses: int
+
+    @property
+    def miss_rate(self) -> float:
+        if self.fetches == 0:
+            return 0.0
+        return self.fetch_misses / self.fetches
+
+
+def simulate_with_icache(
+    trace: Trace, config: MachineConfig, icache: CacheConfig
+) -> ICacheResult:
+    """Replay ``trace`` with a direct-mapped *instruction* cache.
+
+    The paper's unrolling caveat: "If limited instruction caches were
+    present, the actual performance would decline for large degrees of
+    unrolling" (Section 4.4).  Each static instruction occupies one word
+    of instruction memory (its flattened index); a fetch miss stalls the
+    in-order issue frontier for ``miss_penalty`` minor cycles, so large
+    unrolled bodies that overflow the cache pay on every trip.
+    """
+    records, max_reg = _static_records(trace, config)
+    width = config.issue_width
+    reg_ready = [0] * (max_reg + 1)
+    mem_ready: dict[int, int] = {}
+    ops = trace.ops
+    addrs = trace.addrs
+
+    n_lines = icache.n_lines
+    line_words = icache.line_words
+    tags = [-1] * n_lines
+    misses = 0
+    fetch_floor = 0
+
+    cur_cycle = 0
+    cur_count = 0
+    last_finish = 0
+
+    for i, si in enumerate(ops):
+        srcs, dest, lat, unit, is_load, is_store, _is_cbr = records[si]
+        line = si // line_words
+        idx = line % n_lines
+        if tags[idx] != line:
+            tags[idx] = line
+            misses += 1
+            stall_from = cur_cycle if cur_cycle > fetch_floor else fetch_floor
+            fetch_floor = stall_from + icache.miss_penalty
+
+        t = cur_cycle
+        if t < fetch_floor:
+            t = fetch_floor
+        for s in srcs:
+            r = reg_ready[s]
+            if r > t:
+                t = r
+        if is_load:
+            r = mem_ready.get(addrs[i], 0)
+            if r > t:
+                t = r
+        while True:
+            if t == cur_cycle and cur_count >= width:
+                t += 1
+            if unit is not None:
+                free = unit.free
+                best = min(range(len(free)), key=free.__getitem__)
+                if free[best] > t:
+                    t = free[best]
+                    continue
+                free[best] = t + unit.issue_latency
+            break
+        if t > cur_cycle:
+            cur_cycle, cur_count = t, 1
+        else:
+            cur_count += 1
+        finish = t + lat
+        if dest >= 0:
+            reg_ready[dest] = finish
+        if is_store:
+            mem_ready[addrs[i]] = finish
+        if finish > last_finish:
+            last_finish = finish
+
+    timing = TimingResult(
+        config_name=f"{config.name}+icache",
+        instructions=len(ops),
+        minor_cycles=last_finish,
+        base_cycles=config.minor_to_base(last_finish),
+    )
+    return ICacheResult(
+        timing=timing, fetches=len(ops), fetch_misses=misses
+    )

@@ -1,0 +1,253 @@
+"""In-order issue timing simulation (the paper's machine model).
+
+The model replays a dynamic trace against a :class:`MachineConfig`:
+
+* Instructions issue strictly **in order** (the paper excludes out-of-order
+  issue; "techniques to reorder instructions at compile time instead of at
+  run time are almost as good").  Several instructions may issue in the
+  same (minor) cycle, up to the issue width.
+* An instruction cannot issue until every register source is ready; a
+  producer of class *c* makes its result available ``latency(c)`` minor
+  cycles after it issues.
+* A load cannot issue until the last store to the same word has completed.
+* Functional units model *class conflicts*: a unit copy that issued an
+  instruction is busy for its issue latency.  With no units configured the
+  machine is ideal (no structural hazards).
+* Branches are perfectly predicted and therefore never stall the front end
+  (Section 2.1's assumption of perfect branch-slot filling / prediction).
+
+Time is counted in minor cycles and converted to base-machine cycles for
+reporting; the *parallelism* (ILP actually exploited) of a run is
+``dynamic instructions / base cycles``, which is exactly 1.0 on the base
+machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.opcodes import InstrClass
+from ..isa.registers import flat_index
+from ..machine.config import MachineConfig
+from .trace import Trace
+
+_CLASS_INDEX = {klass: i for i, klass in enumerate(InstrClass)}
+
+
+@dataclass(frozen=True, slots=True)
+class TimingResult:
+    """Outcome of replaying one trace on one machine configuration."""
+
+    config_name: str
+    instructions: int
+    minor_cycles: int
+    base_cycles: float
+
+    @property
+    def parallelism(self) -> float:
+        """Average instructions completed per base cycle.
+
+        Equals the speedup over the base machine, because the base machine
+        executes exactly one instruction per base cycle without stalls.
+        """
+        if self.base_cycles == 0:
+            return 0.0
+        return self.instructions / self.base_cycles
+
+    @property
+    def cpi(self) -> float:
+        """Base cycles per instruction."""
+        if self.instructions == 0:
+            return 0.0
+        return self.base_cycles / self.instructions
+
+
+class _UnitState:
+    """Run-time state of one functional-unit type (all copies)."""
+
+    __slots__ = ("issue_latency", "free")
+
+    def __init__(self, issue_latency: int, multiplicity: int) -> None:
+        self.issue_latency = issue_latency
+        self.free = [0] * multiplicity
+
+
+def _static_records(
+    trace: Trace, config: MachineConfig
+) -> tuple[list[tuple], int]:
+    """Precompute per-static-instruction issue records.
+
+    Each record is ``(src_indices, dest_index, latency, unit, is_load,
+    is_store)`` with ``dest_index = -1`` for no destination and ``unit``
+    either ``None`` (ideal) or the shared :class:`_UnitState`.
+    """
+    unit_for_class: dict[InstrClass, _UnitState] = {}
+    if config.units:
+        for u in config.units:
+            state = _UnitState(u.issue_latency, u.multiplicity)
+            for klass in u.classes:
+                # First unit listed for a class wins; presets do not overlap.
+                unit_for_class.setdefault(klass, state)
+
+    records: list[tuple] = []
+    max_reg = 0
+    for ins in trace.static:
+        info = ins.op.info
+        klass = ins.op.klass
+        srcs = tuple(flat_index(r) for r in ins.srcs)
+        dest = flat_index(ins.dest) if ins.dest is not None else -1
+        for r in srcs:
+            if r > max_reg:
+                max_reg = r
+        if dest > max_reg:
+            max_reg = dest
+        records.append(
+            (
+                srcs,
+                dest,
+                config.latencies[klass],
+                unit_for_class.get(klass),
+                info.is_load,
+                info.is_store,
+                info.is_cond_branch,
+            )
+        )
+    return records, max_reg
+
+
+def simulate(trace: Trace, config: MachineConfig) -> TimingResult:
+    """Replay ``trace`` on ``config`` and return cycle counts.
+
+    The returned ``minor_cycles`` is the completion time of the last
+    result; on the base machine this equals the dynamic instruction count.
+    """
+    records, max_reg = _static_records(trace, config)
+    width = config.issue_width
+
+    reg_ready = [0] * (max_reg + 1)
+    mem_ready: dict[int, int] = {}
+    ops = trace.ops
+    addrs = trace.addrs
+
+    stall_on_branches = config.branch_policy == "stall"
+    branch_floor = 0
+    cur_cycle = 0
+    cur_count = 0
+    last_finish = 0
+
+    for i, si in enumerate(ops):
+        srcs, dest, lat, unit, is_load, is_store, is_cbr = records[si]
+
+        t = cur_cycle
+        if t < branch_floor:
+            t = branch_floor
+        for s in srcs:
+            r = reg_ready[s]
+            if r > t:
+                t = r
+        if is_load:
+            r = mem_ready.get(addrs[i], 0)
+            if r > t:
+                t = r
+
+        # Find the first cycle >= t with an issue slot and a free unit copy.
+        while True:
+            if t == cur_cycle and cur_count >= width:
+                t += 1
+            if unit is not None:
+                free = unit.free
+                best = 0
+                best_time = free[0]
+                for k in range(1, len(free)):
+                    if free[k] < best_time:
+                        best_time = free[k]
+                        best = k
+                if best_time > t:
+                    t = best_time
+                    continue  # re-check the issue-width constraint
+                free[best] = t + unit.issue_latency
+            break
+
+        if t > cur_cycle:
+            cur_cycle = t
+            cur_count = 1
+        else:
+            cur_count += 1
+
+        finish = t + lat
+        if dest >= 0:
+            reg_ready[dest] = finish
+        if is_store:
+            mem_ready[addrs[i]] = finish
+        if stall_on_branches and is_cbr:
+            branch_floor = finish
+        if finish > last_finish:
+            last_finish = finish
+
+    return TimingResult(
+        config_name=config.name,
+        instructions=len(ops),
+        minor_cycles=last_finish,
+        base_cycles=config.minor_to_base(last_finish),
+    )
+
+
+def issue_schedule(trace: Trace, config: MachineConfig) -> list[int]:
+    """Per-event issue times in minor cycles (for pipeline diagrams).
+
+    Runs the same model as :func:`simulate` but records when each dynamic
+    instruction issues; used by ``repro.analysis.pipeviz`` to regenerate the
+    paper's Figure 2-x execution diagrams.
+    """
+    records, max_reg = _static_records(trace, config)
+    width = config.issue_width
+    reg_ready = [0] * (max_reg + 1)
+    mem_ready: dict[int, int] = {}
+    times: list[int] = []
+    stall_on_branches = config.branch_policy == "stall"
+    branch_floor = 0
+    cur_cycle = 0
+    cur_count = 0
+
+    for i, si in enumerate(trace.ops):
+        srcs, dest, lat, unit, is_load, is_store, is_cbr = records[si]
+        t = cur_cycle
+        if t < branch_floor:
+            t = branch_floor
+        for s in srcs:
+            r = reg_ready[s]
+            if r > t:
+                t = r
+        if is_load:
+            r = mem_ready.get(trace.addrs[i], 0)
+            if r > t:
+                t = r
+        while True:
+            if t == cur_cycle and cur_count >= width:
+                t += 1
+            if unit is not None:
+                free = unit.free
+                best = min(range(len(free)), key=free.__getitem__)
+                if free[best] > t:
+                    t = free[best]
+                    continue
+                free[best] = t + unit.issue_latency
+            break
+        if t > cur_cycle:
+            cur_cycle, cur_count = t, 1
+        else:
+            cur_count += 1
+        finish = t + lat
+        if dest >= 0:
+            reg_ready[dest] = finish
+        if is_store:
+            mem_ready[trace.addrs[i]] = finish
+        if stall_on_branches and is_cbr:
+            branch_floor = finish
+        times.append(t)
+    return times
+
+
+def parallelism(trace: Trace, config: MachineConfig) -> float:
+    """Convenience wrapper: parallelism of ``trace`` on ``config``."""
+    return simulate(trace, config).parallelism

@@ -1,0 +1,86 @@
+"""Dynamic instruction traces.
+
+The functional interpreter produces a :class:`Trace`: the sequence of
+executed instructions (as indices into a static instruction table) plus the
+effective word address of every memory operation.  The timing simulator
+replays a trace under a machine configuration.
+
+Traces deliberately contain *resolved* control flow — the paper assumes
+perfect branch prediction / branch-slot filling, so the timing model never
+needs to re-discover branch outcomes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import InstrClass
+
+
+@dataclass(slots=True)
+class Trace:
+    """A dynamic execution trace.
+
+    ``static``: the static instruction table (flattened program).
+    ``ops``: for each dynamic event, the index of its static instruction.
+    ``addrs``: for each dynamic event, the effective word address of the
+    memory access, or -1 for non-memory instructions.
+    """
+
+    static: list[Instruction]
+    ops: list[int] = field(default_factory=list)
+    addrs: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def n_instructions(self) -> int:
+        """Dynamic instruction count."""
+        return len(self.ops)
+
+    def append(self, static_index: int, addr: int = -1) -> None:
+        """Record one executed instruction."""
+        self.ops.append(static_index)
+        self.addrs.append(addr)
+
+    def class_counts(self) -> Counter[InstrClass]:
+        """Dynamic instruction-class histogram."""
+        klass_of = [ins.op.klass for ins in self.static]
+        counts: Counter[InstrClass] = Counter()
+        for si in self.ops:
+            counts[klass_of[si]] += 1
+        return counts
+
+    def instructions(self) -> Iterable[Instruction]:
+        """Iterate over the executed instructions in order."""
+        static = self.static
+        for si in self.ops:
+            yield static[si]
+
+    @staticmethod
+    def from_instructions(
+        instrs: Sequence[Instruction],
+        addrs: Sequence[int] | None = None,
+    ) -> "Trace":
+        """Build a trace that executes ``instrs`` once, in order.
+
+        Intended for tests and for the pipeline-diagram figures: each
+        instruction is its own static entry.  ``addrs`` supplies effective
+        addresses for memory operations; by default a memory instruction
+        uses its immediate offset as the address (i.e. base register 0).
+        """
+        trace = Trace(static=list(instrs))
+        for i, ins in enumerate(instrs):
+            if ins.op.info.is_mem:
+                if addrs is not None:
+                    addr = addrs[i]
+                else:
+                    addr = int(ins.imm or 0)
+            else:
+                addr = -1
+            trace.append(i, addr)
+        return trace

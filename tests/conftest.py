@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.opt.options import CompilerOptions, OptLevel
+
+
+@pytest.fixture(params=list(OptLevel), ids=lambda lvl: f"O{int(lvl)}")
+def opt_level(request):
+    """Parametrize a test over every optimization level."""
+    return request.param
+
+
+@pytest.fixture(params=list(OptLevel), ids=lambda lvl: f"O{int(lvl)}")
+def options(request):
+    """CompilerOptions at every optimization level."""
+    return CompilerOptions(opt_level=request.param)

@@ -1,0 +1,17 @@
+"""Shared helper functions for the test suite."""
+
+from __future__ import annotations
+
+from repro.opt.driver import compile_source
+from repro.opt.options import CompilerOptions
+from repro.sim.interp import run
+
+
+def run_tin(source: str, options: CompilerOptions | None = None, **kwargs):
+    """Compile and execute Tin source, returning the RunResult."""
+    return run(compile_source(source, options), **kwargs)
+
+
+def run_tin_value(source: str, options: CompilerOptions | None = None):
+    """Compile and execute Tin source, returning main's value."""
+    return run_tin(source, options).value

@@ -1,0 +1,98 @@
+"""Tests for the analysis layer: stats, tables, pipeline diagrams."""
+
+import pytest
+
+from repro.analysis.pipeviz import demo_trace, render_pipeline
+from repro.analysis.stats import geometric_mean, harmonic_mean, percent_change
+from repro.analysis.tables import format_table, line_chart
+from repro.machine import (
+    base_machine,
+    ideal_superscalar,
+    superpipelined,
+    superpipelined_superscalar,
+)
+from repro.sim.timing import simulate
+
+
+class TestStats:
+    def test_harmonic_mean_known_value(self):
+        assert harmonic_mean([1, 2, 4]) == pytest.approx(12 / 7)
+
+    def test_harmonic_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_harmonic_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+
+    def test_percent_change(self):
+        assert percent_change(3.0, 2.0) == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            percent_change(1.0, 0.0)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "1.500" in text
+
+    def test_line_chart_contains_markers_and_legend(self):
+        chart = line_chart(
+            {"up": [(1, 1), (2, 2)], "down": [(1, 2), (2, 1)]},
+            width=20, height=6,
+        )
+        assert "U=up" in chart and "D=down" in chart
+        assert "U" in chart.replace("U=up", "")
+
+    def test_line_chart_rejects_empty(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": []})
+
+
+class TestPipeviz:
+    def test_base_machine_diagram_one_issue_per_cycle(self):
+        trace = demo_trace("independent", 4)
+        text = render_pipeline(trace, base_machine())
+        lines = [l for l in text.splitlines() if l.startswith("i")]
+        assert len(lines) == 4
+        # execution marks '#' move right one column per instruction
+        positions = [line.index("#") for line in lines]
+        assert positions == sorted(positions)
+        assert len(set(positions)) == 4
+
+    def test_superscalar_diagram_groups_issues(self):
+        trace = demo_trace("independent", 6)
+        text = render_pipeline(trace, ideal_superscalar(3))
+        lines = [l for l in text.splitlines() if l.startswith("i")]
+        positions = [line.index("#") for line in lines]
+        assert positions[0] == positions[1] == positions[2]
+        assert positions[3] == positions[4] == positions[5]
+
+    def test_superpipelined_diagram_long_execute(self):
+        trace = demo_trace("independent", 3)
+        text = render_pipeline(trace, superpipelined(3))
+        lines = [l for l in text.splitlines() if l.startswith("i")]
+        assert all(line.count("#") == 3 for line in lines)
+
+    def test_chain_runs_serially(self):
+        trace = demo_trace("chain", 4)
+        ss = simulate(trace, ideal_superscalar(4))
+        assert ss.minor_cycles == 4
+
+    def test_superpipelined_superscalar(self):
+        trace = demo_trace("independent", 9)
+        text = render_pipeline(trace, superpipelined_superscalar(3, 3))
+        lines = [l for l in text.splitlines() if l.startswith("i")]
+        positions = [line.index("#") for line in lines]
+        assert positions[0] == positions[1] == positions[2]
+
+    def test_unknown_demo_kind(self):
+        with pytest.raises(ValueError):
+            demo_trace("bogus")

@@ -1,0 +1,31 @@
+"""Pinned reference checksums.
+
+The benchmark workloads are fixed (sizes, seeds); these literals pin the
+pure-Python reference values so an accidental edit to a benchmark's
+source or reference shows up as an explicit diff here rather than as a
+silent change to every measured number in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.benchmarks import suite
+
+PINNED = {
+    "ccom": 41484483,
+    "grr": 1004216,
+    "linpack": 24000,
+    "livermore": 490272207,
+    "met": 256364598,
+    "stanford": 530887626,
+    "whet": 533080,
+    "yacc": 193804343,
+}
+
+
+@pytest.mark.parametrize("name", sorted(PINNED))
+def test_reference_checksum_pinned(name):
+    assert suite.get(name).reference() == PINNED[name]
+
+
+def test_every_benchmark_is_pinned():
+    assert {b.name for b in suite.all_benchmarks()} == set(PINNED)

@@ -1,0 +1,125 @@
+"""Unit tests for the control-flow cleanup passes."""
+
+from repro.isa import BasicBlock, Function, Opcode, build
+from repro.isa.registers import virtual
+from repro.opt.cleanup import (
+    cleanup_control_flow,
+    remove_redundant_jumps,
+    thread_jumps,
+)
+from repro.opt.options import CompilerOptions, OptLevel
+from tests.helpers import run_tin_value
+
+
+def fn_of(blocks) -> Function:
+    fn = Function("f")
+    fn.blocks = blocks
+    return fn
+
+
+class TestThreadJumps:
+    def test_threads_through_trampoline(self):
+        fn = fn_of([
+            BasicBlock("a", [build.bnez(virtual(0), "tramp")]),
+            BasicBlock("b", [build.ret()]),
+            BasicBlock("tramp", [build.jump("end")]),
+            BasicBlock("end", [build.ret()]),
+        ])
+        changed = thread_jumps(fn)
+        assert changed == 1
+        assert fn.blocks[0].terminator.target == "end"
+        assert "tramp" not in {b.label for b in fn.blocks}
+
+    def test_threads_chains(self):
+        fn = fn_of([
+            BasicBlock("a", [build.jump("t1")]),
+            BasicBlock("t1", [build.jump("t2")]),
+            BasicBlock("t2", [build.jump("end")]),
+            BasicBlock("end", [build.ret()]),
+        ])
+        thread_jumps(fn)
+        assert fn.blocks[0].terminator.target == "end"
+        assert len(fn.blocks) == 2
+
+    def test_cycle_of_jumps_left_alone(self):
+        fn = fn_of([
+            BasicBlock("a", [build.bnez(virtual(0), "x")]),
+            BasicBlock("exit", [build.ret()]),
+            BasicBlock("x", [build.jump("y")]),
+            BasicBlock("y", [build.jump("x")]),
+        ])
+        thread_jumps(fn)  # must terminate; targets stay inside the cycle
+        assert fn.blocks[0].terminator.target in ("x", "y")
+
+    def test_non_empty_block_not_threaded(self):
+        fn = fn_of([
+            BasicBlock("a", [build.jump("work")]),
+            BasicBlock("work", [build.li(virtual(0), 1), build.jump("end")]),
+            BasicBlock("end", [build.ret()]),
+        ])
+        assert thread_jumps(fn) == 0
+
+
+class TestRemoveRedundantJumps:
+    def test_jump_to_next_removed(self):
+        fn = fn_of([
+            BasicBlock("a", [build.li(virtual(0), 1), build.jump("b")]),
+            BasicBlock("b", [build.ret()]),
+        ])
+        assert remove_redundant_jumps(fn) == 1
+        assert fn.blocks[0].terminator is None
+
+    def test_jump_elsewhere_kept(self):
+        fn = fn_of([
+            BasicBlock("a", [build.jump("c")]),
+            BasicBlock("b", [build.ret()]),
+            BasicBlock("c", [build.ret()]),
+        ])
+        assert remove_redundant_jumps(fn) == 0
+
+    def test_conditional_branches_untouched(self):
+        fn = fn_of([
+            BasicBlock("a", [build.beqz(virtual(0), "b")]),
+            BasicBlock("b", [build.ret()]),
+        ])
+        assert remove_redundant_jumps(fn) == 0
+
+
+class TestFixpointAndSemantics:
+    def test_fixpoint_combines_both(self):
+        fn = fn_of([
+            BasicBlock("a", [build.li(virtual(0), 1), build.jump("tramp")]),
+            BasicBlock("tramp", [build.jump("end")]),
+            BasicBlock("end", [build.ret()]),
+        ])
+        total = cleanup_control_flow(fn)
+        assert total >= 2
+        # a falls through straight to end now
+        assert fn.blocks[0].terminator is None
+        assert [b.label for b in fn.blocks] == ["a", "end"]
+
+    def test_cleanup_shrinks_dynamic_branch_count(self):
+        src = """
+        var s: int;
+        proc main(): int {
+            var i, r: int;
+            s = 0;
+            for i = 0 to 60 {
+                r = (i > 10 && i < 50) || i == 5;
+                if (r) { s = s + i; } else { s = s - 1; }
+            }
+            return s;
+        }
+        """
+        plain = run_tin_value(src, CompilerOptions(opt_level=OptLevel.NONE))
+        optimized = run_tin_value(src, CompilerOptions(opt_level=OptLevel.LOCAL))
+        assert plain == optimized
+
+    def test_preserves_semantics_across_suite_spot_check(self):
+        from repro.benchmarks import suite
+
+        bench = suite.get("ccom")
+        result = suite.run_benchmark(
+            bench, CompilerOptions(opt_level=OptLevel.LOCAL)
+        )
+        assert result.value == bench.reference()

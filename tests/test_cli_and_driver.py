@@ -1,0 +1,101 @@
+"""Tests for the CLI (python -m repro) and the compile-pipeline driver."""
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.opt.driver import compile_module, compile_source
+from repro.opt.options import AliasLevel, CompilerOptions, OptLevel
+from repro.lang import parse
+from repro.sim.interp import run
+
+SRC = """
+var total: int;
+proc main(): int {
+    var i: int;
+    total = 0;
+    for i = 1 to 6 { total = total + i * i; }
+    return total;
+}
+"""
+
+
+@pytest.fixture()
+def tin_file(tmp_path):
+    path = tmp_path / "demo.tin"
+    path.write_text(SRC, encoding="utf-8")
+    return str(path)
+
+
+class TestCLI:
+    def test_run_command(self, tin_file, capsys):
+        assert cli_main(["run", tin_file]) == 0
+        out = capsys.readouterr().out
+        assert "result: 91" in out
+
+    def test_run_command_opt_levels(self, tin_file, capsys):
+        for level in ("0", "4"):
+            assert cli_main(["run", tin_file, "-O", level]) == 0
+            assert "result: 91" in capsys.readouterr().out
+
+    def test_measure_command(self, tin_file, capsys):
+        assert cli_main(["measure", tin_file, "--unroll", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "superscalar-4" in out and "base" in out
+
+    def test_exhibit_list(self, capsys):
+        assert cli_main(["exhibit", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4-1" in out and "table5-1" in out
+
+    def test_exhibit_unknown(self, capsys):
+        assert cli_main(["exhibit", "nope"]) == 2
+
+    def test_exhibit_runs_analytic_one(self, capsys):
+        assert cli_main(["exhibit", "fig4-7"]) == 0
+        out = capsys.readouterr().out
+        assert "1.667" in out
+
+
+class TestDriver:
+    def test_opt_level_ordering_monotone_instruction_count(self):
+        counts = []
+        for level in OptLevel:
+            program = compile_source(
+                SRC, CompilerOptions(opt_level=level)
+            )
+            counts.append(run(program).instructions)
+        # optimization levels never increase the dynamic instruction
+        # count on this straight-line-ish program
+        assert counts[0] >= counts[2] >= counts[4]
+
+    def test_compile_module_consumes_fresh_ast(self):
+        module = parse(SRC)
+        program = compile_module(module, CompilerOptions(unroll=2))
+        assert run(program).value == 91
+
+    def test_default_options_schedule_for_superscalar8(self):
+        opts = CompilerOptions()
+        assert opts.schedule_for.issue_width == 8
+        assert opts.do_schedule and opts.do_regalloc
+
+    def test_alias_level_defaults(self):
+        assert CompilerOptions().alias_level is AliasLevel.CONSERVATIVE
+        assert CompilerOptions(careful=True).alias_level is AliasLevel.AFFINE
+        explicit = CompilerOptions(alias=AliasLevel.OBJECT)
+        assert explicit.alias_level is AliasLevel.OBJECT
+
+    def test_rejects_bad_unroll(self):
+        with pytest.raises(ValueError):
+            CompilerOptions(unroll=0)
+
+    def test_all_levels_produce_valid_programs(self):
+        for level in OptLevel:
+            program = compile_source(SRC, CompilerOptions(opt_level=level))
+            program.validate()
+
+    def test_deterministic_compilation(self):
+        from repro.isa import format_program
+
+        a = format_program(compile_source(SRC, CompilerOptions()))
+        b = format_program(compile_source(SRC, CompilerOptions()))
+        assert a == b

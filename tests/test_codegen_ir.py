@@ -1,0 +1,200 @@
+"""IR-level unit tests for the code generator: frame layout, calling
+convention, memory annotations, and control-flow lowering."""
+
+import pytest
+
+from repro.errors import CodegenError
+from repro.isa import Opcode
+from repro.isa.registers import ARG_REGS, RA, RV, SP, ZERO
+from repro.lang import parse
+from repro.lang.codegen import DATA_BASE, generate
+from repro.lang.semantics import check
+
+
+def gen(src: str):
+    module = parse(src)
+    return generate(module, check(module))
+
+
+class TestProgramShape:
+    def test_start_stub(self):
+        prog = gen("proc main(): int { return 0; }")
+        start = prog.functions["_start"]
+        ops = [ins.op for ins in start.instructions()]
+        assert ops == [Opcode.CALL, Opcode.HALT]
+        assert prog.entry == "_start"
+
+    def test_requires_main(self):
+        with pytest.raises(CodegenError):
+            gen("proc helper(): int { return 0; }")
+
+    def test_main_must_return_int(self):
+        with pytest.raises(CodegenError):
+            gen("proc main(): float { return 1.0; }")
+
+    def test_globals_laid_out_from_data_base(self):
+        prog = gen(
+            "var a: int;\nvar t: float[5];\nvar b: int;\n"
+            "proc main(): int { return a + b; }"
+        )
+        assert prog.globals_["a"].address == DATA_BASE
+        assert prog.globals_["t"].address == DATA_BASE + 1
+        assert prog.globals_["t"].size == 5
+        assert prog.globals_["b"].address == DATA_BASE + 6
+        assert prog.data_size == DATA_BASE + 7
+
+    def test_float_array_flagged(self):
+        prog = gen("var t: float[2];\nproc main(): int { return 0; }")
+        assert prog.globals_["t"].is_float
+
+
+class TestFramesAndCalls:
+    def test_prologue_epilogue_symmetry(self):
+        prog = gen(
+            "proc f(x: int): int { var y: int; y = x + 1; return y; }\n"
+            "proc main(): int { return f(1); }"
+        )
+        fn = prog.functions["f"]
+        first = fn.blocks[0].instrs[0]
+        assert first.op is Opcode.ADDI and first.dest == SP
+        assert first.imm == -fn.frame_slots
+        last_block = fn.blocks[-1]
+        assert last_block.terminator.op is Opcode.RET
+        epilogue = last_block.instrs[-2]
+        assert epilogue.op is Opcode.ADDI and epilogue.imm == fn.frame_slots
+
+    def test_ra_saved_and_restored(self):
+        prog = gen("proc main(): int { return 1; }")
+        fn = prog.functions["main"]
+        entry_ops = [(i.op, i.srcs) for i in fn.blocks[0].instrs]
+        assert (Opcode.SW, (RA, SP)) in entry_ops
+        exit_ops = [(i.op, i.dest) for i in fn.blocks[-1].instrs]
+        assert (Opcode.LW, RA) in exit_ops
+
+    def test_arguments_flow_through_arg_registers(self):
+        prog = gen(
+            "proc f(a: int, b: int): int { return a + b; }\n"
+            "proc main(): int { return f(3, 4); }"
+        )
+        main = prog.functions["main"]
+        movs = [
+            ins for ins in main.instructions()
+            if ins.op is Opcode.MOV and ins.dest in ARG_REGS
+        ]
+        assert {m.dest for m in movs} == {ARG_REGS[0], ARG_REGS[1]}
+
+    def test_return_value_through_rv(self):
+        prog = gen("proc main(): int { return 9; }")
+        main = prog.functions["main"]
+        assert any(
+            ins.op is Opcode.MOV and ins.dest == RV
+            for ins in main.instructions()
+        )
+
+    def test_array_argument_moves_annotated(self):
+        prog = gen(
+            "var t: int[4];\n"
+            "proc f(a: int[]): int { return a[0]; }\n"
+            "proc main(): int { return f(t); }"
+        )
+        main = prog.functions["main"]
+        annotated = [
+            ins for ins in main.instructions()
+            if ins.op is Opcode.MOV and ins.mem is not None
+        ]
+        assert len(annotated) == 1
+        assert annotated[0].mem.obj == "g:t"
+
+
+class TestMemoryAnnotations:
+    def test_global_scalar_uses_absolute_addressing(self):
+        prog = gen("var g: int;\nproc main(): int { return g; }")
+        loads = [
+            ins for ins in prog.functions["main"].instructions()
+            if ins.op is Opcode.LW and ins.mem and ins.mem.obj == "g:g"
+        ]
+        assert loads and all(ins.srcs[0] == ZERO for ins in loads)
+        assert loads[0].imm == prog.globals_["g"].address
+
+    def test_constant_index_becomes_known_offset(self):
+        prog = gen("var t: int[8];\nproc main(): int { return t[3]; }")
+        loads = [
+            ins for ins in prog.functions["main"].instructions()
+            if ins.op is Opcode.LW and ins.mem and ins.mem.is_array
+        ]
+        assert loads[0].mem.offset == 3
+        assert loads[0].imm == prog.globals_["t"].address + 3
+
+    def test_affine_tag_on_variable_index(self):
+        prog = gen(
+            "var t: int[8];\n"
+            "proc main(): int { var i: int; i = 2; return t[i + 3]; }"
+        )
+        loads = [
+            ins for ins in prog.functions["main"].instructions()
+            if ins.op is Opcode.LW and ins.mem and ins.mem.is_array
+        ]
+        mem = loads[0].mem
+        assert mem.offset is None
+        assert mem.affine is not None and mem.affine[1] == 3
+        assert mem.affine_vars == ("s:main:i",)
+        assert loads[0].imm == 3  # delta folded into the displacement
+
+    def test_affine_core_canonical_across_orderings(self):
+        prog = gen(
+            "var t: int[30];\n"
+            "proc main(): int {\n"
+            "  var i, j: int;\n"
+            "  i = 2; j = 3;\n"
+            "  return t[i + j + 1] + t[1 + j + i];\n"
+            "}"
+        )
+        loads = [
+            ins for ins in prog.functions["main"].instructions()
+            if ins.op is Opcode.LW and ins.mem and ins.mem.is_array
+        ]
+        assert len(loads) == 2
+        assert loads[0].mem.affine == loads[1].mem.affine
+
+    def test_param_array_access_may_alias(self):
+        prog = gen(
+            "var t: int[4];\n"
+            "proc f(a: int[], i: int): int { return a[i]; }\n"
+            "proc main(): int { return f(t, 1); }"
+        )
+        loads = [
+            ins for ins in prog.functions["f"].instructions()
+            if ins.op is Opcode.LW and ins.mem and ins.mem.is_array
+        ]
+        assert loads[0].mem.may_alias_all
+        assert loads[0].mem.obj == "p:f:a"
+
+    def test_local_scalars_are_frame_objects(self):
+        prog = gen("proc main(): int { var x: int; x = 1; return x; }")
+        stores = [
+            ins for ins in prog.functions["main"].instructions()
+            if ins.op is Opcode.SW and ins.mem and ins.mem.obj == "s:main:x"
+        ]
+        assert stores and all(ins.srcs[1] == SP for ins in stores)
+
+
+class TestControlFlowLowering:
+    def test_if_lowering_has_no_unreachable_blocks(self):
+        prog = gen(
+            "proc main(): int { if (1) { return 1; } else { return 2; } }"
+        )
+        fn = prog.functions["main"]
+        reachable = set(fn.rpo())
+        assert {b.label for b in fn.blocks} == reachable
+
+    def test_for_loop_constant_bound_uses_immediate_compare(self):
+        prog = gen(
+            "proc main(): int { var i, s: int; s = 0;"
+            " for i = 0 to 9 { s = s + 1; } return s; }"
+        )
+        ops = [ins.op for ins in prog.functions["main"].instructions()]
+        assert Opcode.SLEI in ops
+
+    def test_validates_on_construction(self):
+        prog = gen("proc main(): int { return 0; }")
+        prog.validate()  # must not raise

@@ -1,0 +1,42 @@
+"""Smoke tests: the example scripts must run end to end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES / name
+    module = runpy.run_path(str(path), run_name="not_main")
+    module["main"]()
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "superscalar-4" in out
+    assert "available ILP" in out
+
+
+def test_custom_machine(capsys):
+    out = run_example("custom_machine.py", capsys)
+    assert "budget-superscalar" in out
+    assert "harmonic mean" in out
+
+
+def test_paper_figures_single_exhibit(capsys, monkeypatch):
+    path = EXAMPLES / "paper_figures.py"
+    module = runpy.run_path(str(path), run_name="not_main")
+    assert module["main"](["paper_figures.py", "fig4-7"]) == 0
+    out = capsys.readouterr().out
+    assert "1.667" in out
+
+
+def test_paper_figures_rejects_unknown(capsys):
+    path = EXAMPLES / "paper_figures.py"
+    module = runpy.run_path(str(path), run_name="not_main")
+    assert module["main"](["paper_figures.py", "bogus"]) == 1

@@ -1,0 +1,123 @@
+"""Additional front-end edge cases and robustness properties."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError, TinSemanticError, TinSyntaxError
+from repro.lang import check, parse, tokenize
+from repro.opt.options import CompilerOptions
+from tests.helpers import run_tin_value
+
+
+class TestLexerEdges:
+    def test_trailing_dot_float(self):
+        toks = tokenize("3. 4")
+        assert toks[0].value == 3.0
+        assert toks[1].value == 4
+
+    def test_leading_dot_float(self):
+        toks = tokenize("x .5")
+        assert toks[1].value == 0.5
+
+    def test_number_then_e_identifier(self):
+        toks = tokenize("1e")  # not an exponent: int then ident
+        assert toks[0].value == 1
+        assert toks[1].text == "e"
+
+    def test_comment_at_eof_without_newline(self):
+        toks = tokenize("7 # trailing")
+        assert toks[0].value == 7
+
+    def test_exponent_with_sign(self):
+        toks = tokenize("2e+3 2e-3")
+        assert toks[0].value == 2000.0
+        assert toks[1].value == 0.002
+
+
+class TestSemanticsEdges:
+    def test_initializer_length_mismatch(self):
+        with pytest.raises(TinSemanticError):
+            check(parse(
+                "var t: int[3] = {1, 2};\nproc main(): int { return 0; }"
+            ))
+
+    def test_array_argument_must_be_a_name(self):
+        with pytest.raises(TinSemanticError):
+            check(parse(
+                "var t: int[3];\n"
+                "proc f(a: int[]): int { return a[0]; }\n"
+                "proc main(): int { return f(t[0]); }"
+            ))
+
+    def test_local_shadows_global(self):
+        src = (
+            "var x: int = 5;\n"
+            "proc main(): int { var x: int; x = 9; return x; }"
+        )
+        assert run_tin_value(src) == 9
+
+    def test_local_shadows_const(self):
+        src = (
+            "const K = 5;\n"
+            "proc main(): int { var K: int; K = 9; return K; }"
+        )
+        assert run_tin_value(src) == 9
+
+    def test_global_initializer_visible(self):
+        src = "var x: int = 5;\nproc main(): int { return x; }"
+        assert run_tin_value(src) == 5
+        # and with register promotion: the home register must be seeded
+        assert run_tin_value(src, CompilerOptions()) == 5
+
+    def test_duplicate_global(self):
+        with pytest.raises(TinSemanticError):
+            check(parse("var x: int;\nvar x: int;\n"
+                        "proc main(): int { return 0; }"))
+
+    def test_duplicate_proc(self):
+        with pytest.raises(TinSemanticError):
+            check(parse("proc f() { }\nproc f() { }\n"
+                        "proc main(): int { return 0; }"))
+
+    def test_param_shadowing_rejected_in_same_proc(self):
+        with pytest.raises(TinSemanticError):
+            check(parse("proc f(a: int, a: int) { }\n"
+                        "proc main(): int { return 0; }"))
+
+
+@settings(max_examples=150, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.text(
+    alphabet=st.sampled_from(
+        list("abcxyz0123456789 \n(){}[];:,+-*/%<>=!&|^#.\"'proc var int")
+    ),
+    max_size=80,
+))
+def test_parser_total_over_garbage(text):
+    """The front end never dies with anything but a Tin error."""
+    try:
+        module = parse(text)
+        check(module)
+    except ReproError:
+        pass  # TinSyntaxError / TinSemanticError are the contract
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(-(10 ** 9), 10 ** 9))
+def test_integer_literals_round_trip(value):
+    src = f"proc main(): int {{ return ({value}); }}"
+    assert run_tin_value(src) == value
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.floats(min_value=-1e6, max_value=1e6,
+                 allow_nan=False, allow_infinity=False))
+def test_float_literals_round_trip(value):
+    src = (
+        f"var g: float;\n"
+        f"proc main(): int {{ g = {value!r}; "
+        f"return int(g * 0.0) + 7; }}"
+    )
+    assert run_tin_value(src) == 7

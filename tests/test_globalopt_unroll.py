@@ -1,0 +1,309 @@
+"""Unit tests for loop-invariant code motion and loop unrolling."""
+
+import pytest
+
+from repro.isa import Opcode
+from repro.lang import parse
+from repro.opt.driver import compile_source
+from repro.opt.globalopt import loop_invariant_code_motion
+from repro.opt.options import AliasLevel, CompilerOptions, OptLevel
+from repro.opt.unroll import resolve_partial_decls, unroll_module
+from repro.lang.codegen import generate
+from repro.lang.semantics import check
+from tests.helpers import run_tin_value
+
+LOOP_SRC = """
+var total: int;
+proc main(): int {
+    var i, k: int;
+    total = 0;
+    k = 21;
+    for i = 0 to 9 {
+        total = total + k * 2;
+    }
+    return total;
+}
+"""
+
+
+class TestLICM:
+    def test_hoists_invariant_multiply(self):
+        module = parse(LOOP_SRC)
+        program = generate(module, check(module))
+        fn = program.functions["main"]
+        before = sum(
+            1 for b in fn.blocks for i in b.instrs
+            if "fbody" in b.label and i.op is Opcode.MUL
+        )
+        hoisted = loop_invariant_code_motion(fn)
+        assert hoisted > 0
+        preheaders = [b for b in fn.blocks if b.label.endswith(".pre")]
+        assert len(preheaders) == 1
+        assert before >= 1
+
+    def test_preserves_semantics(self, opt_level):
+        # O3 includes LICM; every level must agree
+        opts = CompilerOptions(opt_level=opt_level)
+        assert run_tin_value(LOOP_SRC, opts) == 420
+
+    def test_zero_trip_loop_safe(self):
+        src = """
+        var total: int;
+        proc f(n: int): int {
+            var i, k: int;
+            total = 0;
+            k = 5;
+            for i = 1 to n {
+                total = total + k * 7;
+            }
+            return total;
+        }
+        proc main(): int { return f(0) * 1000 + f(3); }
+        """
+        for level in (OptLevel.NONE, OptLevel.GLOBAL):
+            assert run_tin_value(
+                src, CompilerOptions(opt_level=level)
+            ) == 105
+
+    def test_loads_not_hoisted_past_conflicting_store(self):
+        src = """
+        var a: int[4];
+        proc main(): int {
+            var i, s: int;
+            a[0] = 1;
+            s = 0;
+            for i = 1 to 5 {
+                s = s + a[0];
+                a[0] = s;
+            }
+            return s;
+        }
+        """
+        expected = run_tin_value(src, CompilerOptions(opt_level=OptLevel.NONE))
+        got = run_tin_value(src, CompilerOptions(opt_level=OptLevel.GLOBAL))
+        assert got == expected == 16
+
+    def test_call_in_loop_blocks_rv_hoisting(self):
+        src = """
+        var s: int;
+        proc next(): int { s = s + 1; return s; }
+        proc main(): int {
+            var i, acc: int;
+            s = 0;
+            acc = 0;
+            for i = 1 to 4 {
+                acc = acc * 10 + next();
+            }
+            return acc;
+        }
+        """
+        assert run_tin_value(
+            src, CompilerOptions(opt_level=OptLevel.GLOBAL)
+        ) == 1234
+
+    def test_nested_loop_hoisting_is_correct(self):
+        src = """
+        proc main(): int {
+            var i, j, s, k: int;
+            s = 0;
+            k = 3;
+            for i = 1 to 4 {
+                for j = 1 to i {
+                    s = s + k * 100 + i;
+                }
+            }
+            return s;
+        }
+        """
+        o0 = run_tin_value(src, CompilerOptions(opt_level=OptLevel.NONE))
+        o3 = run_tin_value(src, CompilerOptions(opt_level=OptLevel.GLOBAL))
+        assert o0 == o3
+
+
+UNROLL_SRC = """
+var a: int[40];
+var total: int;
+proc main(): int {
+    var i: int;
+    for i = 0 to 39 {
+        a[i] = i * 3;
+    }
+    total = 0;
+    for i = 0 to 39 {
+        total = total + a[i];
+    }
+    return total;
+}
+"""
+
+
+class TestUnrolling:
+    @pytest.mark.parametrize("factor", [2, 3, 4, 7, 10])
+    @pytest.mark.parametrize("careful", [False, True])
+    def test_semantics_preserved(self, factor, careful):
+        opts = CompilerOptions(unroll=factor, careful=careful)
+        assert run_tin_value(UNROLL_SRC, opts) == sum(3 * i for i in range(40))
+
+    @pytest.mark.parametrize("trip", [0, 1, 3, 4, 5, 9])
+    def test_remainder_loop_handles_any_trip_count(self, trip):
+        src = f"""
+        proc main(): int {{
+            var i, s: int;
+            s = 0;
+            for i = 1 to {trip} {{
+                s = s * 10 + i;
+            }}
+            return s;
+        }}
+        """
+        expected = 0
+        for i in range(1, trip + 1):
+            expected = expected * 10 + i
+        opts = CompilerOptions(unroll=4)
+        assert run_tin_value(src, opts) == expected
+
+    def test_negative_step_unrolls(self):
+        src = """
+        proc main(): int {
+            var i, s: int;
+            s = 0;
+            for i = 9 to 0 by -1 {
+                s = s * 2 + i;
+            }
+            return s;
+        }
+        """
+        expected = 0
+        for i in range(9, -1, -1):
+            expected = expected * 2 + i
+        assert run_tin_value(src, CompilerOptions(unroll=4)) == expected
+
+    def test_unroller_reports_stats(self):
+        module = parse(UNROLL_SRC)
+        stats = unroll_module(module, 4, careful=False)
+        assert stats.loops_unrolled == 2
+
+    def test_reassociation_detected_for_reduction(self):
+        module = parse(UNROLL_SRC)
+        stats = unroll_module(module, 4, careful=True)
+        resolve_partial_decls(module)
+        assert stats.reductions_reassociated == 1
+        check(module)  # partial temporaries must type-check
+
+    def test_reassociation_preserves_integer_sums(self):
+        opts = CompilerOptions(unroll=4, careful=True)
+        assert run_tin_value(UNROLL_SRC, opts) == sum(3 * i for i in range(40))
+
+    def test_float_reassociation_close(self):
+        src = """
+        var w: float[32];
+        proc main(): int {
+            var i: int;
+            var s: float;
+            for i = 0 to 31 { w[i] = float(i) * 0.125; }
+            s = 0.0;
+            for i = 0 to 31 { s = s + w[i]; }
+            return int(s * 100.0 + 0.5);
+        }
+        """
+        plain = run_tin_value(src, CompilerOptions())
+        reassoc = run_tin_value(src, CompilerOptions(unroll=4, careful=True))
+        assert abs(plain - reassoc) <= 1
+
+    def test_loop_with_call_still_correct(self):
+        src = """
+        var s: int;
+        proc bump(x: int): int { return x + 1; }
+        proc main(): int {
+            var i: int;
+            s = 0;
+            for i = 1 to 10 {
+                s = s + bump(i);
+            }
+            return s;
+        }
+        """
+        assert run_tin_value(src, CompilerOptions(unroll=4)) == 65
+
+    def test_loop_containing_return_not_unrolled(self):
+        src = """
+        var a: int[10];
+        proc find(x: int): int {
+            var i: int;
+            for i = 0 to 9 {
+                if (a[i] == x) { return i; }
+            }
+            return -1;
+        }
+        proc main(): int {
+            var i: int;
+            for i = 0 to 9 { a[i] = i * 5; }
+            return find(35) * 10 + find(999);
+        }
+        """
+        assert run_tin_value(src, CompilerOptions(unroll=4)) == 69
+
+    def test_loop_assigning_its_variable_not_unrolled(self):
+        src = """
+        proc main(): int {
+            var i, s: int;
+            s = 0;
+            for i = 0 to 20 {
+                s = s + i;
+                if (s > 30) { i = 99; }
+            }
+            return s;
+        }
+        """
+        o1 = run_tin_value(src, CompilerOptions(unroll=1))
+        u4 = run_tin_value(src, CompilerOptions(unroll=4))
+        assert o1 == u4
+
+    def test_factor_one_is_identity(self):
+        module = parse(UNROLL_SRC)
+        stats = unroll_module(module, 1)
+        assert stats.loops_unrolled == 0
+
+
+class TestUnrollDeclarationHoisting:
+    def test_declaration_inside_conditional_body(self):
+        src = """
+        var t: int[20];
+        proc main(): int {
+            var i, s: int;
+            s = 0;
+            for i = 0 to 19 {
+                if (i % 2 == 0) {
+                    var half: int;
+                    half = i / 2;
+                    t[i] = half;
+                } else {
+                    t[i] = i;
+                }
+            }
+            for i = 0 to 19 { s = s + t[i]; }
+            return s;
+        }
+        """
+        expected = sum(i // 2 if i % 2 == 0 else i for i in range(20))
+        for factor in (1, 3, 4):
+            assert run_tin_value(
+                src, CompilerOptions(unroll=factor)
+            ) == expected
+
+    def test_declaration_at_loop_top_still_works(self):
+        src = """
+        proc main(): int {
+            var i, s: int;
+            s = 0;
+            for i = 1 to 9 {
+                var sq: int;
+                sq = i * i;
+                s = s + sq;
+            }
+            return s;
+        }
+        """
+        assert run_tin_value(
+            src, CompilerOptions(unroll=4)
+        ) == sum(i * i for i in range(1, 10))

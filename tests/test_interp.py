@@ -1,0 +1,132 @@
+"""Unit tests for the functional interpreter."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa import BasicBlock, Function, Opcode, Program, build
+from repro.isa.registers import Reg
+from repro.opt.options import CompilerOptions, OptLevel
+from repro.sim.interp import _int_div, _int_mod, flatten, run
+from tests.helpers import run_tin
+
+
+def tiny_program(body_instrs) -> Program:
+    """Wrap instructions in a main() that halts; uses physical regs."""
+    start = Function("_start")
+    start.blocks = [BasicBlock("_start.entry",
+                               [build.call("main"), build.halt()])]
+    main = Function("main")
+    main.blocks = [BasicBlock("main.entry", list(body_instrs) + [build.ret()])]
+    return Program(functions={"_start": start, "main": main}, entry="_start")
+
+
+class TestArithmeticSemantics:
+    @pytest.mark.parametrize("a,b,q,r", [
+        (7, 2, 3, 1),
+        (-7, 2, -3, -1),
+        (7, -2, -3, 1),
+        (-7, -2, 3, -1),
+        (0, 5, 0, 0),
+    ])
+    def test_c_style_division(self, a, b, q, r):
+        assert _int_div(a, b) == q
+        assert _int_mod(a, b) == r
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(SimulationError):
+            _int_div(1, 0)
+
+    def test_float_division_by_zero_raises(self):
+        src = "proc main(): int { var x: float; x = 0.0;" \
+              " return int(1.0 / x); }"
+        with pytest.raises(SimulationError):
+            run_tin(src)
+
+    def test_runtime_int_division_by_zero(self):
+        src = "proc main(): int { var x: int; x = 0; return 1 / x; }"
+        with pytest.raises(SimulationError):
+            run_tin(src)
+
+
+class TestMemorySafety:
+    def test_load_out_of_bounds(self):
+        body = [
+            build.li(Reg(20), 10_000_000),
+            build.lw(Reg(21), Reg(20), 0),
+        ]
+        with pytest.raises(SimulationError):
+            run(tiny_program(body))
+
+    def test_store_into_guard_page(self):
+        body = [build.sw(Reg(20), Reg(0), 2)]
+        with pytest.raises(SimulationError):
+            run(tiny_program(body))
+
+    def test_writes_to_register_zero_rejected(self):
+        body = [build.li(Reg(0), 1)]
+        with pytest.raises(SimulationError):
+            run(tiny_program(body))
+
+    def test_instruction_budget(self):
+        src = """
+        proc main(): int {
+            var i, s: int;
+            s = 0;
+            for i = 1 to 100000 { s = s + 1; }
+            return s;
+        }
+        """
+        with pytest.raises(SimulationError):
+            run_tin(src, max_instructions=1000)
+
+
+class TestTraces:
+    def test_trace_matches_instruction_count(self):
+        result = run_tin("proc main(): int { return 1 + 2; }")
+        assert len(result.trace) == result.instructions
+
+    def test_trace_records_memory_addresses(self):
+        result = run_tin(
+            "var g: int;\nproc main(): int { g = 5; return g; }",
+            CompilerOptions(opt_level=OptLevel.NONE),
+        )
+        mem_addrs = [
+            addr for si, addr in zip(result.trace.ops, result.trace.addrs)
+            if result.trace.static[si].op.info.is_mem
+        ]
+        assert all(a >= 16 for a in mem_addrs)
+        assert any(a >= 16 for a in mem_addrs)
+
+    def test_class_counts(self):
+        result = run_tin("proc main(): int { return 2 * 3; }")
+        counts = result.trace.class_counts()
+        assert sum(counts.values()) == result.instructions
+
+
+class TestFlatten:
+    def test_flatten_is_dense_and_labelled(self):
+        program = tiny_program([build.li(Reg(20), 1)])
+        flat = flatten(program)
+        assert len(flat.instrs) == program.instruction_count()
+        assert flat.start == flat.entry_index["_start"]
+        assert flat.label_index["main.entry"] == flat.entry_index["main"]
+
+
+class TestStackDiscipline:
+    def test_deep_recursion_uses_stack(self):
+        src = """
+        proc depth(n: int): int {
+            if (n == 0) { return 0; }
+            return depth(n - 1) + 1;
+        }
+        proc main(): int { return depth(200); }
+        """
+        assert run_tin(src).value == 200
+
+    def test_stack_overflow_detected(self):
+        src = """
+        proc down(n: int): int { return down(n + 1); }
+        proc main(): int { return down(0); }
+        """
+        with pytest.raises(SimulationError):
+            run_tin(src, memory_words=4096)

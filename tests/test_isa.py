@@ -1,0 +1,272 @@
+"""Unit tests for the instruction set and program representation."""
+
+import pytest
+
+from repro.isa import (
+    BasicBlock,
+    Function,
+    InstrClass,
+    Instruction,
+    MemRef,
+    Opcode,
+    Program,
+    build,
+    compute_dominators,
+    format_function,
+    format_instruction,
+    loop_depths,
+    natural_loops,
+)
+from repro.isa.opcodes import SIMPLE_CLASSES, TERMINATORS
+from repro.isa.program import remove_unreachable_blocks
+from repro.isa.registers import (
+    ARG_REGS,
+    RA,
+    SP,
+    VIRT_OFFSET,
+    ZERO,
+    Reg,
+    RegisterFileSpec,
+    VirtualRegAllocator,
+    flat_index,
+    virtual,
+)
+
+
+class TestRegisters:
+    def test_virtual_allocator_is_sequential(self):
+        alloc = VirtualRegAllocator()
+        regs = [alloc.fresh() for _ in range(5)]
+        assert [r.index for r in regs] == [0, 1, 2, 3, 4]
+        assert all(r.virtual for r in regs)
+        assert alloc.count == 5
+
+    def test_flat_index_separates_spaces(self):
+        assert flat_index(Reg(3)) == 3
+        assert flat_index(virtual(3)) == 3 + VIRT_OFFSET
+        assert flat_index(Reg(3)) != flat_index(virtual(3))
+
+    def test_register_names(self):
+        assert ZERO.name == "zero"
+        assert SP.name == "sp"
+        assert RA.name == "ra"
+        assert virtual(7).name == "v7"
+        assert Reg(20).name == "r20"
+
+    def test_register_file_spec_layout(self):
+        spec = RegisterFileSpec(n_temp=16, n_home=26)
+        temps = spec.temp_regs
+        homes = spec.home_regs
+        assert len(temps) == 16
+        assert len(homes) == 26
+        # disjoint, and above the fixed registers
+        assert temps[0].index == 12
+        assert homes[0].index == temps[-1].index + 1
+        assert spec.total_registers == 12 + 16 + 26
+
+    def test_register_file_spec_validates(self):
+        with pytest.raises(ValueError):
+            RegisterFileSpec(n_temp=1)
+        with pytest.raises(ValueError):
+            RegisterFileSpec(n_home=-1)
+
+    def test_arg_regs_count(self):
+        assert len(ARG_REGS) == 6
+
+
+class TestOpcodes:
+    def test_fourteen_instruction_classes(self):
+        assert len(InstrClass) == 14
+
+    def test_divides_are_not_simple(self):
+        assert InstrClass.INTDIV not in SIMPLE_CLASSES
+        assert InstrClass.FPDIV not in SIMPLE_CLASSES
+        assert InstrClass.ADDSUB in SIMPLE_CLASSES
+        assert InstrClass.LOAD in SIMPLE_CLASSES
+
+    def test_every_opcode_has_info(self):
+        for op in Opcode:
+            info = op.info
+            assert info.klass in InstrClass
+            assert info.n_srcs >= 0
+
+    def test_memory_flags(self):
+        assert Opcode.LW.info.is_load and Opcode.LW.info.is_mem
+        assert Opcode.SW.info.is_store and Opcode.SW.info.is_mem
+        assert not Opcode.ADD.info.is_mem
+
+    def test_terminators(self):
+        assert Opcode.J in TERMINATORS
+        assert Opcode.RET in TERMINATORS
+        assert Opcode.HALT in TERMINATORS
+        assert Opcode.CALL not in TERMINATORS
+
+    def test_commutativity(self):
+        assert Opcode.ADD.info.commutative
+        assert Opcode.FMUL.info.commutative
+        assert not Opcode.SUB.info.commutative
+        assert not Opcode.FDIV.info.commutative
+
+
+class TestInstruction:
+    def test_validate_catches_bad_arity(self):
+        ins = Instruction(Opcode.ADD, dest=virtual(0), srcs=(virtual(1),))
+        with pytest.raises(ValueError):
+            ins.validate()
+
+    def test_validate_requires_dest(self):
+        ins = Instruction(Opcode.ADD, srcs=(virtual(1), virtual(2)))
+        with pytest.raises(ValueError):
+            ins.validate()
+
+    def test_validate_requires_branch_target(self):
+        ins = Instruction(Opcode.J)
+        with pytest.raises(ValueError):
+            ins.validate()
+
+    def test_builders_produce_valid_instructions(self):
+        samples = [
+            build.alu(Opcode.ADD, virtual(0), virtual(1), virtual(2)),
+            build.alui(Opcode.ADDI, virtual(0), virtual(1), 4),
+            build.li(virtual(0), 7),
+            build.lif(virtual(0), 1.5),
+            build.mov(virtual(0), virtual(1)),
+            build.lw(virtual(0), SP, 3),
+            build.sw(virtual(0), SP, 3),
+            build.beqz(virtual(0), "L1"),
+            build.bnez(virtual(0), "L1"),
+            build.jump("L1"),
+            build.call("f"),
+            build.ret(),
+            build.nop(),
+            build.halt(),
+        ]
+        for ins in samples:
+            ins.validate()
+
+    def test_copy_is_independent(self):
+        ins = build.alu(Opcode.ADD, virtual(0), virtual(1), virtual(2))
+        dup = ins.copy()
+        dup.dest = virtual(9)
+        assert ins.dest == virtual(0)
+
+    def test_memref_with_offset(self):
+        mem = MemRef(obj="g:a", offset=3)
+        assert mem.with_offset(5).offset == 5
+        assert mem.offset == 3  # frozen original unchanged
+
+    def test_format_instruction_smoke(self):
+        ins = build.lw(virtual(0), SP, 3, mem=MemRef(obj="g:x", offset=0))
+        text = format_instruction(ins)
+        assert "lw" in text and "g:x" in text
+
+
+def _diamond_function() -> Function:
+    """entry -> (left | right) -> join -> exit, with a loop on join."""
+    fn = Function("f")
+    fn.blocks = [
+        BasicBlock("entry", [build.bnez(virtual(0), "right")]),
+        BasicBlock("left", [build.jump("join")]),
+        BasicBlock("right", [build.jump("join")]),
+        BasicBlock("join", [build.bnez(virtual(1), "join")]),
+        BasicBlock("exit", [build.ret()]),
+    ]
+    return fn
+
+
+class TestCFG:
+    def test_successors(self):
+        fn = _diamond_function()
+        succ = fn.successors()
+        assert succ["entry"] == ["right", "left"]
+        assert succ["left"] == ["join"]
+        assert succ["join"] == ["join", "exit"]
+        assert succ["exit"] == []
+
+    def test_predecessors(self):
+        fn = _diamond_function()
+        pred = fn.predecessors()
+        assert set(pred["join"]) == {"left", "right", "join"}
+
+    def test_rpo_starts_at_entry(self):
+        fn = _diamond_function()
+        order = fn.rpo()
+        assert order[0] == "entry"
+        assert set(order) == {"entry", "left", "right", "join", "exit"}
+
+    def test_dominators(self):
+        fn = _diamond_function()
+        dom = compute_dominators(fn)
+        assert dom["join"] == {"entry", "join"}
+        assert dom["left"] == {"entry", "left"}
+        assert "entry" in dom["exit"]
+
+    def test_natural_loops(self):
+        fn = _diamond_function()
+        loops = natural_loops(fn)
+        assert len(loops) == 1
+        header, body = loops[0]
+        assert header == "join"
+        assert body == {"join"}
+
+    def test_loop_depths(self):
+        fn = _diamond_function()
+        depths = loop_depths(fn)
+        assert depths["join"] == 1
+        assert depths["entry"] == 0
+
+    def test_validate_catches_bad_target(self):
+        fn = Function("f")
+        fn.blocks = [BasicBlock("entry", [build.jump("nowhere")])]
+        with pytest.raises(ValueError):
+            fn.validate()
+
+    def test_validate_catches_missing_terminator(self):
+        fn = Function("f")
+        fn.blocks = [BasicBlock("entry", [build.nop()])]
+        with pytest.raises(ValueError):
+            fn.validate()
+
+    def test_validate_catches_duplicate_labels(self):
+        fn = Function("f")
+        fn.blocks = [
+            BasicBlock("a", [build.jump("a")]),
+            BasicBlock("a", [build.ret()]),
+        ]
+        with pytest.raises(ValueError):
+            fn.validate()
+
+    def test_remove_unreachable_blocks(self):
+        fn = Function("f")
+        fn.blocks = [
+            BasicBlock("entry", [build.jump("end")]),
+            BasicBlock("dead", [build.jump("end")]),
+            BasicBlock("end", [build.ret()]),
+        ]
+        removed = remove_unreachable_blocks(fn)
+        assert removed == 1
+        assert [b.label for b in fn.blocks] == ["entry", "end"]
+
+    def test_format_function_smoke(self):
+        fn = _diamond_function()
+        text = format_function(fn)
+        assert "join:" in text and "func f" in text
+
+
+class TestProgram:
+    def test_validate_checks_entry(self):
+        prog = Program(entry="main")
+        with pytest.raises(ValueError):
+            prog.validate()
+
+    def test_validate_checks_call_targets(self):
+        fn = Function("main")
+        fn.blocks = [BasicBlock("main.entry", [build.call("ghost"), build.ret()])]
+        prog = Program(functions={"main": fn}, entry="main")
+        with pytest.raises(ValueError):
+            prog.validate()
+
+    def test_instruction_count(self):
+        fn = _diamond_function()
+        prog = Program(functions={"f": fn}, entry="f")
+        assert prog.instruction_count() == fn.instruction_count() == 5

@@ -1,0 +1,230 @@
+"""Unit tests for the Tin lexer, parser and semantic analyzer."""
+
+import pytest
+
+from repro.errors import TinSemanticError, TinSyntaxError
+from repro.lang import ast, check, parse, tokenize
+from repro.lang.tokens import TokKind
+
+
+class TestLexer:
+    def test_numbers(self):
+        toks = tokenize("42 3.5 1e3 2.5e-2 7")
+        kinds = [t.kind for t in toks[:-1]]
+        assert kinds == [TokKind.INT, TokKind.FLOAT, TokKind.FLOAT,
+                         TokKind.FLOAT, TokKind.INT]
+        assert toks[0].value == 42
+        assert toks[1].value == 3.5
+        assert toks[2].value == 1000.0
+
+    def test_keywords_vs_identifiers(self):
+        toks = tokenize("var variable if iffy")
+        assert toks[0].kind is TokKind.KEYWORD
+        assert toks[1].kind is TokKind.IDENT
+        assert toks[2].kind is TokKind.KEYWORD
+        assert toks[3].kind is TokKind.IDENT
+
+    def test_multichar_symbols(self):
+        toks = tokenize("<= >= == != << >> && || < >")
+        texts = [t.text for t in toks[:-1]]
+        assert texts == ["<=", ">=", "==", "!=", "<<", ">>", "&&", "||",
+                         "<", ">"]
+
+    def test_comments_are_skipped(self):
+        toks = tokenize("1 # a comment with var if 3.5\n2")
+        assert [t.value for t in toks[:-1]] == [1, 2]
+
+    def test_positions(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_bad_character(self):
+        with pytest.raises(TinSyntaxError):
+            tokenize("a $ b")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind is TokKind.EOF
+
+
+class TestParser:
+    def test_precedence(self):
+        mod = parse("proc main(): int { return 1 + 2 * 3; }")
+        ret = mod.procs[0].body[0]
+        assert isinstance(ret, ast.Return)
+        top = ret.value
+        assert isinstance(top, ast.BinOp) and top.op == "+"
+        assert isinstance(top.right, ast.BinOp) and top.right.op == "*"
+
+    def test_parentheses(self):
+        mod = parse("proc main(): int { return (1 + 2) * 3; }")
+        top = mod.procs[0].body[0].value
+        assert top.op == "*"
+        assert top.left.op == "+"
+
+    def test_left_associativity(self):
+        mod = parse("proc main(): int { return 10 - 3 - 2; }")
+        top = mod.procs[0].body[0].value
+        assert top.op == "-"
+        assert isinstance(top.left, ast.BinOp) and top.left.op == "-"
+
+    def test_unary_operators(self):
+        mod = parse("proc main(): int { return -x + !y; }")
+        top = mod.procs[0].body[0].value
+        assert isinstance(top.left, ast.UnOp) and top.left.op == "-"
+        assert isinstance(top.right, ast.UnOp) and top.right.op == "!"
+
+    def test_for_loop_with_step(self):
+        mod = parse(
+            "proc main(): int { var i: int;"
+            " for i = 10 to 0 by -2 { } return 0; }"
+        )
+        loop = mod.procs[0].body[1]
+        assert isinstance(loop, ast.For)
+        assert loop.step == -2
+
+    def test_for_rejects_zero_step(self):
+        with pytest.raises(TinSyntaxError):
+            parse("proc main(): int { var i: int;"
+                  " for i = 0 to 5 by 0 { } return 0; }")
+
+    def test_else_if_chain(self):
+        mod = parse(
+            "proc f(x: int): int {"
+            " if (x > 0) { return 1; } else if (x < 0) { return -1; }"
+            " else { return 0; } }"
+        )
+        node = mod.procs[0].body[0]
+        assert isinstance(node, ast.If)
+        assert isinstance(node.els[0], ast.If)
+
+    def test_globals_with_initializers(self):
+        mod = parse("var a: int = 5;\nvar t: int[3] = {1, 2, 3};\n"
+                    "proc main(): int { return a; }")
+        assert mod.globals_[0].init == [5]
+        assert mod.globals_[1].init == [1, 2, 3]
+
+    def test_const_decl(self):
+        mod = parse("const K = -7;\nproc main(): int { return K; }")
+        assert mod.consts[0].value == -7
+
+    def test_array_param(self):
+        mod = parse("proc f(a: float[], n: int) { }"
+                    "proc main(): int { return 0; }")
+        param = mod.procs[0].params[0]
+        assert param.size == -1 and param.ty == "float"
+
+    def test_cast_syntax(self):
+        mod = parse("proc main(): int { return int(1.5) + int(float(2)); }")
+        top = mod.procs[0].body[0].value
+        assert isinstance(top.left, ast.Cast) and top.left.to == "int"
+
+    def test_syntax_error_has_position(self):
+        with pytest.raises(TinSyntaxError) as err:
+            parse("proc main(): int { return 1 +; }")
+        assert err.value.line >= 1
+
+    def test_missing_semicolon(self):
+        with pytest.raises(TinSyntaxError):
+            parse("proc main(): int { return 1 }")
+
+
+def check_src(src: str):
+    return check(parse(src))
+
+
+class TestSemantics:
+    def test_types_annotated(self):
+        mod = parse("proc main(): int { var x: float; x = 1.5; return 0; }")
+        check(mod)
+        assign = mod.procs[0].body[1]
+        assert assign.value.ty == ast.FLOAT
+
+    def test_implicit_int_to_float_inserts_cast(self):
+        mod = parse("proc main(): int { var x: float; x = 1; return 0; }")
+        check(mod)
+        assign = mod.procs[0].body[1]
+        assert isinstance(assign.value, ast.Cast)
+        assert assign.value.to == ast.FLOAT
+
+    def test_mixed_arithmetic_promotes(self):
+        mod = parse(
+            "proc main(): int { var x: float; x = 1 + 2.5; return 0; }"
+        )
+        check(mod)
+        assign = mod.procs[0].body[1]
+        assert assign.value.ty == ast.FLOAT
+
+    def test_float_to_int_requires_cast(self):
+        with pytest.raises(TinSemanticError):
+            check_src("proc main(): int { var x: int; x = 1.5; return 0; }")
+
+    def test_undeclared_variable(self):
+        with pytest.raises(TinSemanticError):
+            check_src("proc main(): int { return nope; }")
+
+    def test_undeclared_procedure(self):
+        with pytest.raises(TinSemanticError):
+            check_src("proc main(): int { return ghost(); }")
+
+    def test_const_substitution(self):
+        mod = parse("const K = 3;\nproc main(): int { return K; }")
+        check(mod)
+        value = mod.procs[0].body[0].value
+        assert isinstance(value, ast.IntLit) and value.value == 3
+
+    def test_array_used_without_index(self):
+        with pytest.raises(TinSemanticError):
+            check_src("var a: int[4];\nproc main(): int { return a; }")
+
+    def test_scalar_indexed(self):
+        with pytest.raises(TinSemanticError):
+            check_src("var a: int;\nproc main(): int { return a[0]; }")
+
+    def test_condition_must_be_int(self):
+        with pytest.raises(TinSemanticError):
+            check_src("proc main(): int { if (1.5) { } return 0; }")
+
+    def test_int_only_ops_reject_floats(self):
+        with pytest.raises(TinSemanticError):
+            check_src("proc main(): int { return int(1.5 % 2.0); }")
+
+    def test_missing_return(self):
+        with pytest.raises(TinSemanticError):
+            check_src("proc main(): int { var x: int; x = 1; }")
+
+    def test_if_else_return_coverage(self):
+        check_src(
+            "proc main(): int { if (1) { return 1; } else { return 2; } }"
+        )
+
+    def test_arg_count_mismatch(self):
+        with pytest.raises(TinSemanticError):
+            check_src("proc f(a: int): int { return a; }"
+                      "proc main(): int { return f(1, 2); }")
+
+    def test_array_argument_type_checked(self):
+        with pytest.raises(TinSemanticError):
+            check_src(
+                "var a: int[4];\n"
+                "proc f(x: float[]): int { return 0; }\n"
+                "proc main(): int { return f(a); }"
+            )
+
+    def test_void_call_as_value(self):
+        with pytest.raises(TinSemanticError):
+            check_src("proc f() { }\nproc main(): int { return f(); }")
+
+    def test_duplicate_local(self):
+        with pytest.raises(TinSemanticError):
+            check_src("proc main(): int { var x: int; var x: int;"
+                      " return 0; }")
+
+    def test_for_variable_must_be_int_scalar(self):
+        with pytest.raises(TinSemanticError):
+            check_src("proc main(): int { var f: float;"
+                      " for f = 0 to 3 { } return 0; }")
+
+    def test_return_value_from_void(self):
+        with pytest.raises(TinSemanticError):
+            check_src("proc f() { return 1; }\nproc main(): int { return 0; }")

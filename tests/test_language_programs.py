@@ -1,0 +1,160 @@
+"""End-to-end Tin programs checked against Python semantics at every
+optimization level.  These are the compiler's conformance suite: each
+program exercises a distinct language feature through the full pipeline
+(parse, check, codegen, optimize, allocate, schedule, execute)."""
+
+import pytest
+
+from tests.helpers import run_tin_value
+
+# (name, source, expected value) — expected computed by hand/Python.
+PROGRAMS = [
+    ("return_const", "proc main(): int { return 42; }", 42),
+    ("arith", "proc main(): int { return 2 + 3 * 4 - 6 / 2; }", 11),
+    ("division_truncates_toward_zero",
+     "proc main(): int { return (0 - 7) / 2; }", -3),
+    ("modulo_c_semantics",
+     "proc main(): int { return (0 - 7) % 3; }", -(7 % 3) if False else -1),
+    ("shift_ops", "proc main(): int { return (1 << 6) + (256 >> 3); }", 96),
+    ("bitwise", "proc main(): int { return (12 & 10) | (1 ^ 3); }", 10),
+    ("comparisons",
+     "proc main(): int { return (1 < 2) + (2 <= 2) + (3 > 4) + (4 >= 5)"
+     " + (1 == 1) + (1 != 1); }", 3),
+    ("unary_not", "proc main(): int { return !0 + !5; }", 1),
+    ("negation", "proc main(): int { var x: int; x = 5; return -x; }", -5),
+    ("globals",
+     "var g: int = 7;\nproc main(): int { g = g + 1; return g; }", 8),
+    ("global_array_init",
+     "var t: int[4] = {3, 1, 4, 1};\n"
+     "proc main(): int { return t[0]*1000 + t[1]*100 + t[2]*10 + t[3]; }",
+     3141),
+    ("global_array_fill_init",
+     "var t: int[5] = 9;\nproc main(): int { return t[0] + t[4]; }", 18),
+    ("local_array",
+     "proc main(): int { var a: int[3]; var i: int;"
+     " for i = 0 to 2 { a[i] = i * i; } return a[0] + a[1] + a[2]; }", 5),
+    ("while_loop",
+     "proc main(): int { var i, s: int; i = 0; s = 0;"
+     " while (i < 10) { s = s + i; i = i + 1; } return s; }", 45),
+    ("for_loop_inclusive",
+     "proc main(): int { var i, s: int; s = 0;"
+     " for i = 1 to 10 { s = s + i; } return s; }", 55),
+    ("for_loop_negative_step",
+     "proc main(): int { var i, s: int; s = 0;"
+     " for i = 10 to 1 by -1 { s = s + i; } return s; }", 55),
+    ("for_loop_step_3",
+     "proc main(): int { var i, s: int; s = 0;"
+     " for i = 0 to 10 by 3 { s = s + i; } return s; }", 18),
+    ("for_loop_zero_trips",
+     "proc main(): int { var i, s: int; s = 7;"
+     " for i = 5 to 4 { s = 0; } return s; }", 7),
+    ("nested_loops",
+     "proc main(): int { var i, j, s: int; s = 0;"
+     " for i = 1 to 5 { for j = 1 to i { s = s + 1; } } return s; }", 15),
+    ("if_else",
+     "proc main(): int { var x: int; x = 3;"
+     " if (x > 5) { return 1; } else { return 2; } }", 2),
+    ("else_if_chain",
+     "proc classify(x: int): int {"
+     " if (x > 0) { return 1; } else if (x < 0) { return -1; }"
+     " else { return 0; } }"
+     "proc main(): int { return classify(5)*100 + classify(-5)*10 +"
+     " classify(0) + 111; }", 211 - 10 + 0 + 0),
+    ("short_circuit_and",
+     "var count: int;\n"
+     "proc bump(): int { count = count + 1; return 1; }\n"
+     "proc main(): int { var r: int; count = 0;"
+     " r = 0 && bump(); return count * 10 + r; }", 0),
+    ("short_circuit_or",
+     "var count: int;\n"
+     "proc bump(): int { count = count + 1; return 1; }\n"
+     "proc main(): int { var r: int; count = 0;"
+     " r = 1 || bump(); return count * 10 + r; }", 1),
+    ("and_or_values",
+     "proc main(): int { return (2 && 3) * 10 + (0 || 7); }", 11),
+    ("procedure_calls",
+     "proc add(a: int, b: int): int { return a + b; }\n"
+     "proc main(): int { return add(add(1, 2), add(3, 4)); }", 10),
+    ("six_args",
+     "proc f(a: int, b: int, c: int, d: int, e: int, g: int): int"
+     " { return a + 2*b + 3*c + 4*d + 5*e + 6*g; }\n"
+     "proc main(): int { return f(1, 2, 3, 4, 5, 6); }", 91),
+    ("recursion_factorial",
+     "proc fact(n: int): int { if (n <= 1) { return 1; }"
+     " return n * fact(n - 1); }\n"
+     "proc main(): int { return fact(7); }", 5040),
+    ("mutual_recursion",
+     "proc is_even(n: int): int { if (n == 0) { return 1; }"
+     " return is_odd(n - 1); }\n"
+     "proc is_odd(n: int): int { if (n == 0) { return 0; }"
+     " return is_even(n - 1); }\n"
+     "proc main(): int { return is_even(10)*10 + is_odd(7); }", 11),
+    ("array_by_reference",
+     "var data: int[4];\n"
+     "proc double_all(a: int[], n: int) { var i: int;"
+     " for i = 0 to n - 1 { a[i] = a[i] * 2; } }\n"
+     "proc main(): int { var i: int;"
+     " for i = 0 to 3 { data[i] = i + 1; }"
+     " double_all(data, 4);"
+     " return data[0] + data[1] + data[2] + data[3]; }", 20),
+    ("local_array_by_reference",
+     "proc sum3(a: int[]): int { return a[0] + a[1] + a[2]; }\n"
+     "proc main(): int { var b: int[3]; b[0] = 5; b[1] = 6; b[2] = 7;"
+     " return sum3(b); }", 18),
+    ("float_arith",
+     "proc main(): int { var x: float; x = 1.5 * 4.0 - 2.0;"
+     " return int(x); }", 4),
+    ("float_compare",
+     "proc main(): int { var x: float; x = 0.1 + 0.2;"
+     " return (x > 0.3) + (x < 0.300001) * 10; }", 11),
+    ("float_division",
+     "proc main(): int { return int(7.0 / 2.0 * 100.0); }", 350),
+    ("float_negate",
+     "proc main(): int { var x: float; x = -2.5; return int(x * -2.0); }",
+     5),
+    ("int_float_conversion",
+     "proc main(): int { return int(float(7) / 2.0); }", 3),
+    ("cvtfi_truncates",
+     "proc main(): int { return int(2.9) * 10 + int(-2.9 + 0.0); }", 18),
+    ("float_params_and_return",
+     "proc scale(x: float, k: float): float { return x * k; }\n"
+     "proc main(): int { return int(scale(2.5, 4.0)); }", 10),
+    ("global_float",
+     "var acc: float;\nproc main(): int { acc = 0.5; acc = acc + 0.25;"
+     " return int(acc * 8.0); }", 6),
+    ("const_expr",
+     "const W = 10;\nconst H = 4;\n"
+     "proc main(): int { return W * H + W; }", 50),
+    ("float_const",
+     "const PI = 3.14159;\nproc main(): int { return int(PI * 100.0); }",
+     314),
+    ("deep_expression",
+     "proc main(): int { return ((((1+2)*(3+4))+((5+6)*(7+8)))*2); }",
+     (((1 + 2) * (3 + 4)) + ((5 + 6) * (7 + 8))) * 2),
+    ("aliased_params_same_array",
+     "var a: int[6];\n"
+     "proc shift(dst: int[], src: int[], n: int) { var i: int;"
+     " for i = 0 to n - 1 { dst[i] = src[i + 1] + 1; } }\n"
+     "proc main(): int { var i: int;"
+     " for i = 0 to 5 { a[i] = i * 10; }"
+     " shift(a, a, 4);"
+     " return a[0] + a[1] + a[2] + a[3]; }",
+     (10 + 1) + (20 + 1) + (30 + 1) + (40 + 1)),
+    ("stores_then_loads",
+     "var a, b, c: int;\n"
+     "proc main(): int { a = 1; b = 2; c = 3;"
+     " a = b + c; b = a + c; c = a + b; return c; }", 13),
+    ("many_locals_spill",
+     "proc main(): int { var a, b, c, d, e, f, g, h, i, j, k, l: int;"
+     " a=1; b=2; c=3; d=4; e=5; f=6; g=7; h=8; i=9; j=10; k=11; l=12;"
+     " return a+b+c+d+e+f+g+h+i+j+k+l +"
+     " (a*b) + (c*d) + (e*f) + (g*h) + (i*j) + (k*l); }",
+     78 + 2 + 12 + 30 + 56 + 90 + 132),
+]
+
+
+@pytest.mark.parametrize(
+    "name,source,expected", PROGRAMS, ids=[p[0] for p in PROGRAMS]
+)
+def test_program_semantics(name, source, expected, options):
+    assert run_tin_value(source, options) == expected

@@ -1,0 +1,110 @@
+"""Second conformance battery: each program exercises a distinct
+behaviour not covered by the first battery (interactions between
+features, evaluation order, edge values)."""
+
+import pytest
+
+from tests.helpers import run_tin_value
+
+PROGRAMS = [
+    ("call_in_condition",
+     "proc pos(x: int): int { if (x > 0) { return 1; } return 0; }\n"
+     "proc main(): int { var s, i: int; s = 0;"
+     " for i = -2 to 2 { if (pos(i)) { s = s + i; } } return s; }", 3),
+    ("nested_calls_in_args",
+     "proc f(a: int, b: int): int { return a * 10 + b; }\n"
+     "proc main(): int { return f(f(1, 2), f(3, 4)); }", 154),
+    ("call_argument_evaluation_order",
+     "var log: int;\n"
+     "proc tick(v: int): int { log = log * 10 + v; return v; }\n"
+     "proc use(a: int, b: int, c: int): int { return a + b + c; }\n"
+     "proc main(): int { log = 0; use(tick(1), tick(2), tick(3));"
+     " return log; }", 123),
+    ("while_with_compound_condition",
+     "proc main(): int { var i, j: int; i = 0; j = 10;"
+     " while (i < j && j > 2) { i = i + 1; j = j - 1; }"
+     " return i * 100 + j; }", 505),
+    ("deeply_nested_if",
+     "proc main(): int { var x: int; x = 7;"
+     " if (x > 0) { if (x > 5) { if (x > 6) { return 3; }"
+     " return 2; } return 1; } return 0; }", 3),
+    ("chained_array_indexing",
+     "var idx: int[4];\nvar val: int[4];\n"
+     "proc main(): int { var i: int;"
+     " for i = 0 to 3 { idx[i] = 3 - i; val[i] = i * 11; }"
+     " return val[idx[0]] + val[idx[3]]; }", 33),
+    ("expression_as_index",
+     "var t: int[16];\n"
+     "proc main(): int { var i: int;"
+     " for i = 0 to 15 { t[i] = i; }"
+     " return t[3 * 4 + 2] + t[(2 + 2) / 2]; }", 16),
+    ("negative_numbers_through_memory",
+     "var g: int;\nproc main(): int { g = -12345; return g / 100; }",
+     -123),
+    ("modulo_in_loop",
+     "proc main(): int { var i, s: int; s = 0;"
+     " for i = 1 to 30 { if (i % 3 == 0) { s = s + 1; } } return s; }",
+     10),
+    ("float_accumulation_order",
+     "proc main(): int { var i: int; var s: float; s = 0.0;"
+     " for i = 1 to 100 { s = s + 0.01; } return int(s * 100.0 + 0.5); }",
+     100),
+    ("int_float_int_roundtrip",
+     "proc main(): int { return int(float(123456)); }", 123456),
+    ("mixed_promotion_in_compare",
+     "proc main(): int { var i: int; i = 3;"
+     " return (i < 3.5) * 10 + (2.5 > i); }", 10),
+    ("unary_minus_in_call",
+     "proc neg(x: int): int { return -x; }\n"
+     "proc main(): int { return neg(-5) + neg(5); }", 0),
+    ("recursion_with_array_state",
+     "var visited: int[8];\n"
+     "proc walk(n: int): int {\n"
+     "  if (n >= 8) { return 0; }\n"
+     "  if (visited[n]) { return 0; }\n"
+     "  visited[n] = 1;\n"
+     "  return 1 + walk(n + 2) + walk(n + 3);\n"
+     "}\n"
+     "proc main(): int { return walk(0); }", 7),
+    ("global_array_param_mutation_visible",
+     "var shared: int[4];\n"
+     "proc bump(a: int[]) { a[0] = a[0] + 1; }\n"
+     "proc main(): int { shared[0] = 10; bump(shared); bump(shared);"
+     " return shared[0]; }", 12),
+    ("two_arrays_same_function",
+     "var a: int[4];\nvar b: int[4];\n"
+     "proc cross(x: int[], y: int[]) { var i: int;"
+     " for i = 0 to 3 { x[i] = y[3 - i]; } }\n"
+     "proc main(): int { var i: int;"
+     " for i = 0 to 3 { b[i] = i + 1; }"
+     " cross(a, b);"
+     " return a[0]*1000 + a[1]*100 + a[2]*10 + a[3]; }", 4321),
+    ("shift_as_multiply",
+     "proc main(): int { var x: int; x = 3;"
+     " return (x << 4) + (x << 0); }", 51),
+    ("boolean_arithmetic",
+     "proc main(): int { var a, b: int; a = 4; b = 9;"
+     " return (a < b) + (a == 4) * 2 + (b != 9) * 4 + (a >= 4) * 8; }",
+     11),
+    ("while_false_never_runs",
+     "proc main(): int { var s: int; s = 5;"
+     " while (0) { s = 99; } return s; }", 5),
+    ("float_compare_chain",
+     "proc main(): int { var x, y: float; x = 0.5; y = 0.25;"
+     " if (x > y) { if (y > 0.0) { return 1; } } return 0; }", 1),
+    ("large_frame_many_arrays",
+     "proc main(): int { var p: int[30]; var q: int[30]; var i, s: int;"
+     " for i = 0 to 29 { p[i] = i; q[i] = 29 - i; }"
+     " s = 0; for i = 0 to 29 { s = s + p[i] * q[i]; } return s; }",
+     sum(i * (29 - i) for i in range(30))),
+    ("const_float_arithmetic",
+     "const H = 0.5;\nconst Q = 0.25;\n"
+     "proc main(): int { return int((H + Q) * 8.0); }", 6),
+]
+
+
+@pytest.mark.parametrize(
+    "name,source,expected", PROGRAMS, ids=[p[0] for p in PROGRAMS]
+)
+def test_program_semantics_more(name, source, expected, options):
+    assert run_tin_value(source, options) == expected

@@ -1,0 +1,238 @@
+"""Tests for the ILP-limit extensions: branch stalls, out-of-order issue,
+and the instruction cache."""
+
+import pytest
+
+from repro.errors import MachineConfigError
+from repro.isa import InstrClass, Opcode, build
+from repro.isa.registers import virtual
+from repro.machine import MachineConfig, base_machine, ideal_superscalar
+from repro.sim.cache import CacheConfig, simulate_with_icache
+from repro.sim.limits import branch_inhibition, simulate_out_of_order
+from repro.sim.timing import issue_schedule, simulate
+from repro.sim.trace import Trace
+
+
+def trace_of(instrs, addrs=None) -> Trace:
+    return Trace.from_instructions(instrs, addrs=addrs)
+
+
+class TestBranchPolicy:
+    def test_policy_validated(self):
+        with pytest.raises(MachineConfigError):
+            MachineConfig(name="bad", branch_policy="oracle")
+
+    def test_with_branch_policy_copies(self):
+        cfg = base_machine().with_branch_policy("stall")
+        assert cfg.branch_policy == "stall"
+        assert base_machine().branch_policy == "perfect"
+
+    def test_stall_blocks_issue_after_conditional(self):
+        instrs = [
+            build.bnez(virtual(0), "L"),
+            build.alui(Opcode.ADDI, virtual(1), virtual(2), 1),
+        ]
+        trace = Trace(static=instrs)
+        trace.append(0)
+        trace.append(1)
+        lats = {k: 1 for k in InstrClass}
+        lats[InstrClass.BRANCH] = 3
+        perfect = MachineConfig(name="p", issue_width=2, latencies=lats)
+        stall = perfect.with_branch_policy("stall")
+        assert issue_schedule(trace, perfect) == [0, 0]
+        assert issue_schedule(trace, stall) == [0, 3]
+
+    def test_unconditional_jumps_never_stall(self):
+        instrs = [
+            build.jump("L"),
+            build.alui(Opcode.ADDI, virtual(1), virtual(2), 1),
+        ]
+        trace = Trace(static=instrs)
+        trace.append(0)
+        trace.append(1)
+        cfg = MachineConfig(
+            name="s", issue_width=2, branch_policy="stall"
+        )
+        assert issue_schedule(trace, cfg) == [0, 0]
+
+    def test_branch_inhibition_on_real_code(self):
+        from repro.benchmarks import suite
+
+        result = suite.run_benchmark(suite.get("whet"))
+        perfect, stalled = branch_inhibition(
+            result.trace, ideal_superscalar(8)
+        )
+        assert stalled.parallelism < perfect.parallelism
+        assert stalled.parallelism > 1.0
+
+
+class TestOutOfOrder:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            simulate_out_of_order(
+                trace_of([build.nop()]), base_machine(), window=0
+            )
+
+    def test_ooo_reorders_past_stalled_head(self):
+        # head instruction waits on a slow load; in-order blocks the
+        # independent tail, out-of-order does not
+        instrs = [
+            build.lw(virtual(0), virtual(9), 0),
+            build.alui(Opcode.ADDI, virtual(1), virtual(0), 1),  # dependent
+            build.alui(Opcode.ADDI, virtual(2), virtual(8), 1),  # independent
+            build.alui(Opcode.ADDI, virtual(3), virtual(8), 2),
+        ]
+        lats = {k: 1 for k in InstrClass}
+        lats[InstrClass.LOAD] = 8
+        cfg = MachineConfig(name="m", issue_width=2, latencies=lats)
+        trace = trace_of(instrs)
+        inorder = simulate(trace, cfg)
+        ooo = simulate_out_of_order(trace, cfg, window=8)
+        assert ooo.minor_cycles < inorder.minor_cycles
+
+    def test_window_one_is_no_better_than_in_order(self):
+        instrs = [
+            build.lw(virtual(0), virtual(9), 0),
+            build.alui(Opcode.ADDI, virtual(1), virtual(0), 1),
+            build.alui(Opcode.ADDI, virtual(2), virtual(8), 1),
+        ]
+        lats = {k: 1 for k in InstrClass}
+        lats[InstrClass.LOAD] = 8
+        cfg = MachineConfig(name="m", issue_width=2, latencies=lats)
+        trace = trace_of(instrs)
+        narrow = simulate_out_of_order(trace, cfg, window=1)
+        wide = simulate_out_of_order(trace, cfg, window=8)
+        assert wide.minor_cycles <= narrow.minor_cycles
+
+    def test_wider_window_monotone(self):
+        from repro.benchmarks import suite
+
+        result = suite.run_benchmark(suite.get("whet"))
+        cfg = ideal_superscalar(8)
+        prev = 0.0
+        for window in (1, 4, 16, 64):
+            p = simulate_out_of_order(result.trace, cfg, window).parallelism
+            assert p >= prev - 1e-9
+            prev = p
+
+    def test_memory_same_address_stays_ordered(self):
+        instrs = [
+            build.sw(virtual(1), virtual(9), 0),
+            build.lw(virtual(2), virtual(9), 0),
+        ]
+        trace = trace_of(instrs, addrs=[64, 64])
+        lats = {k: 1 for k in InstrClass}
+        lats[InstrClass.STORE] = 5
+        cfg = MachineConfig(name="m", issue_width=2, latencies=lats)
+        result = simulate_out_of_order(trace, cfg, window=8)
+        assert result.minor_cycles == 6  # load waits for store completion
+
+    def test_ooo_beats_inorder_on_suite(self):
+        """The hardware alternative the paper argues against building is
+        genuinely more powerful once renaming and cross-branch lookahead
+        are granted (cf. Wall 1991)."""
+        from repro.benchmarks import suite
+
+        result = suite.run_benchmark(suite.get("stanford"))
+        cfg = ideal_superscalar(8)
+        inorder = simulate(result.trace, cfg).parallelism
+        ooo = simulate_out_of_order(result.trace, cfg, window=32).parallelism
+        assert ooo > inorder
+
+
+class TestInstructionCache:
+    def test_tiny_icache_thrashes(self):
+        # a loop bigger than the cache misses on every trip
+        instrs = [
+            build.alui(Opcode.ADDI, virtual(i), virtual(100 + i), 1)
+            for i in range(32)
+        ]
+        trace = Trace(static=instrs)
+        for _rep in range(4):
+            for i in range(32):
+                trace.append(i)
+        small = CacheConfig(size_words=16, line_words=4, miss_penalty=8)
+        big = CacheConfig(size_words=256, line_words=4, miss_penalty=8)
+        r_small = simulate_with_icache(trace, base_machine(), small)
+        r_big = simulate_with_icache(trace, base_machine(), big)
+        assert r_small.fetch_misses > r_big.fetch_misses
+        assert (
+            r_small.timing.minor_cycles > r_big.timing.minor_cycles
+        )
+
+    def test_fits_in_cache_misses_once_per_line(self):
+        instrs = [
+            build.alui(Opcode.ADDI, virtual(i), virtual(100 + i), 1)
+            for i in range(8)
+        ]
+        trace = Trace(static=instrs)
+        for _rep in range(3):
+            for i in range(8):
+                trace.append(i)
+        cache = CacheConfig(size_words=64, line_words=4, miss_penalty=5)
+        result = simulate_with_icache(trace, base_machine(), cache)
+        assert result.fetch_misses == 2  # 8 instructions / 4 per line
+        assert result.miss_rate == pytest.approx(2 / 24)
+
+    def test_unrolling_declines_with_limited_icache(self):
+        """Section 4.4: 'If limited instruction caches were present, the
+        actual performance would decline for large degrees of
+        unrolling.'"""
+        from repro.benchmarks import suite
+        from repro.isa.registers import RegisterFileSpec
+        from repro.opt.options import CompilerOptions
+
+        cache = CacheConfig(size_words=256, line_words=4, miss_penalty=20)
+        cfg = ideal_superscalar(8)
+        perf = {}
+        for factor in (1, 10):
+            opts = CompilerOptions(
+                unroll=factor, careful=True,
+                regfile=RegisterFileSpec(n_temp=40, n_home=26),
+            )
+            result = suite.run_benchmark(suite.get("linpack"), opts)
+            timing = simulate_with_icache(result.trace, cfg, cache)
+            perf[factor] = (
+                result.instructions / timing.timing.base_cycles,
+                simulate(result.trace, cfg).parallelism,
+            )
+        with_cache_1, no_cache_1 = perf[1]
+        with_cache_10, no_cache_10 = perf[10]
+        # unrolling helps on the ideal machine...
+        assert no_cache_10 > no_cache_1
+        # ...but the icache takes a bigger bite out of the unrolled code
+        assert (no_cache_10 - with_cache_10) > (no_cache_1 - with_cache_1)
+
+
+class TestDataflowLimit:
+    def test_oracle_bounds_everything(self):
+        from repro.benchmarks import suite
+        from repro.sim.limits import dataflow_limit
+
+        result = suite.run_benchmark(suite.get("whet"))
+        oracle = dataflow_limit(result.trace).parallelism
+        inorder = simulate(result.trace, ideal_superscalar(64)).parallelism
+        ooo = simulate_out_of_order(
+            result.trace, ideal_superscalar(64), window=64
+        ).parallelism
+        assert oracle >= ooo >= inorder
+
+    def test_chain_has_limit_one(self):
+        from repro.sim.limits import dataflow_limit
+
+        instrs = [
+            build.alui(Opcode.ADDI, virtual(i + 1), virtual(i), 1)
+            for i in range(20)
+        ]
+        oracle = dataflow_limit(trace_of(instrs))
+        assert oracle.parallelism == pytest.approx(1.0)
+
+    def test_independent_work_is_unbounded_by_width(self):
+        from repro.sim.limits import dataflow_limit
+
+        instrs = [
+            build.alui(Opcode.ADDI, virtual(i), virtual(1000 + i), 1)
+            for i in range(50)
+        ]
+        oracle = dataflow_limit(trace_of(instrs))
+        assert oracle.parallelism == pytest.approx(50.0)

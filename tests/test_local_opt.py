@@ -1,0 +1,252 @@
+"""Unit tests for local value numbering and dead-code elimination."""
+
+from repro.isa import BasicBlock, Function, Opcode, build
+from repro.isa.registers import ARG_REGS, RV, SP, virtual
+from repro.opt.local import dead_code_elimination, value_number_function
+from repro.opt.options import AliasLevel
+
+
+def make_fn(instrs) -> Function:
+    fn = Function("f")
+    fn.blocks = [BasicBlock("f.entry", list(instrs) + [build.ret()])]
+    return fn
+
+
+def ops_of(fn: Function) -> list[Opcode]:
+    return [ins.op for ins in fn.blocks[0].instrs]
+
+
+class TestConstantFolding:
+    def test_fold_add(self):
+        fn = make_fn([
+            build.li(virtual(0), 4),
+            build.li(virtual(1), 5),
+            build.alu(Opcode.ADD, virtual(2), virtual(0), virtual(1)),
+            build.mov(RV, virtual(2)),
+        ])
+        value_number_function(fn)
+        folded = fn.blocks[0].instrs[2]
+        assert folded.op is Opcode.LI
+        assert folded.imm == 9
+
+    def test_fold_through_imm_form(self):
+        fn = make_fn([
+            build.li(virtual(0), 10),
+            build.alui(Opcode.SLLI, virtual(1), virtual(0), 2),
+            build.mov(RV, virtual(1)),
+        ])
+        value_number_function(fn)
+        assert fn.blocks[0].instrs[1].imm == 40
+
+    def test_fold_float(self):
+        fn = make_fn([
+            build.lif(virtual(0), 1.5),
+            build.lif(virtual(1), 2.0),
+            build.alu(Opcode.FMUL, virtual(2), virtual(0), virtual(1)),
+            build.mov(RV, virtual(2)),
+        ])
+        value_number_function(fn)
+        folded = fn.blocks[0].instrs[2]
+        assert folded.op is Opcode.LIF and folded.imm == 3.0
+
+    def test_never_folds_constant_division_by_zero(self):
+        fn = make_fn([
+            build.li(virtual(0), 4),
+            build.li(virtual(1), 0),
+            build.alu(Opcode.DIV, virtual(2), virtual(0), virtual(1)),
+            build.mov(RV, virtual(2)),
+        ])
+        value_number_function(fn)
+        assert fn.blocks[0].instrs[2].op is Opcode.DIV
+
+
+class TestIdentities:
+    def test_add_zero_becomes_move(self):
+        fn = make_fn([
+            build.li(virtual(0), 0),
+            build.alu(Opcode.ADD, virtual(1), virtual(10), virtual(0)),
+            build.mov(RV, virtual(1)),
+        ])
+        value_number_function(fn)
+        assert fn.blocks[0].instrs[1].op is Opcode.MOV
+
+    def test_mul_one(self):
+        fn = make_fn([
+            build.li(virtual(0), 1),
+            build.alu(Opcode.MUL, virtual(1), virtual(0), virtual(10)),
+            build.mov(RV, virtual(1)),
+        ])
+        value_number_function(fn)
+        assert fn.blocks[0].instrs[1].op is Opcode.MOV
+
+    def test_mul_zero(self):
+        fn = make_fn([
+            build.li(virtual(0), 0),
+            build.alu(Opcode.MUL, virtual(1), virtual(10), virtual(0)),
+            build.mov(RV, virtual(1)),
+        ])
+        value_number_function(fn)
+        folded = fn.blocks[0].instrs[1]
+        assert folded.op is Opcode.LI and folded.imm == 0
+
+    def test_strength_reduction_power_of_two(self):
+        fn = make_fn([
+            build.li(virtual(0), 8),
+            build.alu(Opcode.MUL, virtual(1), virtual(10), virtual(0)),
+            build.mov(RV, virtual(1)),
+        ])
+        value_number_function(fn)
+        reduced = fn.blocks[0].instrs[1]
+        assert reduced.op is Opcode.SLLI and reduced.imm == 3
+
+
+class TestCSE:
+    def test_common_subexpression_becomes_move(self):
+        fn = make_fn([
+            build.alu(Opcode.ADD, virtual(2), virtual(0), virtual(1)),
+            build.alu(Opcode.ADD, virtual(3), virtual(0), virtual(1)),
+            build.mov(RV, virtual(3)),
+        ])
+        value_number_function(fn)
+        assert fn.blocks[0].instrs[1].op is Opcode.MOV
+
+    def test_commutative_cse(self):
+        fn = make_fn([
+            build.alu(Opcode.ADD, virtual(2), virtual(0), virtual(1)),
+            build.alu(Opcode.ADD, virtual(3), virtual(1), virtual(0)),
+            build.mov(RV, virtual(3)),
+        ])
+        value_number_function(fn)
+        assert fn.blocks[0].instrs[1].op is Opcode.MOV
+
+    def test_non_commutative_not_csed(self):
+        fn = make_fn([
+            build.alu(Opcode.SUB, virtual(2), virtual(0), virtual(1)),
+            build.alu(Opcode.SUB, virtual(3), virtual(1), virtual(0)),
+            build.mov(RV, virtual(3)),
+        ])
+        value_number_function(fn)
+        assert fn.blocks[0].instrs[1].op is Opcode.SUB
+
+    def test_redundant_load_eliminated(self):
+        fn = make_fn([
+            build.lw(virtual(0), SP, 3),
+            build.lw(virtual(1), SP, 3),
+            build.mov(RV, virtual(1)),
+        ])
+        value_number_function(fn)
+        assert fn.blocks[0].instrs[1].op is Opcode.MOV
+
+    def test_store_kills_loads_conservatively(self):
+        fn = make_fn([
+            build.lw(virtual(0), SP, 3),
+            build.sw(virtual(9), virtual(8), 0),   # unknown address
+            build.lw(virtual(1), SP, 3),
+            build.mov(RV, virtual(1)),
+        ])
+        value_number_function(fn, AliasLevel.CONSERVATIVE)
+        assert fn.blocks[0].instrs[2].op is Opcode.LW
+
+    def test_store_to_load_forwarding(self):
+        fn = make_fn([
+            build.sw(virtual(5), SP, 3),
+            build.lw(virtual(0), SP, 3),
+            build.mov(RV, virtual(0)),
+        ])
+        value_number_function(fn)
+        assert fn.blocks[0].instrs[1].op is Opcode.MOV
+        assert fn.blocks[0].instrs[1].srcs[0] == virtual(5)
+
+    def test_call_kills_loads(self):
+        fn = make_fn([
+            build.lw(virtual(0), SP, 3),
+            build.call("g"),
+            build.lw(virtual(1), SP, 3),
+            build.mov(RV, virtual(1)),
+        ])
+        value_number_function(fn)
+        assert fn.blocks[0].instrs[2].op is Opcode.LW
+
+    def test_call_kills_argument_registers(self):
+        fn = make_fn([
+            build.mov(ARG_REGS[0], virtual(5)),
+            build.call("g"),
+            build.mov(virtual(1), ARG_REGS[0]),  # not v5 anymore
+            build.mov(RV, virtual(1)),
+        ])
+        value_number_function(fn)
+        # rv move must NOT have been propagated back to v5
+        assert fn.blocks[0].instrs[3].srcs[0] != virtual(5)
+
+
+class TestCopyPropagation:
+    def test_mov_chain_propagates(self):
+        fn = make_fn([
+            build.mov(virtual(1), virtual(0)),
+            build.mov(virtual(2), virtual(1)),
+            build.alui(Opcode.ADDI, virtual(3), virtual(2), 1),
+            build.mov(RV, virtual(3)),
+        ])
+        value_number_function(fn)
+        add = fn.blocks[0].instrs[2]
+        assert add.srcs[0] == virtual(0)
+
+    def test_redefinition_stops_propagation(self):
+        fn = make_fn([
+            build.mov(virtual(1), virtual(0)),
+            build.alui(Opcode.ADDI, virtual(0), virtual(9), 1),  # v0 changed
+            build.alui(Opcode.ADDI, virtual(3), virtual(1), 1),
+            build.mov(RV, virtual(3)),
+        ])
+        value_number_function(fn)
+        add = fn.blocks[0].instrs[2]
+        assert add.srcs[0] == virtual(1)  # must not read the new v0
+
+
+class TestDCE:
+    def test_removes_dead_computation(self):
+        fn = make_fn([
+            build.li(virtual(0), 1),
+            build.li(virtual(1), 2),              # dead
+            build.mov(RV, virtual(0)),
+        ])
+        removed = dead_code_elimination(fn)
+        assert removed == 1
+        assert len(fn.blocks[0].instrs) == 3
+
+    def test_removes_transitive_chains(self):
+        fn = make_fn([
+            build.li(virtual(0), 1),
+            build.alui(Opcode.ADDI, virtual(1), virtual(0), 1),
+            build.alui(Opcode.ADDI, virtual(2), virtual(1), 1),  # all dead
+        ])
+        removed = dead_code_elimination(fn)
+        assert removed == 3
+
+    def test_keeps_stores_and_calls(self):
+        fn = make_fn([
+            build.li(virtual(0), 1),
+            build.sw(virtual(0), SP, 3),
+            build.call("g"),
+        ])
+        removed = dead_code_elimination(fn)
+        assert removed == 0
+
+    def test_keeps_physical_destinations(self):
+        fn = make_fn([build.mov(RV, virtual(0))])
+        assert dead_code_elimination(fn) == 0
+
+    def test_respects_cross_block_liveness(self):
+        fn = Function("f")
+        fn.blocks = [
+            BasicBlock("a", [build.li(virtual(0), 7), build.jump("b")]),
+            BasicBlock("b", [build.mov(RV, virtual(0)), build.ret()]),
+        ]
+        assert dead_code_elimination(fn) == 0
+
+    def test_removes_self_move(self):
+        fn = make_fn([
+            build.mov(virtual(0), virtual(0)),
+            build.mov(RV, virtual(0)),
+        ])
+        assert dead_code_elimination(fn) == 1

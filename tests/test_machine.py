@@ -1,0 +1,147 @@
+"""Unit tests for machine descriptions, presets and metrics."""
+
+import pytest
+
+from repro.errors import MachineConfigError
+from repro.isa import InstrClass
+from repro.machine import (
+    CRAY1_LATENCIES,
+    MULTITITAN_LATENCIES,
+    MachineConfig,
+    PAPER_FREQUENCIES,
+    average_degree_of_superpipelining,
+    base_machine,
+    cray1,
+    dynamic_frequencies,
+    ideal_superscalar,
+    machine_degree,
+    multititan,
+    required_parallelism,
+    superpipelined,
+    superpipelined_superscalar,
+    superscalar_with_class_conflicts,
+    underpipelined_half_issue,
+    underpipelined_slow_cycle,
+    unit,
+)
+
+
+class TestMachineConfig:
+    def test_base_machine_is_ideal(self):
+        cfg = base_machine()
+        assert cfg.issue_width == 1
+        assert cfg.superpipeline_degree == 1
+        assert cfg.is_ideal
+        assert all(cfg.latency_of(k) == 1 for k in InstrClass)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(MachineConfigError):
+            MachineConfig(name="bad", issue_width=0)
+
+    def test_rejects_missing_latency(self):
+        with pytest.raises(MachineConfigError):
+            MachineConfig(name="bad", latencies={InstrClass.ADDSUB: 1})
+
+    def test_rejects_zero_latency(self):
+        lats = {k: 1 for k in InstrClass}
+        lats[InstrClass.LOAD] = 0
+        with pytest.raises(MachineConfigError):
+            MachineConfig(name="bad", latencies=lats)
+
+    def test_rejects_uncovered_class(self):
+        only_alu = unit("alu", [InstrClass.ADDSUB])
+        with pytest.raises(MachineConfigError):
+            MachineConfig(name="bad", units=(only_alu,))
+
+    def test_unit_validation(self):
+        with pytest.raises(MachineConfigError):
+            unit("u", [InstrClass.ADDSUB], issue_latency=0)
+        with pytest.raises(MachineConfigError):
+            unit("u", [InstrClass.ADDSUB], multiplicity=0)
+
+    def test_latency_table_is_frozen(self):
+        cfg = base_machine()
+        with pytest.raises(TypeError):
+            cfg.latencies[InstrClass.LOAD] = 5  # type: ignore[index]
+
+    def test_minor_to_base_conversion(self):
+        cfg = superpipelined(4)
+        assert cfg.minor_to_base(8) == pytest.approx(2.0)
+        slow = underpipelined_slow_cycle()
+        assert slow.minor_to_base(3) == pytest.approx(6.0)
+
+    def test_with_issue_width(self):
+        cfg = cray1().with_issue_width(4)
+        assert cfg.issue_width == 4
+        assert cfg.latencies[InstrClass.LOAD] == 11
+
+    def test_with_unit_latencies(self):
+        cfg = cray1().with_unit_latencies()
+        assert all(v == 1 for v in cfg.latencies.values())
+
+
+class TestPresets:
+    def test_superpipelined_latencies_scale(self):
+        cfg = superpipelined(3)
+        assert cfg.superpipeline_degree == 3
+        assert all(v == 3 for v in cfg.latencies.values())
+
+    def test_superpipelined_superscalar(self):
+        cfg = superpipelined_superscalar(2, 3)
+        assert cfg.issue_width == 2
+        assert cfg.superpipeline_degree == 3
+
+    def test_half_issue_preset_has_class_conflicts(self):
+        cfg = underpipelined_half_issue()
+        assert not cfg.is_ideal
+        assert cfg.units[0].issue_latency == 2
+
+    def test_table_2_1_latency_values(self):
+        assert MULTITITAN_LATENCIES[InstrClass.LOAD] == 2
+        assert MULTITITAN_LATENCIES[InstrClass.FPADD] == 3
+        assert CRAY1_LATENCIES[InstrClass.LOAD] == 11
+        assert CRAY1_LATENCIES[InstrClass.STORE] == 1
+        assert CRAY1_LATENCIES[InstrClass.ADDSUB] == 3
+
+    def test_class_conflict_preset(self):
+        cfg = superscalar_with_class_conflicts(4, n_mem_units=1)
+        mem_units = [u for u in cfg.units if InstrClass.LOAD in u.classes]
+        assert len(mem_units) == 1
+        assert mem_units[0].multiplicity == 1
+
+
+class TestMetrics:
+    def test_paper_frequencies_sum_to_one(self):
+        assert sum(PAPER_FREQUENCIES.values()) == pytest.approx(1.0)
+
+    def test_multititan_average_degree_is_1_7(self):
+        value = average_degree_of_superpipelining(MULTITITAN_LATENCIES)
+        assert value == pytest.approx(1.7)
+
+    def test_cray1_average_degree_is_4_4(self):
+        value = average_degree_of_superpipelining(CRAY1_LATENCIES)
+        assert value == pytest.approx(4.4)
+
+    def test_machine_degree_uses_base_cycles(self):
+        assert machine_degree(multititan()) == pytest.approx(1.7)
+        # a degree-m superpipelined machine has average degree m... in
+        # minor cycles; converted to base cycles it is exactly 1.0 * m / m
+        cfg = superpipelined(3)
+        assert machine_degree(cfg) == pytest.approx(1.0)
+
+    def test_dynamic_frequencies_normalize(self):
+        freqs = dynamic_frequencies(
+            {InstrClass.ADDSUB: 3, InstrClass.LOAD: 1}
+        )
+        assert freqs[InstrClass.ADDSUB] == pytest.approx(0.75)
+        assert sum(freqs.values()) == pytest.approx(1.0)
+
+    def test_dynamic_frequencies_reject_empty(self):
+        with pytest.raises(ValueError):
+            dynamic_frequencies({})
+
+    def test_required_parallelism_grid(self):
+        assert required_parallelism(2, 2) == 4
+        assert required_parallelism(3, 5) == 15
+        with pytest.raises(ValueError):
+            required_parallelism(0, 1)

@@ -1,0 +1,193 @@
+"""Edge-case tests: interprocedural binding chains, reassociation
+declaration typing, the package facade, and the CLI suite command."""
+
+import pytest
+
+from repro import compile_and_run, compile_source
+from repro.lang import ast, parse
+from repro.lang.codegen import generate
+from repro.lang.semantics import check
+from repro.opt.alias import bind_array_parameters
+from repro.opt.options import CompilerOptions, OptLevel
+from repro.opt.unroll import resolve_partial_decls, unroll_module
+from tests.helpers import run_tin_value
+
+
+class TestFacade:
+    def test_compile_and_run(self):
+        result = compile_and_run("proc main(): int { return 6 * 7; }")
+        assert result.value == 42
+
+    def test_compile_source_returns_program(self):
+        program = compile_source("proc main(): int { return 1; }")
+        assert "main" in program.functions
+        program.validate()
+
+    def test_facade_accepts_options(self):
+        result = compile_and_run(
+            "proc main(): int { return 2 + 2; }",
+            CompilerOptions(opt_level=OptLevel.NONE),
+        )
+        assert result.value == 4
+
+
+class TestInterproceduralChains:
+    CHAIN_SRC = """
+    var data: float[16];
+    proc leaf(a: float[], n: int): float {
+        var i: int;
+        var s: float;
+        s = 0.0;
+        for i = 0 to n - 1 { s = s + a[i]; }
+        return s;
+    }
+    proc middle(b: float[], n: int): float {
+        return leaf(b, n) * 2.0;
+    }
+    proc main(): int {
+        var i: int;
+        for i = 0 to 15 { data[i] = float(i); }
+        return int(middle(data, 16));
+    }
+    """
+
+    def test_pass_through_chain_resolves(self):
+        module = parse(self.CHAIN_SRC)
+        program = generate(module, check(module))
+        bound = bind_array_parameters(program)
+        assert bound > 0
+        leaf = program.functions["leaf"]
+        objs = {
+            ins.mem.obj for ins in leaf.instructions()
+            if ins.mem is not None and ins.mem.is_array
+        }
+        assert objs == {"g:data"}
+
+    def test_chain_semantics(self):
+        expected = int(sum(range(16)) * 2.0)
+        for careful in (False, True):
+            value = run_tin_value(
+                self.CHAIN_SRC, CompilerOptions(careful=careful)
+            )
+            assert value == expected
+
+    def test_recursive_array_param_stays_unbound(self):
+        src = """
+        var t: int[8];
+        proc walk(a: int[], i: int): int {
+            if (i >= 8) { return 0; }
+            return a[i] + walk(a, i + 1);
+        }
+        proc main(): int {
+            var i: int;
+            for i = 0 to 7 { t[i] = i + 1; }
+            return walk(t, 0);
+        }
+        """
+        module = parse(src)
+        program = generate(module, check(module))
+        bind_array_parameters(program)
+        # call sites pass both g:t (from main) and p:walk:a (recursion):
+        # the binding must resolve through the self-recursion to g:t OR
+        # stay conservative; either way semantics hold
+        assert run_tin_value(src, CompilerOptions(careful=True)) == 36
+
+
+class TestReassociationTyping:
+    def test_partial_temporaries_inherit_float_type(self):
+        src = """
+        var w: float[12];
+        proc main(): int {
+            var i: int;
+            var acc: float;
+            acc = 0.0;
+            for i = 0 to 11 { acc = acc + w[i]; }
+            return int(acc);
+        }
+        """
+        module = parse(src)
+        stats = unroll_module(module, 4, careful=True)
+        assert stats.reductions_reassociated == 1
+        resolve_partial_decls(module)
+        info = check(module)
+        partials = [
+            name for name in info.procs["main"].locals_
+            if name.startswith("__p")
+        ]
+        assert partials
+        assert all(
+            info.procs["main"].locals_[name].ty == ast.FLOAT
+            for name in partials
+        )
+
+    def test_int_accumulator_gets_int_partials(self):
+        src = """
+        var t: int[12];
+        proc main(): int {
+            var i, acc: int;
+            acc = 0;
+            for i = 0 to 11 { acc = acc + t[i]; }
+            return acc;
+        }
+        """
+        module = parse(src)
+        unroll_module(module, 4, careful=True)
+        resolve_partial_decls(module)
+        info = check(module)
+        partials = [
+            name for name in info.procs["main"].locals_
+            if name.startswith("__p")
+        ]
+        assert partials
+        assert all(
+            info.procs["main"].locals_[name].ty == ast.INT
+            for name in partials
+        )
+
+    def test_product_reduction_reassociates(self):
+        src = """
+        var t: float[8];
+        proc main(): int {
+            var i: int;
+            var prod: float;
+            for i = 0 to 7 { t[i] = 1.0 + float(i) * 0.125; }
+            prod = 1.0;
+            for i = 0 to 7 { prod = prod * t[i]; }
+            return int(prod * 100.0);
+        }
+        """
+        plain = run_tin_value(src, CompilerOptions())
+        reassoc = run_tin_value(src, CompilerOptions(unroll=4, careful=True))
+        assert abs(plain - reassoc) <= 1
+
+
+class TestCLISuite:
+    def test_suite_command(self, capsys):
+        from repro.__main__ import main as cli_main
+
+        assert cli_main(["suite"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ccom", "yacc", "linpack"):
+            assert name in out
+        assert "MISMATCH" not in out
+
+
+class TestUnderpipelinedSemantics:
+    def test_both_underpipelined_presets_equal_half_base(self):
+        """Figure 2-2 and 2-3: 'this machine's performance is the same
+        as the machine in Figure 2-2, which is half of the performance
+        attainable by the base machine'."""
+        from repro.analysis.pipeviz import demo_trace
+        from repro.machine import (
+            base_machine,
+            underpipelined_half_issue,
+            underpipelined_slow_cycle,
+        )
+        from repro.sim import simulate
+
+        trace = demo_trace("independent", 16)
+        base = simulate(trace, base_machine()).base_cycles
+        slow = simulate(trace, underpipelined_slow_cycle()).base_cycles
+        half = simulate(trace, underpipelined_half_issue()).base_cycles
+        assert slow == pytest.approx(2 * base)
+        assert half == pytest.approx(2 * base, rel=0.1)

@@ -1,0 +1,171 @@
+"""Property-based tests for the compiler passes (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.isa import format_program
+from repro.lang import parse
+from repro.lang.codegen import generate
+from repro.lang.semantics import check
+from repro.opt.local import dead_code_elimination, value_number_function
+from repro.opt.options import CompilerOptions, OptLevel
+from repro.isa.registers import RegisterFileSpec
+from tests.helpers import run_tin_value
+
+_SLOW = dict(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ------------------------------------------------------------- loop programs
+@settings(**_SLOW)
+@given(
+    start=st.integers(-5, 5),
+    stop=st.integers(-5, 20),
+    step=st.integers(1, 4),
+    factor=st.integers(1, 6),
+    careful=st.booleans(),
+    direction=st.booleans(),
+)
+def test_unrolled_counted_loops_match_python(
+    start, stop, step, factor, careful, direction
+):
+    if direction:
+        start, stop, step_signed = stop, start, -step
+    else:
+        step_signed = step
+    src = f"""
+    var a: int[64];
+    proc main(): int {{
+        var i, s: int;
+        s = 0;
+        for i = {start} to {stop} by {step_signed} {{
+            s = s * 3 + i;
+            a[(i + 32) % 64] = s;
+        }}
+        return s;
+    }}
+    """
+    expected = 0
+    rng = (
+        range(start, stop + 1, step_signed)
+        if step_signed > 0
+        else range(start, stop - 1, step_signed)
+    )
+    for i in rng:
+        expected = expected * 3 + i
+    value = run_tin_value(
+        src, CompilerOptions(unroll=factor, careful=careful)
+    )
+    assert value == expected
+
+
+# ---------------------------------------------------- array store/load mixes
+@settings(**_SLOW)
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(-20, 20)),
+        min_size=1, max_size=10,
+    ),
+    level=st.sampled_from(list(OptLevel)),
+)
+def test_array_write_read_sequences(writes, level):
+    body = []
+    model = [0] * 16
+    for idx, value in writes:
+        body.append(f"t[{idx}] = t[{idx}] + ({value});")
+        model[idx] += value
+    expected = sum(v * (i + 1) for i, v in enumerate(model))
+    src = (
+        "var t: int[16];\n"
+        "proc main(): int { var i, s: int;\n"
+        + "\n".join(body)
+        + "\ns = 0; for i = 0 to 15 { s = s + t[i] * (i + 1); }"
+        + " return s; }"
+    )
+    assert run_tin_value(src, CompilerOptions(opt_level=level)) == expected
+
+
+# ----------------------------------------------------------- pass idempotence
+_VN_SRC = """
+var g1, g2: int;
+var buf: int[8];
+proc main(): int {
+    var a, b, c: int;
+    a = g1 * 4 + g2;
+    b = g1 * 4 + g2;
+    buf[2] = a;
+    c = buf[2] + b;
+    g1 = c - a;
+    return c + g1 + buf[2];
+}
+"""
+
+
+def test_value_numbering_reaches_fixpoint_quickly():
+    module = parse(_VN_SRC)
+    program = generate(module, check(module))
+    fn = program.functions["main"]
+    value_number_function(fn)
+    dead_code_elimination(fn)
+    before = format_program(program)
+    # a second identical pass must change nothing
+    value_number_function(fn)
+    dead_code_elimination(fn)
+    assert format_program(program) == before
+
+
+@settings(**_SLOW)
+@given(
+    exprs=st.lists(
+        st.sampled_from([
+            "g1 + g2", "g1 * g2", "g1 + g2", "g2 - g1", "g1 * 8",
+            "g1 + 0", "g2 * 1",
+        ]),
+        min_size=2, max_size=8,
+    ),
+)
+def test_vn_dce_preserve_semantics_on_expression_soup(exprs):
+    assigns = "\n".join(
+        f"t{i} = {expr};" for i, expr in enumerate(exprs)
+    )
+    decls = ", ".join(f"t{i}" for i in range(len(exprs)))
+    total = " + ".join(f"t{i} * {i + 1}" for i in range(len(exprs)))
+    src = (
+        "var g1, g2: int;\n"
+        f"proc main(): int {{ var {decls}: int;\n"
+        "g1 = 13; g2 = -7;\n"
+        f"{assigns}\n"
+        f"return {total}; }}"
+    )
+    plain = run_tin_value(src, CompilerOptions(opt_level=OptLevel.NONE))
+    optimized = run_tin_value(src, CompilerOptions(opt_level=OptLevel.LOCAL))
+    assert plain == optimized
+
+
+# ----------------------------------------------------- register-pool sweeps
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n_temp=st.integers(3, 24),
+    n_home=st.integers(0, 20),
+)
+def test_any_register_budget_is_correct(n_temp, n_home):
+    src = """
+    var g: int;
+    proc fib(n: int): int {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    proc main(): int {
+        g = fib(10);
+        return g * 2 + fib(5);
+    }
+    """
+    opts = CompilerOptions(
+        regfile=RegisterFileSpec(n_temp=n_temp, n_home=n_home)
+    )
+    assert run_tin_value(src, opts) == 55 * 2 + 5

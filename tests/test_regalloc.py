@@ -1,0 +1,170 @@
+"""Unit tests for home-register promotion and temporary assignment."""
+
+import pytest
+
+from repro.errors import RegisterAllocationError
+from repro.isa import Opcode
+from repro.isa.registers import RegisterFileSpec
+from repro.lang import parse
+from repro.lang.codegen import generate
+from repro.lang.semantics import check
+from repro.opt.options import CompilerOptions, OptLevel
+from repro.opt.regalloc import assign_temporaries, promote_variables
+from tests.helpers import run_tin_value
+
+SRC = """
+var g: int;
+var arr: int[8];
+proc inc(x: int): int {
+    return x + g;
+}
+proc main(): int {
+    var i, local: int;
+    g = 3;
+    local = 0;
+    for i = 0 to 7 {
+        arr[i] = i;
+        local = local + inc(i);
+    }
+    return local;
+}
+"""
+
+
+def fresh_program():
+    module = parse(SRC)
+    return generate(module, check(module))
+
+
+class TestPromotion:
+    def test_promotes_hot_scalars(self):
+        program = fresh_program()
+        assignment = promote_variables(program, RegisterFileSpec())
+        objs = set(assignment)
+        assert "g:g" in objs
+        assert "s:main:i" in objs
+        assert "s:main:local" in objs
+
+    def test_arrays_never_promoted(self):
+        program = fresh_program()
+        assignment = promote_variables(program, RegisterFileSpec())
+        assert not any("arr" in obj for obj in assignment)
+
+    def test_ra_slot_never_promoted(self):
+        program = fresh_program()
+        assignment = promote_variables(program, RegisterFileSpec())
+        assert not any("__ra" in obj for obj in assignment)
+
+    def test_rewrites_accesses_to_moves(self):
+        program = fresh_program()
+        promote_variables(program, RegisterFileSpec())
+        main = program.functions["main"]
+        # no remaining loads/stores of the promoted scalar objects
+        for ins in main.instructions():
+            if ins.op in (Opcode.LW, Opcode.SW) and ins.mem is not None:
+                assert ins.mem.obj not in ("g:g", "s:main:i", "s:main:local")
+
+    def test_global_homes_disjoint_from_local_homes(self):
+        program = fresh_program()
+        assignment = promote_variables(program, RegisterFileSpec())
+        global_regs = {r for o, r in assignment.items() if o.startswith("g:")}
+        local_regs = {r for o, r in assignment.items() if o.startswith("s:")}
+        assert not (global_regs & local_regs)
+
+    def test_callee_save_inserted(self):
+        program = fresh_program()
+        assignment = promote_variables(program, RegisterFileSpec())
+        main = program.functions["main"]
+        local_regs = {
+            r for o, r in assignment.items() if o.startswith("s:main:")
+        }
+        entry_saves = [
+            ins for ins in main.blocks[0].instrs
+            if ins.op is Opcode.SW and ins.mem and "__save" in ins.mem.obj
+        ]
+        assert {ins.srcs[0] for ins in entry_saves} >= local_regs
+
+    def test_start_initializes_global_homes(self):
+        program = fresh_program()
+        assignment = promote_variables(program, RegisterFileSpec())
+        start = program.functions["_start"]
+        inits = [
+            ins for ins in start.blocks[0].instrs if ins.op is Opcode.LW
+        ]
+        assert any(ins.dest == assignment["g:g"] for ins in inits)
+
+    def test_home_bindings_recorded(self):
+        program = fresh_program()
+        assignment = promote_variables(program, RegisterFileSpec())
+        main = program.functions["main"]
+        assert main.home_bindings.get("g:g") == assignment["g:g"]
+
+    def test_no_home_registers_means_no_promotion(self):
+        program = fresh_program()
+        assignment = promote_variables(
+            program, RegisterFileSpec(n_temp=16, n_home=0)
+        )
+        assert assignment == {}
+
+    def test_limited_pool_takes_hottest_first(self):
+        program = fresh_program()
+        assignment = promote_variables(
+            program, RegisterFileSpec(n_temp=16, n_home=2)
+        )
+        # loop-resident variables beat anything else
+        assert len(assignment) <= 4  # 2 globalish + per-function reuse
+
+
+class TestTemporaries:
+    def test_no_virtual_registers_survive(self):
+        program = fresh_program()
+        for fn in program.functions.values():
+            assign_temporaries(fn, RegisterFileSpec())
+            for ins in fn.instructions():
+                assert ins.dest is None or not ins.dest.virtual
+                assert all(not r.virtual for r in ins.srcs)
+
+    def test_tiny_pool_spills_but_stays_correct(self):
+        for n_temp in (3, 4, 6):
+            opts = CompilerOptions(
+                opt_level=OptLevel.REGALLOC,
+                regfile=RegisterFileSpec(n_temp=n_temp, n_home=4),
+            )
+            assert run_tin_value(SRC, opts) == sum(i + 3 for i in range(8))
+
+    def test_spill_stats_reported(self):
+        program = fresh_program()
+        fn = program.functions["main"]
+        stats = assign_temporaries(fn, RegisterFileSpec(n_temp=3, n_home=0))
+        assert stats.n_virtual > 0
+        assert stats.n_spilled >= 0
+        assert fn.frame_slots >= stats.spill_slots
+
+    def test_call_crossing_values_are_spilled(self):
+        src = """
+        proc g(x: int): int { return x * 2; }
+        proc main(): int {
+            var a, b: int;
+            a = 5;
+            b = g(1) + a * 3;     # a*3 evaluated around the call
+            return b + g(a);
+        }
+        """
+        opts = CompilerOptions(opt_level=OptLevel.REGALLOC)
+        assert run_tin_value(src, opts) == 2 + 15 + 10
+
+    def test_frame_grows_for_spills(self):
+        program = fresh_program()
+        fn = program.functions["main"]
+        before = fn.frame_slots
+        stats = assign_temporaries(fn, RegisterFileSpec(n_temp=3, n_home=0))
+        assert fn.frame_slots == before + stats.spill_slots
+
+
+class TestRegisterPressureKnob:
+    def test_more_temps_never_hurt_correctness(self):
+        for n_temp in (8, 16, 40):
+            opts = CompilerOptions(
+                regfile=RegisterFileSpec(n_temp=n_temp, n_home=26)
+            )
+            assert run_tin_value(SRC, opts) == sum(i + 3 for i in range(8))

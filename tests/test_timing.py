@@ -1,0 +1,266 @@
+"""Unit tests for the in-order timing model on hand-built traces."""
+
+import pytest
+
+from repro.isa import InstrClass, Opcode, build
+from repro.isa.registers import virtual
+from repro.machine import (
+    MachineConfig,
+    base_machine,
+    ideal_superscalar,
+    superpipelined,
+    superpipelined_superscalar,
+    underpipelined_half_issue,
+    underpipelined_slow_cycle,
+    unit,
+)
+from repro.sim.timing import issue_schedule, parallelism, simulate
+from repro.sim.trace import Trace
+
+
+def independent(n: int) -> Trace:
+    return Trace.from_instructions(
+        [build.alui(Opcode.ADDI, virtual(i), virtual(100 + i), 1)
+         for i in range(n)]
+    )
+
+
+def chain(n: int) -> Trace:
+    return Trace.from_instructions(
+        [build.alui(Opcode.ADDI, virtual(i + 1), virtual(i), 1)
+         for i in range(n)]
+    )
+
+
+class TestBaseMachine:
+    def test_one_instruction_per_cycle(self):
+        trace = independent(10)
+        result = simulate(trace, base_machine())
+        assert result.minor_cycles == 10
+        assert result.parallelism == pytest.approx(1.0)
+
+    def test_chain_runs_without_stalls(self):
+        # one-cycle latency: the result is always ready for the next
+        # instruction; never any interlocks on the base machine
+        result = simulate(chain(10), base_machine())
+        assert result.minor_cycles == 10
+
+    def test_empty_trace(self):
+        result = simulate(Trace(static=[]), base_machine())
+        assert result.minor_cycles == 0
+        assert result.parallelism == 0.0
+
+
+class TestSuperscalar:
+    def test_independent_instructions_fill_width(self):
+        trace = independent(12)
+        result = simulate(trace, ideal_superscalar(4))
+        # issue cycles 0,1,2; the last group's results land in cycle 3
+        assert result.minor_cycles == 3
+        assert result.parallelism == pytest.approx(4.0)
+
+    def test_chain_gains_nothing(self):
+        result = simulate(chain(12), ideal_superscalar(4))
+        assert result.minor_cycles == 12
+
+    def test_width_cap(self):
+        trace = independent(64)
+        r2 = simulate(trace, ideal_superscalar(2))
+        r8 = simulate(trace, ideal_superscalar(8))
+        assert r2.minor_cycles > r8.minor_cycles
+        assert r2.parallelism <= 2.0 + 1e-9
+        assert r8.parallelism <= 8.0 + 1e-9
+
+
+class TestSuperpipelined:
+    def test_degree_m_converts_to_base_cycles(self):
+        trace = independent(6)
+        result = simulate(trace, superpipelined(3))
+        # issue at minor cycles 0..5, last completes at 5+3=8 minors
+        assert result.minor_cycles == 8
+        assert result.base_cycles == pytest.approx(8 / 3)
+
+    def test_startup_transient_vs_superscalar(self):
+        trace = independent(6)
+        ss = simulate(trace, ideal_superscalar(3))
+        sp = simulate(trace, superpipelined(3))
+        assert ss.base_cycles == pytest.approx(2.0)
+        assert sp.base_cycles == pytest.approx(8 / 3)
+        assert sp.base_cycles > ss.base_cycles
+
+    def test_transient_shrinks_with_degree(self):
+        # a parallelism-2 workload (two interleaved chains): once the
+        # superscalar machine saturates, the superpipelined machine closes
+        # in from below as its issue spacing shrinks (Fig 4-1's shape)
+        instrs = []
+        for i in range(12):
+            chain_base = 200 if i % 2 else 100
+            v = i // 2
+            instrs.append(build.alui(
+                Opcode.ADDI, virtual(chain_base + v + 1),
+                virtual(chain_base + v), 1,
+            ))
+        trace = Trace.from_instructions(instrs)
+        gaps = []
+        for degree in (2, 4, 8):
+            ss = simulate(trace, ideal_superscalar(degree))
+            sp = simulate(trace, superpipelined(degree))
+            gaps.append(sp.base_cycles - ss.base_cycles)
+        assert gaps[0] > gaps[1] > gaps[2] > 0
+
+    def test_superpipelined_superscalar_combines(self):
+        trace = independent(12)
+        result = simulate(trace, superpipelined_superscalar(3, 2))
+        # 4 minor issue cycles (0..3), last finishes at 3+2=5 minors
+        assert result.minor_cycles == 5
+        assert result.base_cycles == pytest.approx(2.5)
+
+
+class TestUnderpipelined:
+    def test_slow_cycle_halves_performance(self):
+        trace = independent(10)
+        slow = simulate(trace, underpipelined_slow_cycle())
+        assert slow.base_cycles == pytest.approx(20.0)
+
+    def test_half_issue_halves_performance(self):
+        trace = independent(10)
+        half = simulate(trace, underpipelined_half_issue())
+        # one instruction every other cycle
+        assert half.minor_cycles == pytest.approx(19.0)
+
+
+class TestLatencies:
+    def test_load_latency_stalls_consumer(self):
+        instrs = [
+            build.lw(virtual(1), virtual(100), 8),
+            build.alui(Opcode.ADDI, virtual(2), virtual(1), 1),
+        ]
+        lats = {k: 1 for k in InstrClass}
+        lats[InstrClass.LOAD] = 5
+        cfg = MachineConfig(name="slowload", latencies=lats)
+        result = simulate(Trace.from_instructions(instrs), cfg)
+        # load issues at 0, completes at 5; add issues at 5, done 6
+        assert result.minor_cycles == 6
+
+    def test_independent_op_hides_latency(self):
+        instrs = [
+            build.lw(virtual(1), virtual(100), 8),
+            build.alui(Opcode.ADDI, virtual(3), virtual(101), 1),
+            build.alui(Opcode.ADDI, virtual(2), virtual(1), 1),
+        ]
+        lats = {k: 1 for k in InstrClass}
+        lats[InstrClass.LOAD] = 3
+        cfg = MachineConfig(name="slowload", latencies=lats)
+        times = issue_schedule(Trace.from_instructions(instrs), cfg)
+        assert times == [0, 1, 3]
+
+    def test_store_to_load_same_address(self):
+        instrs = [
+            build.sw(virtual(1), virtual(100), 0),
+            build.lw(virtual(2), virtual(101), 0),
+        ]
+        trace = Trace.from_instructions(instrs, addrs=[64, 64])
+        lats = {k: 1 for k in InstrClass}
+        lats[InstrClass.STORE] = 4
+        cfg = MachineConfig(name="slowstore", latencies=lats)
+        result = simulate(trace, cfg)
+        # load waits for the store to complete at minor cycle 4
+        assert issue_schedule(trace, cfg) == [0, 4]
+        assert result.minor_cycles == 5
+
+    def test_store_to_load_different_address(self):
+        instrs = [
+            build.sw(virtual(1), virtual(100), 0),
+            build.lw(virtual(2), virtual(101), 0),
+        ]
+        trace = Trace.from_instructions(instrs, addrs=[64, 65])
+        lats = {k: 1 for k in InstrClass}
+        lats[InstrClass.STORE] = 4
+        cfg = MachineConfig(name="slowstore", issue_width=2, latencies=lats)
+        assert issue_schedule(trace, cfg) == [0, 0]
+
+
+class TestClassConflicts:
+    def test_single_load_unit_serializes_loads(self):
+        instrs = [build.lw(virtual(i), virtual(100 + i), i) for i in range(4)]
+        cfg = MachineConfig(
+            name="mem1",
+            issue_width=4,
+            units=(
+                unit("mem", [InstrClass.LOAD, InstrClass.STORE]),
+                unit("alu", [k for k in InstrClass
+                             if k not in (InstrClass.LOAD, InstrClass.STORE)],
+                     multiplicity=4),
+            ),
+        )
+        times = issue_schedule(Trace.from_instructions(instrs), cfg)
+        assert times == [0, 1, 2, 3]
+
+    def test_duplicated_unit_allows_parallel_issue(self):
+        instrs = [build.lw(virtual(i), virtual(100 + i), i) for i in range(4)]
+        cfg = MachineConfig(
+            name="mem2",
+            issue_width=4,
+            units=(
+                unit("mem", [InstrClass.LOAD, InstrClass.STORE], multiplicity=2),
+                unit("alu", [k for k in InstrClass
+                             if k not in (InstrClass.LOAD, InstrClass.STORE)],
+                     multiplicity=4),
+            ),
+        )
+        times = issue_schedule(Trace.from_instructions(instrs), cfg)
+        assert times == [0, 0, 1, 1]
+
+    def test_unit_issue_latency(self):
+        instrs = [
+            build.alu(Opcode.MUL, virtual(i), virtual(50 + i), virtual(80 + i))
+            for i in range(3)
+        ]
+        cfg = MachineConfig(
+            name="slowmul",
+            issue_width=2,
+            units=(
+                unit("mul", [InstrClass.INTMUL], issue_latency=3),
+                unit("rest", [k for k in InstrClass if k != InstrClass.INTMUL],
+                     multiplicity=2),
+            ),
+        )
+        times = issue_schedule(Trace.from_instructions(instrs), cfg)
+        assert times == [0, 3, 6]
+
+
+class TestInOrderIssue:
+    def test_issue_times_nondecreasing(self):
+        instrs = [
+            build.alui(Opcode.ADDI, virtual(1), virtual(0), 1),
+            build.alui(Opcode.ADDI, virtual(2), virtual(1), 1),  # stalls
+            build.alui(Opcode.ADDI, virtual(3), virtual(100), 1),  # ready
+        ]
+        lats = {k: 1 for k in InstrClass}
+        lats[InstrClass.ADDSUB] = 4
+        cfg = MachineConfig(name="slow", issue_width=4, latencies=lats)
+        times = issue_schedule(Trace.from_instructions(instrs), cfg)
+        # the third is independent but must not issue before the second
+        assert times == sorted(times)
+        assert times[1] == 4
+        assert times[2] == 4
+
+    def test_parallelism_helper(self):
+        assert parallelism(independent(8), ideal_superscalar(8)) == pytest.approx(8.0)
+
+
+class TestBranches:
+    def test_branches_never_stall_the_front_end(self):
+        # perfect prediction: a branch plus independent work all issue
+        # back-to-back even with branch latency > 1
+        instrs = [
+            build.bnez(virtual(0), "somewhere"),
+            build.alui(Opcode.ADDI, virtual(1), virtual(2), 1),
+        ]
+        trace = Trace(static=instrs)
+        trace.append(0)
+        trace.append(1)
+        lats = {k: 1 for k in InstrClass}
+        lats[InstrClass.BRANCH] = 3
+        cfg = MachineConfig(name="slowbr", issue_width=2, latencies=lats)
+        assert issue_schedule(trace, cfg) == [0, 0]
