@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Validate a JSONL run report against the repro.obs event schema.
+
+Usage: python scripts/check_report_schema.py results/run_report.jsonl [...]
+
+Checks, per file:
+
+* every line is a JSON object with a string ``event`` field;
+* the first event is ``run_start`` carrying the expected schema version,
+  and a ``run_end`` event is present;
+* every event type is known and carries its required fields;
+* common numeric fields have sane types and signs;
+* every ``timing``/``sweep_row`` event with a ``stalls`` payload obeys
+  the conservation law: the per-cause stall cycles plus ``issued_cycles``
+  reconstruct ``minor_cycles`` exactly, and the per-class roll-up sums
+  back to the per-cause totals.
+
+Deliberately stdlib-only so CI can run it without installing the
+package; ``tests/test_obs_report.py`` pins this copy of the schema
+against ``repro.obs.recorder.EVENT_SCHEMA`` so the two cannot drift.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+#: Mirror of repro.obs.recorder.EVENT_SCHEMA (kept in sync by a test).
+EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
+    "run_start": ("schema", "run_id"),
+    "compile_pass": ("benchmark", "pass", "seconds"),
+    "compile": ("benchmark", "seconds", "n_passes"),
+    "timing": ("benchmark", "machine", "instructions", "minor_cycles",
+               "base_cycles", "parallelism", "cpi"),
+    "sweep_row": ("benchmark", "machine", "options", "instructions",
+                  "base_cycles", "parallelism"),
+    "exhibit": ("ident", "title", "seconds"),
+    "run_end": ("seconds", "counters"),
+}
+
+STALL_CAUSES = ("control", "raw_dep", "memory_order", "unit_conflict",
+                "issue_width")
+
+#: field -> (allowed types, may the value be negative?)
+_NUMERIC_FIELDS: dict[str, tuple[tuple[type, ...], bool]] = {
+    "seconds": ((int, float), False),
+    "instructions": ((int,), False),
+    "minor_cycles": ((int,), False),
+    "base_cycles": ((int, float), False),
+    "parallelism": ((int, float), False),
+    "cpi": ((int, float), False),
+    "n_passes": ((int,), False),
+    # compile_pass size fields use -1 for "not applicable"
+    "instrs_before": ((int,), True),
+    "instrs_after": ((int,), True),
+    "blocks_before": ((int,), True),
+    "blocks_after": ((int,), True),
+}
+
+
+def check_stalls(stalls: object, record: dict) -> list[str]:
+    """Validate one stall-breakdown payload; returns error strings."""
+    errors = []
+    if not isinstance(stalls, dict):
+        return [f"stalls must be an object, got {type(stalls).__name__}"]
+    for cause in STALL_CAUSES + ("issued_cycles",):
+        value = stalls.get(cause)
+        if not isinstance(value, int) or value < 0:
+            errors.append(f"stalls.{cause} must be a non-negative int")
+    if errors:
+        return errors
+    total = sum(stalls[c] for c in STALL_CAUSES) + stalls["issued_cycles"]
+    minor = record.get("minor_cycles")
+    if isinstance(minor, int) and total != minor:
+        errors.append(
+            f"conservation violated: stalls+issued == {total}, "
+            f"minor_cycles == {minor}"
+        )
+    by_class = stalls.get("by_class", {})
+    if not isinstance(by_class, dict):
+        errors.append("stalls.by_class must be an object")
+        return errors
+    for cause in STALL_CAUSES:
+        rolled = 0
+        for klass, row in by_class.items():
+            if not isinstance(row, dict):
+                errors.append(f"by_class[{klass!r}] must be an object")
+                return errors
+            rolled += row.get(cause, 0)
+        if rolled != stalls[cause]:
+            errors.append(
+                f"by_class roll-up of {cause} is {rolled}, "
+                f"expected {stalls[cause]}"
+            )
+    return errors
+
+
+def check_event(record: dict) -> list[str]:
+    """Validate one event object; returns error strings."""
+    event = record.get("event")
+    if not isinstance(event, str):
+        return ["missing or non-string 'event' field"]
+    required = EVENT_SCHEMA.get(event)
+    if required is None:
+        return [f"unknown event type {event!r}"]
+    errors = [f"{event}: missing field {name!r}"
+              for name in required if name not in record]
+    for name, (types, allow_negative) in _NUMERIC_FIELDS.items():
+        if name not in record:
+            continue
+        value = record[name]
+        if isinstance(value, bool) or not isinstance(value, types):
+            errors.append(f"{event}: field {name!r} has bad type "
+                          f"{type(value).__name__}")
+        elif not allow_negative and value < 0:
+            errors.append(f"{event}: field {name!r} is negative ({value})")
+    if event == "run_start" and record.get("schema") != SCHEMA_VERSION:
+        errors.append(
+            f"run_start: schema {record.get('schema')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    if "stalls" in record:
+        errors.extend(check_stalls(record["stalls"], record))
+    return errors
+
+
+def check_file(path: str) -> list[str]:
+    """Validate one JSONL report; returns 'line: message' error strings."""
+    errors: list[str] = []
+    events: list[tuple[int, dict]] = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    errors.append(f"line {lineno}: invalid JSON ({exc})")
+                    continue
+                if not isinstance(record, dict):
+                    errors.append(f"line {lineno}: not a JSON object")
+                    continue
+                events.append((lineno, record))
+                errors.extend(
+                    f"line {lineno}: {msg}" for msg in check_event(record)
+                )
+    except OSError as exc:
+        return [str(exc)]
+    if not events:
+        errors.append("report contains no events")
+    else:
+        if events[0][1].get("event") != "run_start":
+            errors.append("first event must be 'run_start'")
+        names = [record.get("event") for _, record in events]
+        if "run_end" not in names:
+            errors.append("no 'run_end' event found")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            for message in errors:
+                print(f"{path}: {message}", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

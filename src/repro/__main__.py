@@ -5,9 +5,13 @@ Commands
 ``run <file.tin>``
     Compile and execute a Tin source file; print its result.
 ``measure <file.tin>``
-    Compile, execute and report ILP across standard machines.
+    Compile, execute and report ILP across standard machines
+    (``--profile`` adds pass-level compile stats and stall attribution).
 ``suite``
     Run the eight-benchmark suite and print the ILP summary.
+``report``
+    Observe the suite end to end: per-pass compile profile, per-machine
+    stall breakdown, and a machine-readable JSONL run report.
 ``exhibit <ident> [...]``
     Regenerate paper exhibits (``exhibit list`` to enumerate).
 """
@@ -52,8 +56,43 @@ def _build_parser() -> argparse.ArgumentParser:
                            choices=range(5))
     p_measure.add_argument("--unroll", type=int, default=1)
     p_measure.add_argument("--careful", action="store_true")
+    p_measure.add_argument(
+        "--profile", action="store_true",
+        help="collect pass-level compile stats and stall attribution",
+    )
+    p_measure.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="also write the observed run as a JSONL report",
+    )
 
-    sub.add_parser("suite", help="run the eight-benchmark suite")
+    p_suite = sub.add_parser("suite", help="run the eight-benchmark suite")
+    p_suite.add_argument(
+        "--profile", action="store_true",
+        help="add per-benchmark stall attribution on the 64-wide machine",
+    )
+    p_suite.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="also write the observed run as a JSONL report",
+    )
+
+    p_report = sub.add_parser(
+        "report",
+        help="observe the suite: compile profiles, stall breakdowns, JSONL",
+    )
+    p_report.add_argument(
+        "-o", "--output", metavar="PATH",
+        default="results/run_report.jsonl",
+        help="JSONL run-report path (default: results/run_report.jsonl)",
+    )
+    p_report.add_argument(
+        "--benchmarks", nargs="+", metavar="NAME", default=None,
+        help="subset of benchmarks, space- or comma-separated "
+             "(default: the whole suite)",
+    )
+    p_report.add_argument(
+        "--quiet", action="store_true",
+        help="write the JSONL report without rendering tables",
+    )
 
     p_ex = sub.add_parser("exhibit", help="regenerate paper exhibits")
     p_ex.add_argument("idents", nargs="+",
@@ -61,7 +100,18 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _compile_file(path: str, args) -> tuple:
+_MEASURE_MACHINES = (
+    base_machine,
+    lambda: ideal_superscalar(2),
+    lambda: ideal_superscalar(4),
+    lambda: ideal_superscalar(8),
+    lambda: superpipelined(4),
+    multititan,
+    cray1,
+)
+
+
+def _compile_file(path: str, args, profile=None) -> tuple:
     from .opt.driver import compile_source
 
     with open(path, encoding="utf-8") as handle:
@@ -71,8 +121,22 @@ def _compile_file(path: str, args) -> tuple:
         unroll=getattr(args, "unroll", 1),
         careful=getattr(args, "careful", False),
     )
-    program = compile_source(source, options)
+    program = compile_source(source, options, profile)
     return program, interp_run(program)
+
+
+def _open_recorder(path: str | None):
+    """A JSONL recorder at ``path``, or the shared no-op sink."""
+    from .obs.recorder import NULL_RECORDER, JsonlRecorder
+
+    if path is None:
+        return NULL_RECORDER
+    import os
+
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    return JsonlRecorder(path)
 
 
 def _cmd_run(args) -> int:
@@ -83,42 +147,116 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_measure(args) -> int:
-    _program, result = _compile_file(args.file, args)
-    print(f"result: {result.value}   "
-          f"dynamic instructions: {result.instructions}")
-    rows = []
-    for cfg in (
-        base_machine(),
-        ideal_superscalar(2),
-        ideal_superscalar(4),
-        ideal_superscalar(8),
-        superpipelined(4),
-        multititan(),
-        cray1(),
-    ):
-        timing = simulate(result.trace, cfg)
-        rows.append([cfg.name, timing.base_cycles, timing.parallelism])
-    print(format_table(["machine", "base cycles", "instr/cycle"], rows))
+    if not args.profile and args.report is None:
+        _program, result = _compile_file(args.file, args)
+        print(f"result: {result.value}   "
+              f"dynamic instructions: {result.instructions}")
+        rows = []
+        for factory in _MEASURE_MACHINES:
+            timing = simulate(result.trace, factory())
+            rows.append([timing.config_name, timing.base_cycles,
+                         timing.parallelism])
+        print(format_table(["machine", "base cycles", "instr/cycle"], rows))
+        return 0
+
+    from .obs.profile import CompileProfile
+    from .obs.recorder import SCHEMA_VERSION
+    from .obs.report import (
+        emit_compile_events,
+        render_profile_table,
+        render_stall_table,
+    )
+
+    profile = CompileProfile()
+    with _open_recorder(args.report) as recorder:
+        recorder.emit("run_start", schema=SCHEMA_VERSION, run_id=args.file)
+        _program, result = _compile_file(args.file, args, profile)
+        emit_compile_events(recorder, args.file, profile)
+        print(f"result: {result.value}   "
+              f"dynamic instructions: {result.instructions}")
+        print()
+        print(render_profile_table(profile, title="compile profile"))
+        timings = []
+        for factory in _MEASURE_MACHINES:
+            timing = simulate(result.trace, factory(), observe=True)
+            timings.append(timing)
+            recorder.emit("timing", benchmark=args.file,
+                          **timing.as_dict())
+        print()
+        print(render_stall_table(
+            timings, title="stall attribution (minor cycles)"
+        ))
+        recorder.emit("run_end", seconds=profile.total_seconds(),
+                      counters=dict(recorder.counters))
+    if args.report is not None:
+        print(f"\nJSONL report written to {args.report}")
     return 0
 
 
-def _cmd_suite(_args) -> int:
+def _cmd_suite(args) -> int:
     from .benchmarks import suite as bench_suite
 
-    rows = []
-    for bench in bench_suite.all_benchmarks():
-        result = bench_suite.run_benchmark(bench)
-        ok = abs(result.value - bench.reference()) <= bench.fp_tolerance
-        ilp = simulate(result.trace, ideal_superscalar(64)).parallelism
-        rows.append([
-            bench.name, result.instructions,
-            "ok" if ok else "MISMATCH", ilp,
-        ])
-    print(format_table(
-        ["benchmark", "dyn. instructions", "checksum", "available ILP"],
-        rows,
-    ))
+    profile = getattr(args, "profile", False)
+    wide = ideal_superscalar(64)
+    with _open_recorder(getattr(args, "report", None)) as recorder:
+        if recorder.enabled:
+            from .obs.recorder import SCHEMA_VERSION
+
+            recorder.emit("run_start", schema=SCHEMA_VERSION,
+                          run_id="suite", machines=[wide.name])
+        headers = ["benchmark", "dyn. instructions", "checksum",
+                   "available ILP"]
+        if profile:
+            headers += ["raw_dep", "memory_order", "unit_conflict",
+                        "issue_width"]
+        rows = []
+        for bench in bench_suite.all_benchmarks():
+            result = bench_suite.run_benchmark(bench)
+            ok = abs(result.value - bench.reference()) <= bench.fp_tolerance
+            timing = simulate(result.trace, wide, observe=profile)
+            row = [bench.name, result.instructions,
+                   "ok" if ok else "MISMATCH", timing.parallelism]
+            if profile:
+                s = timing.stalls
+                row += [s.raw_dep, s.memory_order, s.unit_conflict,
+                        s.issue_width]
+            if recorder.enabled:
+                recorder.emit("timing", benchmark=bench.name,
+                              **timing.as_dict())
+            rows.append(row)
+        print(format_table(headers, rows))
+        if recorder.enabled:
+            recorder.emit("run_end", seconds=0.0,
+                          counters=dict(recorder.counters))
     return 0
+
+
+def _cmd_report(args) -> int:
+    from .benchmarks import suite as bench_suite
+    from .obs.report import build_suite_report
+
+    benchmarks = None
+    if args.benchmarks is not None:
+        benchmarks = [name for tok in args.benchmarks
+                      for name in tok.split(",") if name]
+        known = {b.name for b in bench_suite.all_benchmarks()}
+        unknown = [n for n in benchmarks if n not in known]
+        if unknown:
+            print(f"unknown benchmark(s): {', '.join(unknown)} "
+                  f"(choose from {', '.join(sorted(known))})",
+                  file=sys.stderr)
+            return 2
+    with _open_recorder(args.output) as recorder:
+        report = build_suite_report(
+            benchmarks=benchmarks, recorder=recorder
+        )
+    if not args.quiet:
+        print(report.render())
+        print()
+    ok = report.conservation_holds()
+    print(f"JSONL report written to {args.output} "
+          f"(conservation law: {'holds' if ok else 'VIOLATED'})")
+    return 0 if ok else 1
 
 
 def _cmd_exhibit(args) -> int:
@@ -148,6 +286,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "measure": _cmd_measure,
         "suite": _cmd_suite,
+        "report": _cmd_report,
         "exhibit": _cmd_exhibit,
     }
     return handlers[args.command](args)

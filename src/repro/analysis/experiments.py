@@ -14,9 +14,11 @@ according to this specification").
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from ..benchmarks import suite
+from ..obs.recorder import Recorder, active_recorder
 from ..isa import build
 from ..isa.opcodes import Opcode
 from ..isa.registers import RegisterFileSpec, virtual
@@ -578,6 +580,24 @@ ALL_EXHIBITS = {
 }
 
 
-def run_all() -> list[Exhibit]:
-    """Run every exhibit in paper order."""
-    return [factory() for factory in ALL_EXHIBITS.values()]
+def run_all(recorder: Recorder | None = None) -> list[Exhibit]:
+    """Run every exhibit in paper order.
+
+    ``recorder`` (optional) receives one ``exhibit`` event per exhibit
+    with its ident, title and wall time, so regenerating the paper's
+    tables and figures can produce a machine-readable run report.
+    """
+    rec = active_recorder(recorder)
+    exhibits: list[Exhibit] = []
+    for factory in ALL_EXHIBITS.values():
+        start = time.perf_counter()
+        exhibit = factory()
+        rec.emit(
+            "exhibit",
+            ident=exhibit.ident,
+            title=exhibit.title,
+            seconds=time.perf_counter() - start,
+        )
+        rec.incr("exhibits")
+        exhibits.append(exhibit)
+    return exhibits

@@ -14,6 +14,8 @@ from typing import Iterable, Sequence
 from ..benchmarks import suite
 from ..benchmarks.suite import Benchmark
 from ..machine.config import MachineConfig
+from ..obs.recorder import Recorder, active_recorder
+from ..obs.stalls import StallBreakdown
 from ..opt.options import CompilerOptions
 from ..sim.timing import simulate
 from .stats import harmonic_mean
@@ -30,6 +32,8 @@ class SweepRow:
     instructions: int
     base_cycles: float
     parallelism: float
+    #: stall attribution; populated only when sweeping with observe=True
+    stalls: StallBreakdown | None = None
 
 
 def sweep(
@@ -38,13 +42,21 @@ def sweep(
     options: CompilerOptions | None = None,
     options_label: str = "default",
     schedule_for_target: bool = False,
+    observe: bool = False,
+    recorder: Recorder | None = None,
 ) -> list[SweepRow]:
     """Measure every benchmark on every machine.
 
     With ``schedule_for_target`` the code is recompiled, scheduled for
     each machine being measured (the paper's methodology); otherwise one
     trace per benchmark is reused across machines (much faster).
+
+    ``observe=True`` attaches a stall breakdown to every row;
+    ``recorder`` (optional) receives one ``sweep_row`` event per
+    measurement, so a :class:`~repro.obs.recorder.JsonlRecorder` turns a
+    sweep into a machine-readable run report.
     """
+    rec = active_recorder(recorder)
     rows: list[SweepRow] = []
     for bench in benchmarks:
         if isinstance(bench, str):
@@ -59,7 +71,7 @@ def sweep(
             else:
                 opts = options or suite.default_options(bench)
             result = suite.run_benchmark(bench, opts)
-            timing = simulate(result.trace, config)
+            timing = simulate(result.trace, config, observe=observe)
             rows.append(
                 SweepRow(
                     benchmark=bench.name,
@@ -68,8 +80,21 @@ def sweep(
                     instructions=result.instructions,
                     base_cycles=timing.base_cycles,
                     parallelism=timing.parallelism,
+                    stalls=timing.stalls,
                 )
             )
+            if rec.enabled:
+                event = {
+                    "benchmark": bench.name,
+                    "machine": config.name,
+                    "options": options_label,
+                    "instructions": result.instructions,
+                    "base_cycles": timing.base_cycles,
+                    "parallelism": timing.parallelism,
+                }
+                if timing.stalls is not None:
+                    event["stalls"] = timing.stalls.as_dict()
+                rec.emit("sweep_row", **event)
     return rows
 
 

@@ -130,10 +130,35 @@ def measure(
     benchmark: Benchmark | str,
     config: MachineConfig,
     options: CompilerOptions | None = None,
+    observe: bool = False,
 ) -> TimingResult:
-    """Run a benchmark and replay its trace on ``config``."""
+    """Run a benchmark and replay its trace on ``config``.
+
+    ``observe=True`` attaches per-cause stall attribution to the result
+    (see :mod:`repro.obs.stalls`); the default path is unchanged.
+    """
     result = run_benchmark(benchmark, options)
-    return simulate(result.trace, config)
+    return simulate(result.trace, config, observe=observe)
+
+
+def profile_benchmark(
+    benchmark: Benchmark | str,
+    options: CompilerOptions | None = None,
+):
+    """Compile a benchmark fresh with pass-level profiling.
+
+    Returns ``(program, CompileProfile)``.  Bypasses the run cache on
+    purpose: a memoized compile has no wall time to measure.
+    """
+    from ..obs.profile import CompileProfile
+    from ..opt.driver import compile_source as _compile_profiled
+
+    if isinstance(benchmark, str):
+        benchmark = get(benchmark)
+    opts = options or default_options(benchmark)
+    profile = CompileProfile()
+    program = _compile_profiled(benchmark.source(), opts, profile)
+    return program, profile
 
 
 def clear_cache() -> None:

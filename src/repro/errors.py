@@ -35,6 +35,15 @@ class MachineConfigError(ReproError):
     """Raised for inconsistent machine descriptions (e.g. uncovered class)."""
 
 
+class TraceError(ReproError):
+    """Raised for malformed dynamic traces.
+
+    Examples: a memory instruction recorded without an effective address,
+    or an address attached to a non-memory instruction — either would
+    silently mis-simulate store→load ordering in the timing model.
+    """
+
+
 class SimulationError(ReproError):
     """Raised by the functional interpreter on illegal execution.
 

@@ -1,0 +1,56 @@
+"""Observability: stall attribution, compile profiling, run reports.
+
+The instrumentation layer threaded through the compile→schedule→simulate
+pipeline:
+
+* :mod:`repro.obs.stalls` — :class:`StallBreakdown`, the exact per-cause
+  stall-cycle accounting produced by ``simulate(..., observe=True)``;
+* :mod:`repro.obs.profile` — :class:`CompileProfile` /
+  :class:`SchedStats`, pass-level wall-time and size deltas collected by
+  the compile driver;
+* :mod:`repro.obs.recorder` — counters and structured JSONL event
+  emission (:class:`Recorder`, :class:`JsonlRecorder`,
+  :data:`NULL_RECORDER`);
+* :mod:`repro.obs.report` — machine-readable run reports over the
+  benchmark suite and their ASCII rendering.
+
+Everything here is opt-in: with no recorder/profile passed, the hot
+paths run the exact same code as before this layer existed.
+"""
+
+from .profile import (
+    NULL_PROFILE,
+    CompileProfile,
+    PassStat,
+    SchedStats,
+    program_size,
+)
+from .recorder import (
+    EVENT_SCHEMA,
+    NULL_RECORDER,
+    SCHEMA_VERSION,
+    JsonlRecorder,
+    NullRecorder,
+    Recorder,
+    active_recorder,
+    read_jsonl,
+)
+from .stalls import STALL_CAUSES, StallBreakdown
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "NULL_PROFILE",
+    "NULL_RECORDER",
+    "SCHEMA_VERSION",
+    "STALL_CAUSES",
+    "CompileProfile",
+    "JsonlRecorder",
+    "NullRecorder",
+    "PassStat",
+    "Recorder",
+    "SchedStats",
+    "StallBreakdown",
+    "active_recorder",
+    "program_size",
+    "read_jsonl",
+]

@@ -1,0 +1,161 @@
+"""Pass-level compile profiling.
+
+A :class:`CompileProfile` is threaded through
+:func:`repro.opt.driver.compile_module`: every phase of the pipeline is
+timed and sized (instruction/block counts before and after), so a run
+report can show what each pass did to the program and what it cost.
+:data:`NULL_PROFILE` is the disabled no-op — the driver always calls the
+same ``profile.measure(...)`` API and pays nothing when profiling is off.
+
+The scheduler additionally reports per-block counts through
+:class:`SchedStats` (blocks visited vs. actually scheduled), attached to
+the profile by the driver.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+
+def program_size(program) -> tuple[int, int]:
+    """(instructions, basic blocks) of a :class:`~repro.isa.Program`."""
+    instrs = 0
+    blocks = 0
+    for fn in program.functions.values():
+        for block in fn.blocks:
+            blocks += 1
+            instrs += len(block.instrs)
+    return instrs, blocks
+
+
+@dataclass(slots=True)
+class PassStat:
+    """One pipeline phase: wall time and program size before/after.
+
+    Size fields are -1 for phases that run before code generation (there
+    is no instruction stream to count yet).
+    """
+
+    name: str
+    seconds: float
+    instrs_before: int = -1
+    instrs_after: int = -1
+    blocks_before: int = -1
+    blocks_after: int = -1
+
+    @property
+    def instr_delta(self) -> int:
+        """Instructions added (positive) or removed (negative)."""
+        if self.instrs_before < 0 or self.instrs_after < 0:
+            return 0
+        return self.instrs_after - self.instrs_before
+
+    def as_dict(self) -> dict:
+        return {
+            "pass": self.name,
+            "seconds": self.seconds,
+            "instrs_before": self.instrs_before,
+            "instrs_after": self.instrs_after,
+            "blocks_before": self.blocks_before,
+            "blocks_after": self.blocks_after,
+        }
+
+
+@dataclass(slots=True)
+class SchedStats:
+    """List-scheduler activity across one compilation."""
+
+    blocks_seen: int = 0
+    blocks_scheduled: int = 0
+    instructions: int = 0
+    seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "blocks_seen": self.blocks_seen,
+            "blocks_scheduled": self.blocks_scheduled,
+            "instructions": self.instructions,
+            "seconds": self.seconds,
+        }
+
+
+class CompileProfile:
+    """Ordered pass statistics for one compilation."""
+
+    __slots__ = ("passes", "sched")
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.passes: list[PassStat] = []
+        self.sched: SchedStats | None = None
+
+    @contextmanager
+    def measure(self, name: str, program=None) -> Iterator[None]:
+        """Time one phase; ``program`` (if given) is sized before/after."""
+        if program is not None:
+            instrs_before, blocks_before = program_size(program)
+        else:
+            instrs_before = blocks_before = -1
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            seconds = time.perf_counter() - start
+            if program is not None:
+                instrs_after, blocks_after = program_size(program)
+            else:
+                instrs_after = blocks_after = -1
+            self.passes.append(PassStat(
+                name=name,
+                seconds=seconds,
+                instrs_before=instrs_before,
+                instrs_after=instrs_after,
+                blocks_before=blocks_before,
+                blocks_after=blocks_after,
+            ))
+
+    def total_seconds(self) -> float:
+        """Wall time across every recorded pass."""
+        return sum(p.seconds for p in self.passes)
+
+    def as_rows(self) -> list[list[object]]:
+        """Table rows: pass, ms, instrs before -> after, blocks."""
+        rows: list[list[object]] = []
+        for p in self.passes:
+            rows.append([
+                p.name,
+                p.seconds * 1e3,
+                "-" if p.instrs_before < 0 else p.instrs_before,
+                "-" if p.instrs_after < 0 else p.instrs_after,
+                "-" if p.instrs_before < 0 else f"{p.instr_delta:+d}",
+                "-" if p.blocks_after < 0 else p.blocks_after,
+            ])
+        return rows
+
+    def as_dict(self) -> dict:
+        return {
+            "n_passes": len(self.passes),
+            "seconds": self.total_seconds(),
+            "passes": [p.as_dict() for p in self.passes],
+            "sched": self.sched.as_dict() if self.sched else None,
+        }
+
+
+class NullCompileProfile(CompileProfile):
+    """Profile sink that measures nothing (the default path)."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    @contextmanager
+    def measure(self, name: str, program=None) -> Iterator[None]:
+        yield
+
+
+#: Shared disabled profile; the driver uses it when none is supplied.
+NULL_PROFILE = NullCompileProfile()

@@ -1,0 +1,224 @@
+"""Structured run reports: suite-wide stall attribution + compile profiles.
+
+``build_suite_report`` compiles and runs benchmarks with pass-level
+profiling, replays every trace with stall attribution on a set of
+machines, and emits the whole run as JSONL events through a recorder —
+the machine-readable report archived by CI (``results/run_report.jsonl``)
+and validated by ``scripts/check_report_schema.py``.  The same data
+renders as ASCII tables for the ``repro report`` / ``measure --profile``
+CLI paths.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..analysis.tables import format_table
+from ..machine.config import MachineConfig
+from ..machine.presets import (
+    base_machine,
+    cray1,
+    ideal_superscalar,
+    multititan,
+    superpipelined,
+)
+from ..opt.options import CompilerOptions
+from ..sim.timing import TimingResult, simulate
+from .profile import CompileProfile
+from .recorder import SCHEMA_VERSION, Recorder, active_recorder
+from .stalls import STALL_CAUSES
+
+#: Table headers shared by every stall-breakdown rendering.
+_STALL_HEADERS = ["machine", "base cycles", "instr/cycle", "raw_dep",
+                  "memory_order", "unit_conflict", "issue_width",
+                  "control", "issued", "minor cycles"]
+
+_PROFILE_HEADERS = ["pass", "ms", "instrs in", "instrs out", "delta",
+                    "blocks"]
+
+
+def default_report_machines() -> list[MachineConfig]:
+    """The standard machine set a run report measures against."""
+    return [
+        base_machine(),
+        ideal_superscalar(2),
+        ideal_superscalar(4),
+        ideal_superscalar(8),
+        superpipelined(4),
+        multititan(),
+        cray1(),
+    ]
+
+
+def stall_row(timing: TimingResult) -> list[object]:
+    """One stall-table row for an observed :class:`TimingResult`."""
+    s = timing.stalls
+    if s is None:
+        raise ValueError(
+            f"{timing.config_name}: no stall breakdown; run "
+            "simulate(..., observe=True)"
+        )
+    return [
+        timing.config_name, timing.base_cycles, timing.parallelism,
+        s.raw_dep, s.memory_order, s.unit_conflict, s.issue_width,
+        s.control, s.issued_cycles, timing.minor_cycles,
+    ]
+
+
+def render_stall_table(
+    timings: list[TimingResult], title: str | None = None
+) -> str:
+    """Render observed timings as a stall-attribution table."""
+    return format_table(
+        _STALL_HEADERS, [stall_row(t) for t in timings], title=title
+    )
+
+
+def render_profile_table(
+    profile: CompileProfile, title: str | None = None
+) -> str:
+    """Render a compile profile as a per-pass table."""
+    text = format_table(_PROFILE_HEADERS, profile.as_rows(), title=title)
+    if profile.sched is not None:
+        sched = profile.sched
+        text += (
+            f"\nscheduler: {sched.blocks_scheduled}/{sched.blocks_seen} "
+            f"blocks scheduled, {sched.instructions} instructions, "
+            f"{sched.seconds * 1e3:.1f} ms"
+        )
+    return text
+
+
+@dataclass(slots=True)
+class BenchmarkReport:
+    """Everything observed about one benchmark in one run."""
+
+    benchmark: str
+    checksum_ok: bool
+    instructions: int
+    profile: CompileProfile
+    timings: list[TimingResult]
+
+    def render(self) -> str:
+        parts = [
+            f"== {self.benchmark} — {self.instructions} dynamic "
+            f"instructions, checksum "
+            f"{'ok' if self.checksum_ok else 'MISMATCH'} =="
+        ]
+        parts.append(render_profile_table(
+            self.profile, title="compile profile"
+        ))
+        parts.append(render_stall_table(
+            self.timings, title="stall attribution (minor cycles)"
+        ))
+        return "\n\n".join(parts)
+
+
+@dataclass(slots=True)
+class RunReport:
+    """A full observed run over the benchmark suite."""
+
+    run_id: str
+    seconds: float
+    benchmarks: list[BenchmarkReport]
+
+    def render(self) -> str:
+        parts = [br.render() for br in self.benchmarks]
+        parts.append(
+            f"run '{self.run_id}': {len(self.benchmarks)} benchmarks in "
+            f"{self.seconds:.2f}s"
+        )
+        return "\n\n".join(parts)
+
+    def conservation_holds(self) -> bool:
+        """True iff every breakdown satisfies issued+stalled==minor."""
+        return all(
+            t.stalls is not None
+            and t.stalls.stalled + t.stalls.issued_cycles == t.minor_cycles
+            for br in self.benchmarks
+            for t in br.timings
+        )
+
+
+def emit_compile_events(
+    recorder: Recorder, benchmark: str, profile: CompileProfile
+) -> None:
+    """Emit one ``compile_pass`` event per pass plus a ``compile`` roll-up."""
+    for stat in profile.passes:
+        recorder.emit("compile_pass", benchmark=benchmark,
+                      **stat.as_dict())
+    recorder.emit(
+        "compile",
+        benchmark=benchmark,
+        seconds=profile.total_seconds(),
+        n_passes=len(profile.passes),
+        sched=profile.sched.as_dict() if profile.sched else None,
+    )
+
+
+def observe_benchmark(
+    bench,
+    machines: list[MachineConfig],
+    options: CompilerOptions | None = None,
+    recorder: Recorder | None = None,
+) -> BenchmarkReport:
+    """Compile, run, and measure one benchmark with full observability."""
+    from ..benchmarks import suite
+    from ..sim.interp import run as interp_run
+    from ..opt.driver import compile_source
+
+    rec = active_recorder(recorder)
+    if isinstance(bench, str):
+        bench = suite.get(bench)
+    opts = options or suite.default_options(bench)
+    profile = CompileProfile()
+    program = compile_source(bench.source(), opts, profile)
+    emit_compile_events(rec, bench.name, profile)
+
+    result = interp_run(program)
+    ok = abs(result.value - bench.reference()) <= bench.fp_tolerance
+    timings = []
+    for config in machines:
+        timing = simulate(result.trace, config, observe=True)
+        timings.append(timing)
+        rec.emit("timing", benchmark=bench.name, **timing.as_dict())
+        rec.incr("timings")
+    rec.incr("benchmarks")
+    return BenchmarkReport(
+        benchmark=bench.name,
+        checksum_ok=ok,
+        instructions=result.instructions,
+        profile=profile,
+        timings=timings,
+    )
+
+
+def build_suite_report(
+    benchmarks: list | None = None,
+    machines: list[MachineConfig] | None = None,
+    recorder: Recorder | None = None,
+    run_id: str = "suite",
+) -> RunReport:
+    """Observe the whole suite (or a subset) and return the run report.
+
+    All events stream through ``recorder`` as the run progresses, so a
+    :class:`~repro.obs.recorder.JsonlRecorder` yields a complete JSONL
+    report even if rendering is never requested.
+    """
+    from ..benchmarks import suite
+
+    rec = active_recorder(recorder)
+    configs = (list(machines) if machines is not None
+               else default_report_machines())
+    benchs = benchmarks if benchmarks is not None else suite.all_benchmarks()
+    rec.emit("run_start", schema=SCHEMA_VERSION, run_id=run_id,
+             machines=[c.name for c in configs],
+             stall_causes=list(STALL_CAUSES))
+    start = time.perf_counter()
+    reports = [
+        observe_benchmark(bench, configs, recorder=rec) for bench in benchs
+    ]
+    seconds = time.perf_counter() - start
+    rec.emit("run_end", seconds=seconds, counters=dict(rec.counters))
+    return RunReport(run_id=run_id, seconds=seconds, benchmarks=reports)

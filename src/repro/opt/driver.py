@@ -10,6 +10,12 @@ Order of phases (mirroring the paper's language system):
 6. interprocedural alias binding (careful mode);
 7. temporary assignment (linear scan onto the temp pool);
 8. pipeline scheduling for the target machine description.
+
+Every phase runs under ``profile.measure(...)``: pass a
+:class:`~repro.obs.profile.CompileProfile` to collect wall time and
+instruction/block counts per pass (the ``--profile`` CLI path); with the
+default :data:`~repro.obs.profile.NULL_PROFILE` the measurement hooks
+are no-ops.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from ..lang import ast
 from ..lang.codegen import generate
 from ..lang.parser import parse
 from ..lang.semantics import check
+from ..obs.profile import NULL_PROFILE, CompileProfile, SchedStats
 from ..sched.list_scheduler import schedule_function
 from .alias import bind_array_parameters
 from .cleanup import cleanup_control_flow
@@ -30,58 +37,78 @@ from .unroll import resolve_partial_decls, unroll_module
 
 
 def compile_source(
-    source: str, options: CompilerOptions | None = None
+    source: str,
+    options: CompilerOptions | None = None,
+    profile: CompileProfile | None = None,
 ) -> Program:
     """Compile Tin source text under ``options`` (defaults to full opt)."""
-    module = parse(source)
-    return compile_module(module, options)
+    prof = profile if profile is not None else NULL_PROFILE
+    with prof.measure("parse"):
+        module = parse(source)
+    return compile_module(module, options, profile)
 
 
 def compile_module(
-    module: ast.Module, options: CompilerOptions | None = None
+    module: ast.Module,
+    options: CompilerOptions | None = None,
+    profile: CompileProfile | None = None,
 ) -> Program:
     """Compile a freshly parsed module.  The module is consumed (the
     unroller rewrites it in place); parse a new one per compilation."""
     opts = options or CompilerOptions()
+    prof = profile if profile is not None else NULL_PROFILE
 
     if opts.unroll > 1:
-        unroll_module(module, opts.unroll, opts.careful)
-        resolve_partial_decls(module)
+        with prof.measure("unroll"):
+            unroll_module(module, opts.unroll, opts.careful)
+            resolve_partial_decls(module)
 
-    info = check(module)
-    program = generate(module, info)
+    with prof.measure("semantics"):
+        info = check(module)
+    with prof.measure("codegen"):
+        program = generate(module, info)
 
     if opts.do_local:
-        for fn in program.functions.values():
-            value_number_function(fn, opts.alias_level)
-            dead_code_elimination(fn)
-            cleanup_control_flow(fn)
-
-    if opts.do_global:
-        for fn in program.functions.values():
-            loop_invariant_code_motion(fn, opts.alias_level)
-            dead_code_elimination(fn)
-            cleanup_control_flow(fn)
-
-    if opts.do_regalloc:
-        promote_variables(program, opts.regfile)
-        if opts.do_local:
+        with prof.measure("local-opt", program):
             for fn in program.functions.values():
                 value_number_function(fn, opts.alias_level)
                 dead_code_elimination(fn)
+                cleanup_control_flow(fn)
+
+    if opts.do_global:
+        with prof.measure("global-opt", program):
+            for fn in program.functions.values():
+                loop_invariant_code_motion(fn, opts.alias_level)
+                dead_code_elimination(fn)
+                cleanup_control_flow(fn)
+
+    if opts.do_regalloc:
+        with prof.measure("regalloc", program):
+            promote_variables(program, opts.regfile)
+            if opts.do_local:
+                for fn in program.functions.values():
+                    value_number_function(fn, opts.alias_level)
+                    dead_code_elimination(fn)
 
     if opts.careful:
-        bind_array_parameters(program)
+        with prof.measure("alias-binding", program):
+            bind_array_parameters(program)
 
-    for fn in program.functions.values():
-        assign_temporaries(fn, opts.regfile)
+    with prof.measure("temp-alloc", program):
+        for fn in program.functions.values():
+            assign_temporaries(fn, opts.regfile)
 
     if opts.do_schedule:
-        for fn in program.functions.values():
-            schedule_function(
-                fn, opts.schedule_for, opts.alias_level,
-                opts.sched_heuristic,
-            )
+        stats = SchedStats() if prof.enabled else None
+        with prof.measure("schedule", program):
+            for fn in program.functions.values():
+                schedule_function(
+                    fn, opts.schedule_for, opts.alias_level,
+                    opts.sched_heuristic, stats,
+                )
+        if stats is not None:
+            prof.sched = stats
 
-    program.validate()
+    with prof.measure("validate", program):
+        program.validate()
     return program

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from ..isa.opcodes import InstrClass
 from ..isa.registers import flat_index
 from ..machine.config import MachineConfig
+from ..obs.stalls import StallBreakdown
 from .trace import Trace
 
 _CLASS_INDEX = {klass: i for i, klass in enumerate(InstrClass)}
@@ -42,6 +43,9 @@ class TimingResult:
     instructions: int
     minor_cycles: int
     base_cycles: float
+    #: Per-cause stall attribution; only populated by
+    #: ``simulate(..., observe=True)`` (None on the fast path).
+    stalls: StallBreakdown | None = None
 
     @property
     def parallelism(self) -> float:
@@ -49,17 +53,51 @@ class TimingResult:
 
         Equals the speedup over the base machine, because the base machine
         executes exactly one instruction per base cycle without stalls.
+        Always finite: an empty run reports 0.0 (never NaN/inf).
         """
-        if self.base_cycles == 0:
+        if self.instructions == 0 or self.base_cycles <= 0:
             return 0.0
         return self.instructions / self.base_cycles
 
     @property
     def cpi(self) -> float:
-        """Base cycles per instruction."""
-        if self.instructions == 0:
+        """Base cycles per instruction (0.0 for an empty run, never NaN)."""
+        if self.instructions == 0 or self.base_cycles <= 0:
             return 0.0
         return self.base_cycles / self.instructions
+
+    def summary(self) -> str:
+        """One-line human summary, shared by the CLI and run reports."""
+        text = (
+            f"{self.config_name}: {self.instructions} instructions, "
+            f"{self.base_cycles:.2f} base cycles, "
+            f"parallelism {self.parallelism:.2f}, cpi {self.cpi:.3f}"
+        )
+        if self.stalls is not None:
+            s = self.stalls
+            text += (
+                f" | stall cycles: raw_dep {s.raw_dep}, "
+                f"memory_order {s.memory_order}, "
+                f"unit_conflict {s.unit_conflict}, "
+                f"issue_width {s.issue_width}"
+            )
+            if s.control:
+                text += f", control {s.control}"
+        return text
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form used by the run-report events."""
+        record = {
+            "machine": self.config_name,
+            "instructions": self.instructions,
+            "minor_cycles": self.minor_cycles,
+            "base_cycles": self.base_cycles,
+            "parallelism": self.parallelism,
+            "cpi": self.cpi,
+        }
+        if self.stalls is not None:
+            record["stalls"] = self.stalls.as_dict()
+        return record
 
 
 class _UnitState:
@@ -115,12 +153,22 @@ def _static_records(
     return records, max_reg
 
 
-def simulate(trace: Trace, config: MachineConfig) -> TimingResult:
+def simulate(
+    trace: Trace, config: MachineConfig, *, observe: bool = False
+) -> TimingResult:
     """Replay ``trace`` on ``config`` and return cycle counts.
 
     The returned ``minor_cycles`` is the completion time of the last
     result; on the base machine this equals the dynamic instruction count.
+
+    With ``observe=True`` the replay additionally attributes every minor
+    cycle an instruction waited to a stall cause (see
+    :mod:`repro.obs.stalls`) and attaches the resulting
+    :class:`~repro.obs.stalls.StallBreakdown` to the result.  The default
+    path is untouched — observability off costs nothing.
     """
+    if observe:
+        return _simulate_observed(trace, config)
     records, max_reg = _static_records(trace, config)
     width = config.issue_width
 
@@ -189,6 +237,123 @@ def simulate(trace: Trace, config: MachineConfig) -> TimingResult:
         instructions=len(ops),
         minor_cycles=last_finish,
         base_cycles=config.minor_to_base(last_finish),
+    )
+
+
+def _simulate_observed(trace: Trace, config: MachineConfig) -> TimingResult:
+    """The :func:`simulate` loop with exact stall-cycle attribution.
+
+    For instruction *i* issuing at ``t_i``, the minor cycles in
+    ``[t_{i-1}, t_i)`` are charged to *i*; the intervals tile the issue
+    span ``[0, t_last)`` exactly, so the per-cause totals plus the
+    ``issued_cycles`` remainder always reconstruct ``minor_cycles``
+    (the conservation law asserted by the tests).  Causes are attributed
+    in segment order along the wait: control (branch stall policy), then
+    operand readiness (raw_dep), then memory ordering, then functional
+    unit availability, with the residual — cycles where only the issue
+    width / in-order limit binds — charged to ``issue_width``.
+    """
+    records, max_reg = _static_records(trace, config)
+    klasses = [ins.op.klass for ins in trace.static]
+    width = config.issue_width
+    breakdown = StallBreakdown()
+
+    reg_ready = [0] * (max_reg + 1)
+    mem_ready: dict[int, int] = {}
+    ops = trace.ops
+    addrs = trace.addrs
+
+    stall_on_branches = config.branch_policy == "stall"
+    branch_floor = 0
+    cur_cycle = 0
+    cur_count = 0
+    last_finish = 0
+    last_issue = 0
+
+    for i, si in enumerate(ops):
+        srcs, dest, lat, unit, is_load, is_store, is_cbr = records[si]
+
+        start = cur_cycle
+        t = start
+        if t < branch_floor:
+            t = branch_floor
+        floor_mark = t
+        for s in srcs:
+            r = reg_ready[s]
+            if r > t:
+                t = r
+        raw_mark = t
+        if is_load:
+            r = mem_ready.get(addrs[i], 0)
+            if r > t:
+                t = r
+        mem_mark = t
+        unit_free_at = -1
+        if unit is not None:
+            unit_free_at = min(unit.free)
+
+        while True:
+            if t == start and cur_count >= width:
+                t += 1
+            if unit is not None:
+                free = unit.free
+                best = 0
+                best_time = free[0]
+                for k in range(1, len(free)):
+                    if free[k] < best_time:
+                        best_time = free[k]
+                        best = k
+                if best_time > t:
+                    t = best_time
+                    continue  # re-check the issue-width constraint
+                free[best] = t + unit.issue_latency
+            break
+
+        if t > start:
+            # Attribute the wait [start, t) segment by segment; the marks
+            # are non-decreasing (start <= floor <= raw <= mem <= t).
+            klass = klasses[si]
+            b = start
+            if floor_mark > b:
+                breakdown.charge(klass, 0, floor_mark - b)  # control
+                b = floor_mark
+            if raw_mark > b:
+                breakdown.charge(klass, 1, raw_mark - b)    # raw_dep
+                b = raw_mark
+            if mem_mark > b:
+                breakdown.charge(klass, 2, mem_mark - b)    # memory_order
+                b = mem_mark
+            if unit_free_at > b:
+                m = unit_free_at if unit_free_at < t else t
+                breakdown.charge(klass, 3, m - b)           # unit_conflict
+                b = m
+            if t > b:
+                breakdown.charge(klass, 4, t - b)           # issue_width
+            cur_cycle = t
+            cur_count = 1
+        else:
+            cur_count += 1
+
+        finish = t + lat
+        if dest >= 0:
+            reg_ready[dest] = finish
+        if is_store:
+            mem_ready[addrs[i]] = finish
+        if stall_on_branches and is_cbr:
+            branch_floor = finish
+        if finish > last_finish:
+            last_finish = finish
+        last_issue = t
+
+    # Every cycle up to the final issue is accounted as a stall of some
+    # instruction; the remainder is the final issue-to-completion span.
+    breakdown.issued_cycles = last_finish - last_issue
+    return TimingResult(
+        config_name=config.name,
+        instructions=len(ops),
+        minor_cycles=last_finish,
+        base_cycles=config.minor_to_base(last_finish),
+        stalls=breakdown,
     )
 
 

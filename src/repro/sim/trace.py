@@ -16,6 +16,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from ..errors import TraceError
 from ..isa.instruction import Instruction
 from ..isa.opcodes import InstrClass
 
@@ -43,7 +44,31 @@ class Trace:
         return len(self.ops)
 
     def append(self, static_index: int, addr: int = -1) -> None:
-        """Record one executed instruction."""
+        """Record one executed instruction.
+
+        Enforces the trace invariant the timing model depends on: a
+        memory instruction must carry its effective word address (>= 0),
+        and a non-memory instruction must not carry one (addr == -1) —
+        violating either would silently corrupt store→load ordering.
+        """
+        if not 0 <= static_index < len(self.static):
+            raise TraceError(
+                f"static index {static_index} out of range "
+                f"(table has {len(self.static)} instructions)"
+            )
+        if self.static[static_index].op.info.is_mem:
+            if addr < 0:
+                raise TraceError(
+                    f"memory instruction {static_index} "
+                    f"({self.static[static_index].op.name}) recorded "
+                    "without an effective address"
+                )
+        elif addr >= 0:
+            raise TraceError(
+                f"non-memory instruction {static_index} "
+                f"({self.static[static_index].op.name}) recorded with "
+                f"address {addr}; expected addr=-1"
+            )
         self.ops.append(static_index)
         self.addrs.append(addr)
 
