@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Benchmark the execution engine: serial vs parallel suite sweeps.
+
+Times the same benchmarks x machines grid three ways —
+
+1. serial, cold (``workers=1``, empty trace cache),
+2. parallel, cold (``--workers N``, empty trace cache),
+3. serial, warm  (``workers=1``, cache populated by the runs above) —
+
+verifies all three produce identical rows, and writes the measurements
+to ``BENCH_sweep.json``.  Each configuration runs in a fresh
+subprocess so no in-process memoization leaks between timings; the
+reported numbers are honest end-to-end wall times.
+
+Usage::
+
+    python scripts/bench_sweep.py [--workers N] [--benchmarks a,b,...]
+        [--machines spec ...] [--output PATH] [--repeat K]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                   "src")
+
+#: Runs one timed sweep in a pristine interpreter and prints JSON.
+_CHILD = r"""
+import json, sys, time
+from repro.engine.cache import open_cache
+from repro.engine.executor import execute
+from repro.engine.plan import plan_sweep
+
+benchmarks, machines, workers, cache_dir = json.loads(sys.argv[1])
+plan = plan_sweep(benchmarks, machines)
+start = time.perf_counter()
+result = execute(plan, workers=workers, cache=open_cache(cache_dir))
+seconds = time.perf_counter() - start
+print(json.dumps({
+    "seconds": seconds,
+    "report": result.report.as_dict(),
+    "rows": [[c.benchmark, c.machine, c.instructions, c.base_cycles,
+              c.parallelism] for c in result.cells],
+}))
+"""
+
+
+def _timed_sweep(benchmarks, machines, workers, cache_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    payload = json.dumps([benchmarks, machines, workers, cache_dir])
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD, payload],
+        check=True, capture_output=True, text=True, env=env,
+    )
+    return json.loads(out.stdout)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=4,
+                        help="pool size for the parallel runs (default 4)")
+    parser.add_argument("--benchmarks", default="ccom,linpack,livermore,"
+                        "stanford,whet,yacc",
+                        help="comma-separated benchmark names")
+    parser.add_argument("--machines", nargs="+",
+                        default=["base", "superscalar:2", "superscalar:4",
+                                 "superscalar:8", "superpipelined:4",
+                                 "multititan", "cray1"],
+                        help="machine preset names")
+    parser.add_argument("--output", default="BENCH_sweep.json")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="repetitions per configuration (best is kept)")
+    args = parser.parse_args(argv)
+
+    benchmarks = [b for b in args.benchmarks.replace(",", " ").split() if b]
+    configs = []
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-cache-") as cache:
+        runs = [
+            ("serial_cold", 1, None),
+            ("parallel_cold", args.workers, cache),
+            # The parallel run above populated the cache; this measures a
+            # fully warm second run (zero recompiles).
+            ("serial_warm", 1, cache),
+        ]
+        for label, workers, cache_dir in runs:
+            best = None
+            for _ in range(max(1, args.repeat)):
+                timing = _timed_sweep(benchmarks, args.machines, workers,
+                                      cache_dir)
+                if best is None or timing["seconds"] < best["seconds"]:
+                    best = timing
+            configs.append({"label": label, "workers": workers,
+                            "cached": cache_dir is not None, **best})
+            print(f"{label:14s} workers={workers} "
+                  f"{best['seconds']:7.2f}s  "
+                  f"(cache {best['report']['cache_hits']} hit / "
+                  f"{best['report']['cache_misses']} miss)")
+
+    rows = configs[0]["rows"]
+    for config in configs[1:]:
+        if config["rows"] != rows:
+            print(f"FAIL: {config['label']} rows differ from serial_cold",
+                  file=sys.stderr)
+            return 1
+    print("rows identical across all configurations")
+
+    serial = configs[0]["seconds"]
+    document = {
+        "grid": {"benchmarks": benchmarks, "machines": args.machines,
+                 "cells": len(rows)},
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "runs": [{k: v for k, v in c.items() if k != "rows"}
+                 for c in configs],
+        "speedup": {
+            c["label"]: round(serial / c["seconds"], 3)
+            for c in configs if c["seconds"] > 0
+        },
+    }
+    parent = os.path.dirname(args.output)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}: "
+          + ", ".join(f"{k}={v}x" for k, v in document["speedup"].items()))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,9 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
                "base_cycles", "parallelism", "cpi"),
     "sweep_row": ("benchmark", "machine", "options", "instructions",
                   "base_cycles", "parallelism"),
+    "cell": ("benchmark", "machine", "options", "seconds", "cached"),
+    "engine": ("workers", "cells", "groups", "cache_hits",
+               "cache_misses", "seconds"),
     "exhibit": ("ident", "title", "seconds"),
     "run_end": ("seconds", "counters"),
 }
@@ -52,6 +55,12 @@ _NUMERIC_FIELDS: dict[str, tuple[tuple[type, ...], bool]] = {
     "parallelism": ((int, float), False),
     "cpi": ((int, float), False),
     "n_passes": ((int,), False),
+    # engine-summary counts
+    "workers": ((int,), False),
+    "cells": ((int,), False),
+    "groups": ((int,), False),
+    "cache_hits": ((int,), False),
+    "cache_misses": ((int,), False),
     # compile_pass size fields use -1 for "not applicable"
     "instrs_before": ((int,), True),
     "instrs_after": ((int,), True),

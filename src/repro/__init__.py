@@ -14,12 +14,17 @@ The package rebuilds the paper's measurement apparatus end to end:
 * :mod:`repro.benchmarks` — the eight-benchmark suite;
 * :mod:`repro.analysis` — drivers that regenerate every table and figure.
 
+Scripts should use the stable facade :mod:`repro.api`
+(re-exported here), which covers compile/run/simulate/measure/sweep
+without touching internal modules.
+
 Quickstart::
 
-    from repro import compile_and_run, machine
+    import repro.api as api
 
-    result = compile_and_run("proc main(): int { return 6 * 7; }")
+    result = api.run("proc main(): int { return 6 * 7; }")
     assert result.value == 42
+    timing = api.measure("linpack", "superscalar:4")
 """
 
 from __future__ import annotations
@@ -28,6 +33,11 @@ __version__ = "1.0.0"
 
 from . import errors, isa, lang, machine, sim
 from .sim.interp import RunResult
+
+# The facade imports repro.engine, which reads __version__ above, so
+# this import must stay below the version definition.
+from . import api
+from .api import measure, simulate, sweep
 
 
 def compile_source(source: str, options=None):
@@ -52,11 +62,15 @@ def compile_and_run(source: str, options=None, **run_kwargs) -> RunResult:
 __all__ = [
     "RunResult",
     "__version__",
+    "api",
     "compile_and_run",
     "compile_source",
     "errors",
     "isa",
     "lang",
     "machine",
+    "measure",
     "sim",
+    "simulate",
+    "sweep",
 ]

@@ -4,9 +4,11 @@ Commands
 --------
 ``run <file.tin>``
     Compile and execute a Tin source file; print its result.
-``measure <file.tin>``
+``measure <file.tin | benchmarks>``
     Compile, execute and report ILP across standard machines
     (``--profile`` adds pass-level compile stats and stall attribution).
+    Given suite benchmark names instead of a file, the grid runs through
+    the execution engine (``--workers``, ``--machines``).
 ``suite``
     Run the eight-benchmark suite and print the ILP summary.
 ``report``
@@ -14,24 +16,57 @@ Commands
     stall breakdown, and a machine-readable JSONL run report.
 ``exhibit <ident> [...]``
     Regenerate paper exhibits (``exhibit list`` to enumerate).
+
+The ``measure``/``suite``/``report``/``exhibit`` commands submit their
+work through :mod:`repro.engine`: ``--workers N`` fans compilation
+across a process pool, and a content-addressed trace cache under
+``--cache-dir`` (default ``.repro-cache``; disable with ``--no-cache``)
+skips recompilation across runs and processes.  Machine sets are preset
+names resolved by :func:`repro.machine.presets.resolve`, with ``paper``
+expanding to the paper's seven standard machines.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .analysis.tables import format_table
-from .machine import (
-    base_machine,
-    cray1,
-    ideal_superscalar,
-    multititan,
-    superpipelined,
-)
+from .engine.cache import DEFAULT_CACHE_DIR, TraceCache, open_cache
+from .machine.config import MachineConfig
+from .machine.presets import ideal_superscalar, paper_machines, resolve
 from .opt.options import CompilerOptions, OptLevel
 from .sim.interp import run as interp_run
 from .sim.timing import simulate
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """The engine knobs shared by measure/suite/report/exhibit."""
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the execution engine (default 1: "
+             "serial, bit-identical results either way)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
+        help="content-addressed trace cache directory "
+             f"(default: {DEFAULT_CACHE_DIR!r}; $REPRO_CACHE_DIR overrides)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk trace cache for this run",
+    )
+
+
+def _add_machines_flag(parser: argparse.ArgumentParser,
+                       default_help: str) -> None:
+    parser.add_argument(
+        "--machines", nargs="+", metavar="SPEC", default=None,
+        help="machine presets to measure on, space- or comma-separated "
+             "names like superscalar:4 or multititan "
+             f"('paper' = the paper's seven; default: {default_help})",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -49,9 +84,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     p_measure = sub.add_parser(
-        "measure", help="measure a Tin file's ILP on standard machines"
+        "measure",
+        help="measure a Tin file's (or suite benchmarks') ILP",
     )
-    p_measure.add_argument("file")
+    p_measure.add_argument(
+        "target",
+        help="a .tin source file, or suite benchmark names "
+             "(comma/space separated, e.g. 'linpack,whet')",
+    )
     p_measure.add_argument("-O", dest="opt", type=int, default=4,
                            choices=range(5))
     p_measure.add_argument("--unroll", type=int, default=1)
@@ -64,6 +104,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--report", metavar="PATH", default=None,
         help="also write the observed run as a JSONL report",
     )
+    _add_machines_flag(p_measure, "the paper's seven machines")
+    _add_engine_flags(p_measure)
 
     p_suite = sub.add_parser("suite", help="run the eight-benchmark suite")
     p_suite.add_argument(
@@ -74,6 +116,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--report", metavar="PATH", default=None,
         help="also write the observed run as a JSONL report",
     )
+    p_suite.add_argument(
+        "--benchmarks", nargs="+", metavar="NAME", default=None,
+        help="subset of benchmarks, space- or comma-separated "
+             "(default: the whole suite)",
+    )
+    _add_machines_flag(p_suite, "the ideal 64-wide superscalar")
+    _add_engine_flags(p_suite)
 
     p_report = sub.add_parser(
         "report",
@@ -93,22 +142,47 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="write the JSONL report without rendering tables",
     )
+    _add_machines_flag(p_report, "the paper's seven machines")
+    _add_engine_flags(p_report)
 
     p_ex = sub.add_parser("exhibit", help="regenerate paper exhibits")
     p_ex.add_argument("idents", nargs="+",
                       help="exhibit ids, or 'list' / 'all'")
+    _add_engine_flags(p_ex)
     return parser
 
 
-_MEASURE_MACHINES = (
-    base_machine,
-    lambda: ideal_superscalar(2),
-    lambda: ideal_superscalar(4),
-    lambda: ideal_superscalar(8),
-    lambda: superpipelined(4),
-    multititan,
-    cray1,
-)
+def _resolve_machines(
+    specs: list[str] | None, default: list[MachineConfig]
+) -> list[MachineConfig]:
+    """Resolve a --machines argument (None = the command's default)."""
+    if specs is None:
+        return default
+    names = [name for spec in specs
+             for name in spec.replace(",", " ").split()]
+    configs: list[MachineConfig] = []
+    for name in names:
+        if name.lower() == "paper":
+            configs.extend(paper_machines())
+        else:
+            configs.append(resolve(name))
+    return configs or default
+
+
+def _parse_benchmarks(tokens: list[str] | None) -> list[str] | None:
+    """Validate a --benchmarks argument; exits with code 2 when unknown."""
+    from .benchmarks.suite import parse_benchmark_list
+
+    try:
+        return parse_benchmark_list(tokens)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _engine_cache(args) -> TraceCache:
+    return open_cache(getattr(args, "cache_dir", None),
+                      getattr(args, "no_cache", False))
 
 
 def _compile_file(path: str, args, profile=None) -> tuple:
@@ -131,8 +205,6 @@ def _open_recorder(path: str | None):
 
     if path is None:
         return NULL_RECORDER
-    import os
-
     parent = os.path.dirname(path)
     if parent:
         os.makedirs(parent, exist_ok=True)
@@ -146,14 +218,86 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _measure_benchmarks(args) -> int:
+    """`repro measure linpack,whet`: suite benchmarks through the engine."""
+    from .analysis.sweep import summarize, sweep
+    from .obs.recorder import SCHEMA_VERSION
+    from .obs.report import render_stall_table
+
+    benchmarks = _parse_benchmarks([args.target])
+    assert benchmarks is not None
+    machines = _resolve_machines(args.machines, paper_machines())
+    observe = args.profile
+    options = None
+    if (args.opt, args.unroll, args.careful) != (4, 1, False):
+        options = CompilerOptions(
+            opt_level=OptLevel(args.opt),
+            unroll=args.unroll,
+            careful=args.careful,
+        )
+    with _open_recorder(args.report) as recorder:
+        if recorder.enabled:
+            recorder.emit("run_start", schema=SCHEMA_VERSION,
+                          run_id=f"measure:{','.join(benchmarks)}",
+                          machines=[c.name for c in machines])
+        rows = sweep(
+            benchmarks, machines, options=options, observe=observe,
+            recorder=recorder, workers=args.workers,
+            cache=_engine_cache(args),
+        )
+        print(summarize(rows))
+        if observe:
+            by_bench: dict[str, list] = {}
+            for row in rows:
+                by_bench.setdefault(row.benchmark, []).append(row)
+            for bench, bench_rows in by_bench.items():
+                print()
+                print(render_stall_table(
+                    [_row_timing(r) for r in bench_rows],
+                    title=f"{bench}: stall attribution (minor cycles)",
+                ))
+        if recorder.enabled:
+            recorder.emit("run_end", seconds=0.0,
+                          counters=dict(recorder.counters))
+    if args.report is not None:
+        print(f"\nJSONL report written to {args.report}")
+    return 0
+
+
+def _row_timing(row):
+    """A SweepRow's equivalent TimingResult (for the stall tables)."""
+    from .sim.timing import TimingResult
+
+    minor = (row.stalls.minor_cycles if row.stalls is not None
+             else round(row.base_cycles))
+    return TimingResult(
+        config_name=row.machine,
+        instructions=row.instructions,
+        minor_cycles=minor,
+        base_cycles=row.base_cycles,
+        stalls=row.stalls,
+    )
+
+
 def _cmd_measure(args) -> int:
+    if not os.path.exists(args.target):
+        try:
+            benchmarks = _parse_benchmarks([args.target])
+        except SystemExit:
+            print(f"measure: {args.target!r} is neither a file nor a "
+                  "benchmark list", file=sys.stderr)
+            return 2
+        if benchmarks:
+            return _measure_benchmarks(args)
+
+    machines = _resolve_machines(args.machines, paper_machines())
     if not args.profile and args.report is None:
-        _program, result = _compile_file(args.file, args)
+        _program, result = _compile_file(args.target, args)
         print(f"result: {result.value}   "
               f"dynamic instructions: {result.instructions}")
         rows = []
-        for factory in _MEASURE_MACHINES:
-            timing = simulate(result.trace, factory())
+        for config in machines:
+            timing = simulate(result.trace, config)
             rows.append([timing.config_name, timing.base_cycles,
                          timing.parallelism])
         print(format_table(["machine", "base cycles", "instr/cycle"], rows))
@@ -169,18 +313,19 @@ def _cmd_measure(args) -> int:
 
     profile = CompileProfile()
     with _open_recorder(args.report) as recorder:
-        recorder.emit("run_start", schema=SCHEMA_VERSION, run_id=args.file)
-        _program, result = _compile_file(args.file, args, profile)
-        emit_compile_events(recorder, args.file, profile)
+        recorder.emit("run_start", schema=SCHEMA_VERSION,
+                      run_id=args.target)
+        _program, result = _compile_file(args.target, args, profile)
+        emit_compile_events(recorder, args.target, profile)
         print(f"result: {result.value}   "
               f"dynamic instructions: {result.instructions}")
         print()
         print(render_profile_table(profile, title="compile profile"))
         timings = []
-        for factory in _MEASURE_MACHINES:
-            timing = simulate(result.trace, factory(), observe=True)
+        for config in machines:
+            timing = simulate(result.trace, config, observe=True)
             timings.append(timing)
-            recorder.emit("timing", benchmark=args.file,
+            recorder.emit("timing", benchmark=args.target,
                           **timing.as_dict())
         print()
         print(render_stall_table(
@@ -195,60 +340,103 @@ def _cmd_measure(args) -> int:
 
 def _cmd_suite(args) -> int:
     from .benchmarks import suite as bench_suite
+    from .engine.executor import execute
+    from .engine.plan import plan_sweep
+    from .analysis.sweep import summarize
+    from .obs.report import render_stall_table
 
     profile = getattr(args, "profile", False)
-    wide = ideal_superscalar(64)
+    benchmarks = _parse_benchmarks(getattr(args, "benchmarks", None))
+    bench_names = benchmarks or [
+        b.name for b in bench_suite.all_benchmarks()
+    ]
+    machines = _resolve_machines(
+        getattr(args, "machines", None), [ideal_superscalar(64)]
+    )
+    single_machine = len(machines) == 1
+
     with _open_recorder(getattr(args, "report", None)) as recorder:
         if recorder.enabled:
             from .obs.recorder import SCHEMA_VERSION
 
             recorder.emit("run_start", schema=SCHEMA_VERSION,
-                          run_id="suite", machines=[wide.name])
-        headers = ["benchmark", "dyn. instructions", "checksum",
-                   "available ILP"]
-        if profile:
-            headers += ["raw_dep", "memory_order", "unit_conflict",
-                        "issue_width"]
-        rows = []
-        for bench in bench_suite.all_benchmarks():
-            result = bench_suite.run_benchmark(bench)
-            ok = abs(result.value - bench.reference()) <= bench.fp_tolerance
-            timing = simulate(result.trace, wide, observe=profile)
-            row = [bench.name, result.instructions,
-                   "ok" if ok else "MISMATCH", timing.parallelism]
-            if profile:
-                s = timing.stalls
-                row += [s.raw_dep, s.memory_order, s.unit_conflict,
-                        s.issue_width]
-            if recorder.enabled:
-                recorder.emit("timing", benchmark=bench.name,
-                              **timing.as_dict())
-            rows.append(row)
-        print(format_table(headers, rows))
+                          run_id="suite",
+                          machines=[c.name for c in machines])
+        plan = plan_sweep(bench_names, machines,
+                          observe=profile or recorder.enabled)
+        result = execute(
+            plan,
+            workers=getattr(args, "workers", 1),
+            cache=_engine_cache(args),
+            recorder=recorder,
+        )
         if recorder.enabled:
-            recorder.emit("run_end", seconds=0.0,
+            for cell in result.cells:
+                recorder.emit("timing", benchmark=cell.benchmark,
+                              **cell.to_timing().as_dict())
+
+        if single_machine:
+            headers = ["benchmark", "dyn. instructions", "checksum",
+                       "available ILP"]
+            if profile:
+                headers += ["raw_dep", "memory_order", "unit_conflict",
+                            "issue_width"]
+            rows = []
+            for cell in result.cells:
+                row = [cell.benchmark, cell.instructions,
+                       "ok" if cell.checksum_ok else "MISMATCH",
+                       cell.parallelism]
+                if profile:
+                    s = cell.stalls
+                    row += [s.raw_dep, s.memory_order, s.unit_conflict,
+                            s.issue_width]
+                rows.append(row)
+            print(format_table(headers, rows))
+        else:
+            from .analysis.sweep import SweepRow
+
+            sweep_rows = [
+                SweepRow(
+                    benchmark=c.benchmark, options_label=c.options_label,
+                    machine=c.machine, instructions=c.instructions,
+                    base_cycles=c.base_cycles, parallelism=c.parallelism,
+                    stalls=c.stalls,
+                )
+                for c in result.cells
+            ]
+            print(summarize(sweep_rows))
+            bad = sorted({c.benchmark for c in result.cells
+                          if not c.checksum_ok})
+            print("checksums:",
+                  "all ok" if not bad else f"MISMATCH in {', '.join(bad)}")
+            if profile:
+                for bench in bench_names:
+                    cells = [c for c in result.cells
+                             if c.benchmark == bench]
+                    print()
+                    print(render_stall_table(
+                        [c.to_timing() for c in cells],
+                        title=f"{bench}: stall attribution (minor cycles)",
+                    ))
+        assert result.report is not None
+        print(result.report.summary())
+        if recorder.enabled:
+            recorder.emit("run_end", seconds=result.report.seconds,
                           counters=dict(recorder.counters))
     return 0
 
 
 def _cmd_report(args) -> int:
-    from .benchmarks import suite as bench_suite
-    from .obs.report import build_suite_report
+    from .obs.report import build_suite_report, default_report_machines
 
-    benchmarks = None
-    if args.benchmarks is not None:
-        benchmarks = [name for tok in args.benchmarks
-                      for name in tok.split(",") if name]
-        known = {b.name for b in bench_suite.all_benchmarks()}
-        unknown = [n for n in benchmarks if n not in known]
-        if unknown:
-            print(f"unknown benchmark(s): {', '.join(unknown)} "
-                  f"(choose from {', '.join(sorted(known))})",
-                  file=sys.stderr)
-            return 2
+    benchmarks = _parse_benchmarks(args.benchmarks)
+    machines = _resolve_machines(args.machines, default_report_machines())
     with _open_recorder(args.output) as recorder:
         report = build_suite_report(
-            benchmarks=benchmarks, recorder=recorder
+            benchmarks=benchmarks,
+            machines=machines,
+            recorder=recorder,
+            workers=args.workers,
         )
     if not args.quiet:
         print(report.render())
@@ -260,7 +448,7 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_exhibit(args) -> int:
-    from .analysis.experiments import ALL_EXHIBITS
+    from .analysis.experiments import ALL_EXHIBITS, prime_all_exhibits
 
     idents = args.idents
     if idents == ["list"]:
@@ -274,6 +462,13 @@ def _cmd_exhibit(args) -> int:
         print(f"unknown exhibits: {', '.join(unknown)}", file=sys.stderr)
         print(f"known: {', '.join(ALL_EXHIBITS)}", file=sys.stderr)
         return 2
+    # Priming compiles every exhibit's units up front, which only pays
+    # off when there is a worker pool to fan them across (the warmed
+    # disk cache then serves later runs for free).
+    if args.workers > 1:
+        report = prime_all_exhibits(workers=args.workers,
+                                    cache=_engine_cache(args))
+        print(report.summary(), file=sys.stderr)
     for ident in idents:
         print(ALL_EXHIBITS[ident]())
         print()

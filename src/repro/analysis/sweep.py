@@ -4,6 +4,12 @@ A thin public API over what the experiment drivers do by hand: run a set
 of benchmarks under a set of compile options, replay each trace on a set
 of machine configurations, and return tidy rows.  Useful for building
 custom studies without touching the drivers.
+
+Execution is delegated to :mod:`repro.engine`: ``workers>1`` fans the
+grid across a process pool and ``cache`` (a
+:class:`~repro.engine.cache.TraceCache`) skips recompilation across runs
+and processes.  The default ``workers=1`` without a cache is
+bit-identical to the historical inline loop.
 """
 
 from __future__ import annotations
@@ -11,13 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from ..benchmarks import suite
 from ..benchmarks.suite import Benchmark
+from ..engine.cache import TraceCache
+from ..engine.executor import execute
+from ..engine.plan import plan_sweep
 from ..machine.config import MachineConfig
 from ..obs.recorder import Recorder, active_recorder
 from ..obs.stalls import StallBreakdown
 from ..opt.options import CompilerOptions
-from ..sim.timing import simulate
 from .stats import harmonic_mean
 from .tables import format_table
 
@@ -38,63 +45,64 @@ class SweepRow:
 
 def sweep(
     benchmarks: Iterable[Benchmark | str],
-    machines: Sequence[MachineConfig],
+    machines: Sequence[MachineConfig | str],
     options: CompilerOptions | None = None,
     options_label: str = "default",
     schedule_for_target: bool = False,
     observe: bool = False,
     recorder: Recorder | None = None,
+    workers: int = 1,
+    cache: TraceCache | None = None,
 ) -> list[SweepRow]:
     """Measure every benchmark on every machine.
 
     With ``schedule_for_target`` the code is recompiled, scheduled for
     each machine being measured (the paper's methodology); otherwise one
     trace per benchmark is reused across machines (much faster).
+    Machines may be preset names (``"superscalar:4"``) or
+    :class:`MachineConfig` objects.
 
     ``observe=True`` attaches a stall breakdown to every row;
     ``recorder`` (optional) receives one ``sweep_row`` event per
-    measurement, so a :class:`~repro.obs.recorder.JsonlRecorder` turns a
-    sweep into a machine-readable run report.
+    measurement plus the engine's ``cell``/``engine`` events, so a
+    :class:`~repro.obs.recorder.JsonlRecorder` turns a sweep into a
+    machine-readable run report.  ``workers`` and ``cache`` select
+    parallel execution and the on-disk trace cache; results are
+    identical regardless.
     """
     rec = active_recorder(recorder)
+    plan = plan_sweep(
+        benchmarks,
+        machines,
+        options=options,
+        options_label=options_label,
+        schedule_for_target=schedule_for_target,
+        observe=observe,
+    )
+    result = execute(plan, workers=workers, cache=cache, recorder=rec)
     rows: list[SweepRow] = []
-    for bench in benchmarks:
-        if isinstance(bench, str):
-            bench = suite.get(bench)
-        for config in machines:
-            if schedule_for_target:
-                opts = suite.default_options(bench, schedule_for=config)
-                if options is not None:
-                    raise ValueError(
-                        "options and schedule_for_target are exclusive"
-                    )
-            else:
-                opts = options or suite.default_options(bench)
-            result = suite.run_benchmark(bench, opts)
-            timing = simulate(result.trace, config, observe=observe)
-            rows.append(
-                SweepRow(
-                    benchmark=bench.name,
-                    options_label=options_label,
-                    machine=config.name,
-                    instructions=result.instructions,
-                    base_cycles=timing.base_cycles,
-                    parallelism=timing.parallelism,
-                    stalls=timing.stalls,
-                )
-            )
-            if rec.enabled:
-                event = {
-                    "benchmark": bench.name,
-                    "machine": config.name,
-                    "options": options_label,
-                    "instructions": result.instructions,
-                    "base_cycles": timing.base_cycles,
-                    "parallelism": timing.parallelism,
-                }
-                if timing.stalls is not None:
-                    event["stalls"] = timing.stalls.as_dict()
-                rec.emit("sweep_row", **event)
+    for cell in result.cells:
+        rows.append(SweepRow(
+            benchmark=cell.benchmark,
+            options_label=cell.options_label,
+            machine=cell.machine,
+            instructions=cell.instructions,
+            base_cycles=cell.base_cycles,
+            parallelism=cell.parallelism,
+            stalls=cell.stalls,
+        ))
+        if rec.enabled:
+            event = {
+                "benchmark": cell.benchmark,
+                "machine": cell.machine,
+                "options": cell.options_label,
+                "instructions": cell.instructions,
+                "base_cycles": cell.base_cycles,
+                "parallelism": cell.parallelism,
+            }
+            if cell.stalls is not None:
+                event["stalls"] = cell.stalls.as_dict()
+            rec.emit("sweep_row", **event)
     return rows
 
 

@@ -1,0 +1,170 @@
+"""The stable public facade of :mod:`repro`.
+
+One module, five entry points — everything a script needs without
+importing internal packages:
+
+* :func:`compile` — Tin source text to a scheduled
+  :class:`~repro.isa.program.Program`;
+* :func:`run` — functionally execute a program (or source text) and get
+  its result plus dynamic trace;
+* :func:`simulate` — replay a trace on a machine (preset name or
+  :class:`~repro.machine.config.MachineConfig`);
+* :func:`measure` — compile + run + time one suite benchmark on one
+  machine;
+* :func:`plan` / :func:`sweep` — build and execute a whole
+  benchmark x machine grid, optionally across worker processes with a
+  content-addressed trace cache.
+
+All parameters beyond the essential positionals are keyword-only, and
+every result is a dataclass, so the surface is easy to keep stable (the
+test suite snapshots these signatures).  Machines are accepted as preset
+names (``"superscalar:4"``, ``"multititan"``; see
+:func:`repro.machine.presets.resolve`) everywhere a configuration is
+taken.
+
+    >>> import repro.api as api
+    >>> api.measure("linpack", "ideal_superscalar:4").parallelism
+    2.9...
+    >>> result = api.sweep(api.plan(["whet"], ["base", "superscalar:8"]),
+    ...                    workers=2)
+    >>> [row.parallelism for row in result.rows]
+    [1.0, 2.4...]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .analysis.sweep import SweepRow, summarize as _summarize_rows
+from .benchmarks import suite as _suite
+from .benchmarks.suite import Benchmark
+from .engine.cache import open_cache
+from .engine.executor import EngineReport, execute as _execute
+from .engine.plan import Plan, plan_sweep
+from .isa.program import Program
+from .machine.config import MachineConfig
+from .machine.presets import resolve as _resolve_machine
+from .obs.recorder import Recorder
+from .opt.options import CompilerOptions
+from .sim.interp import RunResult, run as _interp_run
+from .sim.timing import TimingResult, simulate as _simulate
+from .sim.trace import Trace
+
+__all__ = [
+    "MachineLike",
+    "Plan",
+    "SweepResult",
+    "compile",
+    "measure",
+    "plan",
+    "run",
+    "simulate",
+    "sweep",
+]
+
+#: Anywhere a machine is taken, a preset name works too.
+MachineLike = "MachineConfig | str"
+
+
+def compile(source: str, *, options: CompilerOptions | None = None,
+            profile=None) -> Program:
+    """Compile Tin source text into a scheduled :class:`Program`.
+
+    ``options`` defaults to the full optimization pipeline; ``profile``
+    (a :class:`~repro.obs.profile.CompileProfile`) collects pass-level
+    timing and size statistics when given.
+    """
+    from .opt.driver import compile_source
+
+    return compile_source(source, options, profile)
+
+
+def run(program: Program | str, *,
+        options: CompilerOptions | None = None) -> RunResult:
+    """Functionally execute a program — or compile-and-run source text.
+
+    Returns the :class:`RunResult`: the entry function's value, the
+    dynamic instruction count, and the trace :func:`simulate` replays.
+    """
+    if isinstance(program, str):
+        program = compile(program, options=options)
+    return _interp_run(program)
+
+
+def simulate(trace: Trace, machine: MachineConfig | str, *,
+             observe: bool = False) -> TimingResult:
+    """Replay a dynamic trace on a machine and return its timing.
+
+    ``machine`` may be a preset name; ``observe=True`` attaches exact
+    per-cause stall attribution (:mod:`repro.obs.stalls`).
+    """
+    return _simulate(trace, _resolve_machine(machine), observe=observe)
+
+
+def measure(benchmark: Benchmark | str, machine: MachineConfig | str,
+            *, options: CompilerOptions | None = None,
+            observe: bool = False) -> TimingResult:
+    """Compile, run, and time one suite benchmark on one machine.
+
+    Compilation and functional execution are memoized per
+    (benchmark, options), so measuring many machines is cheap.
+    """
+    return _suite.measure(
+        benchmark, _resolve_machine(machine), options, observe=observe
+    )
+
+
+def plan(benchmarks, machines, *, options: CompilerOptions | None = None,
+         options_label: str = "default", schedule_for_target: bool = False,
+         observe: bool = False) -> Plan:
+    """Build the work plan for a benchmarks-by-machines sweep.
+
+    Accepts benchmark names/objects and machine presets/configs; see
+    :func:`repro.engine.plan.plan_sweep` for the semantics of
+    ``schedule_for_target`` (the paper's per-target recompilation).
+    """
+    return plan_sweep(
+        benchmarks, machines, options=options, options_label=options_label,
+        schedule_for_target=schedule_for_target, observe=observe,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class SweepResult:
+    """Outcome of one :func:`sweep`: tidy rows plus engine statistics."""
+
+    rows: tuple[SweepRow, ...]
+    engine: EngineReport
+
+    def summary(self) -> str:
+        """Machines-by-benchmarks parallelism table with harmonic means."""
+        return _summarize_rows(list(self.rows))
+
+
+def sweep(plan: Plan, *, workers: int = 1, cache_dir: str | None = None,
+          no_cache: bool = False,
+          recorder: Recorder | None = None) -> SweepResult:
+    """Execute a :class:`Plan` and return every cell's measurement.
+
+    ``workers`` fans compile groups across a process pool (``1`` = the
+    bit-identical serial fallback).  ``cache_dir`` enables the
+    content-addressed on-disk trace cache there (``no_cache=True``
+    forces it off).  ``recorder`` receives ``cell``/``engine`` events.
+    """
+    cache = open_cache(cache_dir, no_cache)
+    result = _execute(plan, workers=workers, cache=cache,
+                      recorder=recorder)
+    rows = tuple(
+        SweepRow(
+            benchmark=c.benchmark,
+            options_label=c.options_label,
+            machine=c.machine,
+            instructions=c.instructions,
+            base_cycles=c.base_cycles,
+            parallelism=c.parallelism,
+            stalls=c.stalls,
+        )
+        for c in result.cells
+    )
+    assert result.report is not None
+    return SweepResult(rows=rows, engine=result.report)

@@ -81,21 +81,15 @@ def _ensure_loaded() -> None:
 
 # ------------------------------------------------------------------- caching
 def _options_key(options: CompilerOptions) -> tuple:
-    return (
-        options.opt_level,
-        options.regfile.n_temp,
-        options.regfile.n_home,
-        options.unroll,
-        options.careful,
-        options.alias,
-        options.sched_heuristic,
-        options.schedule_for.name,
-        options.schedule_for.issue_width,
-        options.schedule_for.superpipeline_degree,
-        tuple(sorted(
-            (k.value, v) for k, v in options.schedule_for.latencies.items()
-        )),
-    )
+    """Memo key for one compile unit.
+
+    Delegates to :meth:`CompilerOptions.fingerprint` — the same canonical
+    key the engine's on-disk trace cache hashes — so the in-process memo
+    and the content-addressed cache can never disagree about which option
+    fields (unroll, careful/alias, scheduling heuristic, the full target
+    machine description) distinguish two compilations.
+    """
+    return options.fingerprint()
 
 
 _RUN_CACHE: dict[tuple, RunResult] = {}
@@ -117,6 +111,62 @@ def run_benchmark(
     result = run(program)
     _RUN_CACHE[key] = result
     return result
+
+
+def cached_run(
+    benchmark: Benchmark | str,
+    options: CompilerOptions,
+) -> RunResult | None:
+    """The memoized run for (benchmark, options), if already computed."""
+    if isinstance(benchmark, str):
+        benchmark = get(benchmark)
+    return _RUN_CACHE.get((benchmark.name, _options_key(options)))
+
+
+def seed_run(
+    benchmark: Benchmark | str,
+    options: CompilerOptions,
+    result: RunResult,
+) -> None:
+    """Install an externally computed run into the memo cache.
+
+    The execution engine uses this to share runs it obtained from pool
+    workers or the on-disk trace cache, so inline code that follows a
+    parallel sweep (exhibit drivers, summaries) never recompiles.
+    """
+    if isinstance(benchmark, str):
+        benchmark = get(benchmark)
+    _RUN_CACHE[(benchmark.name, _options_key(options))] = result
+
+
+def parse_benchmark_list(
+    tokens: "list[str] | str | None",
+) -> list[str] | None:
+    """Parse a user-supplied benchmark list into validated names.
+
+    Accepts a single string or a list of tokens, each comma- and/or
+    whitespace-separated (``"linpack,whet"``, ``["linpack", "whet"]``,
+    ``["linpack,whet", "yacc"]``).  ``None`` (and an empty selection)
+    mean "the whole suite" and return ``None``.  Unknown names raise
+    ``ValueError`` listing the suite; this is the one benchmark-list
+    parser shared by the measure/suite/report commands and the API.
+    """
+    if tokens is None:
+        return None
+    if isinstance(tokens, str):
+        tokens = [tokens]
+    names = [name for tok in tokens
+             for name in tok.replace(",", " ").split()]
+    if not names:
+        return None
+    known = {b.name for b in all_benchmarks()}
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown benchmark(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(sorted(known))})"
+        )
+    return names
 
 
 def default_options(benchmark: Benchmark, **kwargs) -> CompilerOptions:

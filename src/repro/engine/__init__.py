@@ -1,0 +1,53 @@
+"""Parallel execution engine for benchmark x machine x options grids.
+
+The paper's results are a grid of (benchmark, CompilerOptions,
+MachineConfig) measurements.  This package turns such a grid into an
+explicit :class:`~repro.engine.plan.Plan` of cells and executes it:
+
+* serially (``workers=1``) — bit-identical to looping inline, or
+* across a :class:`concurrent.futures.ProcessPoolExecutor`, with cells
+  grouped by compile unit so each trace is built once, and
+
+with an optional content-addressed on-disk cache
+(:class:`~repro.engine.cache.TraceCache`) keyed by source hash + option
+fingerprint + package version, so recompilation is skipped across runs
+and across processes.
+
+Everything the engine returns (cell results, stall breakdowns, engine
+statistics) is picklable, and results are reassembled in plan order, so
+parallel sweeps are bit-identical to serial ones.
+"""
+
+from .cache import (
+    DEFAULT_CACHE_DIR,
+    NULL_TRACE_CACHE,
+    CacheStats,
+    TraceCache,
+    open_cache,
+    trace_key,
+)
+from .executor import (
+    CellResult,
+    EngineReport,
+    EngineResult,
+    execute,
+    prime_runs,
+)
+from .plan import Cell, Plan, plan_sweep
+
+__all__ = [
+    "Cell",
+    "CellResult",
+    "CacheStats",
+    "DEFAULT_CACHE_DIR",
+    "EngineReport",
+    "EngineResult",
+    "NULL_TRACE_CACHE",
+    "Plan",
+    "TraceCache",
+    "execute",
+    "open_cache",
+    "plan_sweep",
+    "prime_runs",
+    "trace_key",
+]

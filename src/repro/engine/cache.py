@@ -1,0 +1,154 @@
+"""Content-addressed on-disk cache for compiled/simulated traces.
+
+A cache entry is one :class:`~repro.sim.interp.RunResult` — the compiled
+program's functional execution, including the dynamic trace the timing
+model replays.  The key is a SHA-256 over
+
+* the benchmark's **source text**,
+* the full :meth:`~repro.opt.options.CompilerOptions.fingerprint` (which
+  itself embeds the target machine's
+  :meth:`~repro.machine.config.MachineConfig.fingerprint`), and
+* the package version plus a cache format tag,
+
+so a hit is only possible when the compilation would be bit-identical.
+Entries are pickles written atomically (temp file + ``os.replace``), so
+concurrent engine workers and concurrent runs can share one directory;
+a corrupt or unreadable entry is treated as a miss and replaced.
+
+The default location is ``.repro-cache`` under the current directory,
+overridable with the ``REPRO_CACHE_DIR`` environment variable or the
+``--cache-dir`` CLI flag.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+
+from .. import __version__
+from ..opt.options import CompilerOptions
+from ..sim.interp import RunResult
+
+#: Bump when the pickled payload layout changes incompatibly.
+_FORMAT = "trace-v1"
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+
+
+def trace_key(source: str, options: CompilerOptions) -> str:
+    """Content hash identifying one (source, options) compilation."""
+    payload = json.dumps(
+        [
+            _FORMAT,
+            __version__,
+            hashlib.sha256(source.encode("utf-8")).hexdigest(),
+            repr(options.fingerprint()),
+        ],
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Hit/miss/store counts for one cache handle."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores}
+
+
+class TraceCache:
+    """A content-addressed trace cache rooted at one directory."""
+
+    enabled = True
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".pkl")
+
+    def load(self, key: str) -> RunResult | None:
+        """The cached run for ``key``, or ``None`` (counted as a miss)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                result = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            # Corrupt or stale entry: drop it and recompile.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            self.stats.misses += 1
+            return None
+        if not isinstance(result, RunResult):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def store(self, key: str, result: RunResult) -> None:
+        """Write one entry atomically (safe under concurrent writers)."""
+        path = self.path_for(key)
+        parent = os.path.dirname(path)
+        os.makedirs(parent, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+
+class NullTraceCache(TraceCache):
+    """Disabled cache: every lookup misses, nothing is written."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(root="")
+
+    def load(self, key: str) -> RunResult | None:
+        return None
+
+    def store(self, key: str, result: RunResult) -> None:
+        pass
+
+
+#: Shared disabled cache; safe to pass anywhere a cache is expected.
+NULL_TRACE_CACHE = NullTraceCache()
+
+
+def open_cache(
+    cache_dir: str | None, no_cache: bool = False
+) -> TraceCache:
+    """Normalize CLI-style cache settings to a usable cache handle.
+
+    ``no_cache=True`` (or ``cache_dir=None``) yields a fresh disabled
+    cache; otherwise the directory is created lazily on first store.
+    """
+    if no_cache or cache_dir is None:
+        return NullTraceCache()
+    return TraceCache(cache_dir)

@@ -1,0 +1,335 @@
+"""Execute a :class:`~repro.engine.plan.Plan`, serially or across a pool.
+
+Cells are grouped by compile unit (equal benchmark + option
+fingerprint): each group compiles/functionally-executes its benchmark
+once — consulting the :class:`~repro.engine.cache.TraceCache` first —
+then replays the trace on every machine in the group.  With
+``workers > 1`` whole groups are fanned across a
+:class:`~concurrent.futures.ProcessPoolExecutor`; workers return only
+picklable :class:`CellResult` payloads and the parent reassembles them
+in plan order, so the parallel path is bit-identical to the serial one
+(``workers=1``), which runs the exact same group code inline.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from ..benchmarks import suite
+from ..machine.config import MachineConfig
+from ..obs.recorder import Recorder, active_recorder
+from ..obs.stalls import StallBreakdown
+from ..opt.options import CompilerOptions
+from ..sim.timing import simulate
+from .cache import NULL_TRACE_CACHE, TraceCache, trace_key
+from .plan import Plan
+
+
+@dataclass(slots=True)
+class CellResult:
+    """Everything one cell's measurement produced (picklable)."""
+
+    benchmark: str
+    options_label: str
+    machine: str
+    instructions: int
+    checksum_ok: bool
+    minor_cycles: int
+    base_cycles: float
+    parallelism: float
+    #: stall attribution; populated only when the plan was observed
+    stalls: StallBreakdown | None
+    #: wall time of this cell's timing simulation
+    seconds: float
+    #: wall time of the group's compile step (shared across the group)
+    compile_seconds: float
+    #: True when the group's trace came from the on-disk cache
+    compile_cached: bool
+
+    def to_timing(self):
+        """Rebuild the equivalent :class:`~repro.sim.timing.TimingResult`
+        (parallelism/cpi are derived, so nothing is lost in transit)."""
+        from ..sim.timing import TimingResult
+
+        return TimingResult(
+            config_name=self.machine,
+            instructions=self.instructions,
+            minor_cycles=self.minor_cycles,
+            base_cycles=self.base_cycles,
+            stalls=self.stalls,
+        )
+
+
+@dataclass(slots=True)
+class EngineReport:
+    """Execution statistics for one engine run."""
+
+    workers: int
+    cells: int
+    groups: int
+    cache_hits: int
+    cache_misses: int
+    seconds: float
+    compile_seconds: float = 0.0
+    sim_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "cells": self.cells,
+            "groups": self.groups,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "seconds": self.seconds,
+            "compile_seconds": self.compile_seconds,
+            "sim_seconds": self.sim_seconds,
+        }
+
+    def summary(self) -> str:
+        """One-line human rendering for the CLI."""
+        return (
+            f"engine: {self.cells} cells in {self.groups} compile groups, "
+            f"workers={self.workers}, cache {self.cache_hits} hit / "
+            f"{self.cache_misses} miss, {self.seconds:.2f}s wall"
+        )
+
+
+@dataclass(slots=True)
+class EngineResult:
+    """Cell results in plan order plus the engine report."""
+
+    cells: list[CellResult] = field(default_factory=list)
+    report: EngineReport | None = None
+
+
+def _run_group(
+    benchmark: str,
+    options: CompilerOptions,
+    machine_cells: list[tuple[int, MachineConfig, str]],
+    observe: bool,
+    cache: TraceCache,
+) -> tuple[list[tuple[int, CellResult]], bool]:
+    """Compile one group's benchmark and measure every machine in it.
+
+    ``machine_cells`` carries ``(plan_index, machine, options_label)``
+    triples; the plan index rides along so the caller can reassemble
+    results in plan order regardless of completion order.
+    """
+    bench = suite.get(benchmark)
+    start = time.perf_counter()
+    # In-process memo first (free), then the on-disk cache, then compile.
+    result = suite.cached_run(bench, options)
+    if result is None and cache.enabled:
+        result = cache.load(trace_key(bench.source(), options))
+        if result is not None:
+            # Share the cached run with in-process callers (exhibits, etc.).
+            suite.seed_run(bench, options, result)
+    cached = result is not None
+    if result is None:
+        result = suite.run_benchmark(bench, options)
+        if cache.enabled:
+            cache.store(trace_key(bench.source(), options), result)
+    compile_seconds = time.perf_counter() - start
+    checksum_ok = abs(result.value - bench.reference()) <= bench.fp_tolerance
+
+    out: list[tuple[int, CellResult]] = []
+    for index, machine, label in machine_cells:
+        t0 = time.perf_counter()
+        timing = simulate(result.trace, machine, observe=observe)
+        out.append((index, CellResult(
+            benchmark=benchmark,
+            options_label=label,
+            machine=machine.name,
+            instructions=result.instructions,
+            checksum_ok=checksum_ok,
+            minor_cycles=timing.minor_cycles,
+            base_cycles=timing.base_cycles,
+            parallelism=timing.parallelism,
+            stalls=timing.stalls,
+            seconds=time.perf_counter() - t0,
+            compile_seconds=compile_seconds,
+            compile_cached=cached,
+        )))
+    return out, cached
+
+
+def _run_group_task(payload: tuple) -> tuple[list[tuple[int, "CellResult"]], bool]:
+    """Pool entry point: rebuild the cache handle and run one group."""
+    benchmark, options, machine_cells, observe, cache_root = payload
+    cache = TraceCache(cache_root) if cache_root else NULL_TRACE_CACHE
+    return _run_group(benchmark, options, machine_cells, observe, cache)
+
+
+def _prime_one(
+    benchmark: str, options: CompilerOptions, cache: TraceCache
+):
+    """Compile/run one benchmark through the cache; returns (run, hit?)."""
+    bench = suite.get(benchmark)
+    result = suite.cached_run(bench, options)
+    if result is None and cache.enabled:
+        result = cache.load(trace_key(bench.source(), options))
+        if result is not None:
+            suite.seed_run(bench, options, result)
+    cached = result is not None
+    if result is None:
+        result = suite.run_benchmark(bench, options)
+        if cache.enabled:
+            cache.store(trace_key(bench.source(), options), result)
+    return result, cached
+
+
+def _prime_task(payload: tuple):
+    """Pool entry point for :func:`prime_runs`."""
+    index, benchmark, options, cache_root = payload
+    cache = TraceCache(cache_root) if cache_root else NULL_TRACE_CACHE
+    result, cached = _prime_one(benchmark, options, cache)
+    return index, result, cached
+
+
+def prime_runs(
+    jobs: list[tuple[str, CompilerOptions]],
+    *,
+    workers: int = 1,
+    cache: TraceCache | None = None,
+) -> EngineReport:
+    """Warm the in-process run memo for a set of compilations.
+
+    ``jobs`` is a list of (benchmark name, options) compile units;
+    duplicates (by option fingerprint) collapse to one compile.  With
+    ``workers>1`` compiles fan across a process pool and the resulting
+    runs — traces included — are shipped back and seeded into
+    :mod:`repro.benchmarks.suite`'s memo, so subsequent inline code
+    (e.g. the exhibit drivers) never recompiles.  The disk cache, when
+    given, is populated as a side effect and serves later runs.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    disk_cache = cache if cache is not None else NULL_TRACE_CACHE
+    unique: dict[tuple, tuple[str, CompilerOptions]] = {}
+    for benchmark, options in jobs:
+        unique.setdefault((benchmark, options.fingerprint()),
+                          (benchmark, options))
+    work = list(unique.values())
+    start = time.perf_counter()
+    hits = misses = 0
+
+    if workers == 1 or len(work) <= 1:
+        for benchmark, options in work:
+            _, cached = _prime_one(benchmark, options, disk_cache)
+            hits, misses = hits + cached, misses + (not cached)
+    else:
+        cache_root = disk_cache.root if disk_cache.enabled else ""
+        payloads = [(i, b, o, cache_root)
+                    for i, (b, o) in enumerate(work)]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for index, result, cached in pool.map(_prime_task, payloads):
+                benchmark, options = work[index]
+                suite.seed_run(suite.get(benchmark), options, result)
+                hits, misses = hits + cached, misses + (not cached)
+
+    seconds = time.perf_counter() - start
+    return EngineReport(
+        workers=workers,
+        cells=0,
+        groups=len(work),
+        cache_hits=hits,
+        cache_misses=misses,
+        seconds=seconds,
+        compile_seconds=seconds,
+    )
+
+
+def execute(
+    plan: Plan,
+    *,
+    workers: int = 1,
+    cache: TraceCache | None = None,
+    recorder: Recorder | None = None,
+) -> EngineResult:
+    """Execute every cell of ``plan`` and return results in plan order.
+
+    ``workers=1`` runs the groups inline (the serial fallback);
+    ``workers>1`` fans them across a process pool.  ``cache`` (a
+    :class:`~repro.engine.cache.TraceCache`, or ``None`` for no disk
+    cache) is consulted before every compile and populated after every
+    miss, in the parent and in every worker alike.
+
+    ``recorder`` receives one ``cell`` event per cell (in plan order)
+    and a closing ``engine`` summary event.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    rec = active_recorder(recorder)
+    disk_cache = cache if cache is not None else NULL_TRACE_CACHE
+    groups = plan.compile_groups()
+    start = time.perf_counter()
+    slots: list[CellResult | None] = [None] * len(plan.cells)
+    hits = misses = 0
+    compile_seconds = 0.0
+
+    def _install(done: list[tuple[int, CellResult]], cached: bool) -> None:
+        nonlocal hits, misses, compile_seconds
+        for index, cell_result in done:
+            slots[index] = cell_result
+        if done:
+            compile_seconds += done[0][1].compile_seconds
+        if cached:
+            hits += 1
+        else:
+            misses += 1
+
+    group_args = [
+        (
+            plan.cells[indices[0]].benchmark,
+            plan.cells[indices[0]].options,
+            [(i, plan.cells[i].machine, plan.cells[i].options_label)
+             for i in indices],
+            plan.observe,
+        )
+        for indices in groups.values()
+    ]
+
+    if workers == 1 or len(group_args) <= 1:
+        for benchmark, options, machine_cells, observe in group_args:
+            _install(*_run_group(
+                benchmark, options, machine_cells, observe, disk_cache
+            ))
+    else:
+        cache_root = disk_cache.root if disk_cache.enabled else ""
+        payloads = [args + (cache_root,) for args in group_args]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {pool.submit(_run_group_task, p) for p in payloads}
+            while pending:
+                finished, pending = wait(pending,
+                                         return_when=FIRST_COMPLETED)
+                for future in finished:
+                    _install(*future.result())
+
+    cells = [c for c in slots if c is not None]
+    assert len(cells) == len(plan.cells), "engine lost cell results"
+    seconds = time.perf_counter() - start
+    report = EngineReport(
+        workers=workers,
+        cells=len(cells),
+        groups=len(groups),
+        cache_hits=hits,
+        cache_misses=misses,
+        seconds=seconds,
+        compile_seconds=compile_seconds,
+        sim_seconds=sum(c.seconds for c in cells),
+    )
+    if rec.enabled:
+        for c in cells:
+            rec.emit(
+                "cell",
+                benchmark=c.benchmark,
+                machine=c.machine,
+                options=c.options_label,
+                seconds=c.seconds,
+                cached=c.compile_cached,
+            )
+            rec.incr("engine.cells")
+        rec.emit("engine", **report.as_dict())
+    return EngineResult(cells=cells, report=report)

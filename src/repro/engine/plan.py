@@ -1,0 +1,95 @@
+"""Work plans: the grid of measurements an engine run executes.
+
+A :class:`Plan` is an ordered tuple of :class:`Cell`\\ s, each one
+(benchmark, CompilerOptions, MachineConfig) measurement.  Options are
+resolved to concrete :class:`~repro.opt.options.CompilerOptions` at plan
+build time (benchmark default overrides applied), so cells sharing a
+compile unit have equal option fingerprints and the engine can group
+them onto one compilation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..benchmarks import suite
+from ..benchmarks.suite import Benchmark
+from ..machine.config import MachineConfig
+from ..machine.presets import resolve as resolve_machine
+from ..opt.options import CompilerOptions
+
+
+@dataclass(frozen=True, slots=True)
+class Cell:
+    """One (benchmark, options, machine) measurement to perform."""
+
+    benchmark: str
+    options: CompilerOptions
+    machine: MachineConfig
+    options_label: str = "default"
+
+    def compile_key(self) -> tuple:
+        """Grouping key: cells with equal keys share one compilation."""
+        return (self.benchmark, self.options.fingerprint())
+
+
+@dataclass(frozen=True, slots=True)
+class Plan:
+    """An ordered grid of measurements.
+
+    ``observe=True`` runs every cell's timing simulation with stall
+    attribution (:mod:`repro.obs.stalls`).
+    """
+
+    cells: tuple[Cell, ...]
+    observe: bool = False
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def compile_groups(self) -> dict[tuple, list[int]]:
+        """Cell indices grouped by compile unit, in first-seen order."""
+        groups: dict[tuple, list[int]] = {}
+        for i, cell in enumerate(self.cells):
+            groups.setdefault(cell.compile_key(), []).append(i)
+        return groups
+
+
+def plan_sweep(
+    benchmarks: Iterable[Benchmark | str],
+    machines: Sequence[MachineConfig | str],
+    *,
+    options: CompilerOptions | None = None,
+    options_label: str = "default",
+    schedule_for_target: bool = False,
+    observe: bool = False,
+) -> Plan:
+    """Build the plan for a benchmarks-by-machines sweep.
+
+    Mirrors :func:`repro.analysis.sweep.sweep`'s semantics: with
+    ``schedule_for_target`` each cell recompiles scheduled for the
+    machine it is measured on (the paper's methodology, exclusive with
+    ``options``); otherwise one trace per benchmark is shared across
+    machines.  Machines may be given as preset names
+    (see :func:`repro.machine.presets.resolve`).
+    """
+    if schedule_for_target and options is not None:
+        raise ValueError("options and schedule_for_target are exclusive")
+    configs = [resolve_machine(m) for m in machines]
+    cells: list[Cell] = []
+    for bench in benchmarks:
+        if isinstance(bench, str):
+            bench = suite.get(bench)
+        for config in configs:
+            if schedule_for_target:
+                opts = suite.default_options(bench, schedule_for=config)
+            else:
+                opts = options or suite.default_options(bench)
+            cells.append(Cell(
+                benchmark=bench.name,
+                options=opts,
+                machine=config,
+                options_label=options_label,
+            ))
+    return Plan(cells=tuple(cells), observe=observe)

@@ -15,6 +15,9 @@ from .presets import (
     cray1,
     ideal_superscalar,
     multititan,
+    paper_machines,
+    preset_names,
+    resolve,
     superpipelined,
     superpipelined_superscalar,
     superscalar_with_class_conflicts,
@@ -36,7 +39,10 @@ __all__ = [
     "ideal_superscalar",
     "machine_degree",
     "multititan",
+    "paper_machines",
+    "preset_names",
     "required_parallelism",
+    "resolve",
     "superpipelined",
     "superpipelined_superscalar",
     "superscalar_with_class_conflicts",

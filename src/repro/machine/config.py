@@ -18,7 +18,7 @@ all results are reported in.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from types import MappingProxyType
 from typing import Iterable, Mapping
 
@@ -135,6 +135,47 @@ class MachineConfig:
         # Freeze the latency table so configs are safely shareable.
         object.__setattr__(
             self, "latencies", MappingProxyType(dict(self.latencies))
+        )
+
+    # The frozen latency table is a mappingproxy, which pickle refuses;
+    # round-trip it through a plain dict so configs can cross process
+    # boundaries (the execution engine ships them to pool workers).
+    def __getstate__(self) -> dict:
+        state = {f.name: getattr(self, f.name) for f in fields(self)}
+        state["latencies"] = dict(self.latencies)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        object.__setattr__(
+            self, "latencies", MappingProxyType(dict(state["latencies"]))
+        )
+
+    def fingerprint(self) -> tuple:
+        """Canonical value covering *every* field that can change timing
+        or scheduling behaviour.
+
+        This is the machine component of the compile-cache key: the
+        in-process memo in :mod:`repro.benchmarks.suite` and the
+        engine's content-addressed on-disk cache both derive their keys
+        from it, so the two can never disagree about what makes two
+        configurations equivalent.
+        """
+        return (
+            self.name,
+            self.issue_width,
+            self.superpipeline_degree,
+            self.cycle_scale,
+            self.branch_policy,
+            tuple(sorted(
+                (klass.value, lat) for klass, lat in self.latencies.items()
+            )),
+            tuple(
+                (u.name, tuple(sorted(k.value for k in u.classes)),
+                 u.issue_latency, u.multiplicity)
+                for u in self.units
+            ),
         )
 
     @property

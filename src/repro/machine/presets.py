@@ -137,6 +137,90 @@ def cray1(issue_width: int = 1) -> MachineConfig:
     )
 
 
+# --------------------------------------------------------------- name resolver
+#: Parameter-free presets addressable by name.
+_FIXED_PRESETS = {
+    "base": base_machine,
+    "multititan": multititan,
+    "cray1": cray1,
+    "underpipelined-cycle2": underpipelined_slow_cycle,
+    "underpipelined-issue2": underpipelined_half_issue,
+}
+
+#: Parametric presets: name -> (factory, arity).  Degree arguments follow
+#: a ``:`` (``superscalar:4``); two-argument presets take ``:NxM``.
+_PARAMETRIC_PRESETS = {
+    "superscalar": (ideal_superscalar, 1),
+    "ideal-superscalar": (ideal_superscalar, 1),
+    "superpipelined": (superpipelined, 1),
+    "superpipelined-superscalar": (superpipelined_superscalar, 2),
+}
+
+
+def preset_names() -> list[str]:
+    """Every spec form :func:`resolve` accepts, for help/error text."""
+    return sorted(_FIXED_PRESETS) + [
+        name + (":N" if arity == 1 else ":NxM")
+        for name, (_, arity) in sorted(_PARAMETRIC_PRESETS.items())
+        if name != "ideal-superscalar"
+    ]
+
+
+def resolve(spec: "MachineConfig | str") -> MachineConfig:
+    """Resolve a machine spec — a :class:`MachineConfig` passes through,
+    a string names a preset.
+
+    String forms (case-insensitive; ``_`` and ``-`` interchangeable):
+
+    * fixed presets: ``base``, ``multititan``, ``cray1``,
+      ``underpipelined-cycle2``, ``underpipelined-issue2``;
+    * parametric, degree after ``:`` or a trailing ``-``:
+      ``superscalar:4`` (alias ``ideal_superscalar:4``),
+      ``superpipelined:4``, ``superpipelined-superscalar:3x2``.
+
+    This is the one place machine names are parsed; every CLI command
+    and the :mod:`repro.api` facade funnel through it.
+    """
+    if isinstance(spec, MachineConfig):
+        return spec
+    text = spec.strip().lower().replace("_", "-")
+    name, _, arg = text.partition(":")
+    if not arg and "-" in name:
+        # accept "superscalar-4" as a synonym of "superscalar:4"
+        head, _, tail = name.rpartition("-")
+        if tail.isdigit() and head in _PARAMETRIC_PRESETS:
+            name, arg = head, tail
+    if not arg and name in _FIXED_PRESETS:
+        return _FIXED_PRESETS[name]()
+    if name in _PARAMETRIC_PRESETS:
+        factory, arity = _PARAMETRIC_PRESETS[name]
+        parts = [p for p in arg.replace("x", ",").split(",") if p]
+        if len(parts) == arity and all(p.isdigit() for p in parts):
+            return factory(*(int(p) for p in parts))
+        raise ValueError(
+            f"machine spec {spec!r}: {name!r} needs "
+            f"{'a degree' if arity == 1 else 'degrees N x M'} "
+            f"(e.g. {name}:{'4' if arity == 1 else '3x2'})"
+        )
+    raise ValueError(
+        f"unknown machine spec {spec!r}; known presets: "
+        + ", ".join(preset_names())
+    )
+
+
+def paper_machines() -> list[MachineConfig]:
+    """The seven standard machines the paper's results sweep over."""
+    return [
+        base_machine(),
+        ideal_superscalar(2),
+        ideal_superscalar(4),
+        ideal_superscalar(8),
+        superpipelined(4),
+        multititan(),
+        cray1(),
+    ]
+
+
 def superscalar_with_class_conflicts(n: int, n_mem_units: int = 1) -> MachineConfig:
     """Degree-``n`` superscalar where only some units were duplicated.
 

@@ -38,6 +38,9 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
                "base_cycles", "parallelism", "cpi"),
     "sweep_row": ("benchmark", "machine", "options", "instructions",
                   "base_cycles", "parallelism"),
+    "cell": ("benchmark", "machine", "options", "seconds", "cached"),
+    "engine": ("workers", "cells", "groups", "cache_hits",
+               "cache_misses", "seconds"),
     "exhibit": ("ident", "title", "seconds"),
     "run_end": ("seconds", "counters"),
 }

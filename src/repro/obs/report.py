@@ -16,13 +16,7 @@ from dataclasses import dataclass
 
 from ..analysis.tables import format_table
 from ..machine.config import MachineConfig
-from ..machine.presets import (
-    base_machine,
-    cray1,
-    ideal_superscalar,
-    multititan,
-    superpipelined,
-)
+from ..machine.presets import paper_machines
 from ..opt.options import CompilerOptions
 from ..sim.timing import TimingResult, simulate
 from .profile import CompileProfile
@@ -39,16 +33,9 @@ _PROFILE_HEADERS = ["pass", "ms", "instrs in", "instrs out", "delta",
 
 
 def default_report_machines() -> list[MachineConfig]:
-    """The standard machine set a run report measures against."""
-    return [
-        base_machine(),
-        ideal_superscalar(2),
-        ideal_superscalar(4),
-        ideal_superscalar(8),
-        superpipelined(4),
-        multititan(),
-        cray1(),
-    ]
+    """The standard machine set a run report measures against (the
+    paper's seven machines, shared with :mod:`repro.machine.presets`)."""
+    return paper_machines()
 
 
 def stall_row(timing: TimingResult) -> list[object]:
@@ -194,17 +181,43 @@ def observe_benchmark(
     )
 
 
+def _observe_task(payload: tuple) -> "BenchmarkReport":
+    """Pool entry point: observe one benchmark without a recorder.
+
+    Compile profiling measures real wall time, so reports always compile
+    fresh (no trace cache); the worker returns the picklable
+    :class:`BenchmarkReport` and the parent re-emits its events.
+    """
+    bench_name, machines = payload
+    return observe_benchmark(bench_name, machines)
+
+
+def _emit_benchmark_events(rec: Recorder, report: "BenchmarkReport") -> None:
+    """Re-emit one worker-produced benchmark report as recorder events,
+    mirroring what :func:`observe_benchmark` emits when run inline."""
+    emit_compile_events(rec, report.benchmark, report.profile)
+    for timing in report.timings:
+        rec.emit("timing", benchmark=report.benchmark, **timing.as_dict())
+        rec.incr("timings")
+    rec.incr("benchmarks")
+
+
 def build_suite_report(
     benchmarks: list | None = None,
     machines: list[MachineConfig] | None = None,
     recorder: Recorder | None = None,
     run_id: str = "suite",
+    workers: int = 1,
 ) -> RunReport:
     """Observe the whole suite (or a subset) and return the run report.
 
     All events stream through ``recorder`` as the run progresses, so a
     :class:`~repro.obs.recorder.JsonlRecorder` yields a complete JSONL
-    report even if rendering is never requested.
+    report even if rendering is never requested.  With ``workers>1``
+    benchmarks are observed in parallel processes; workers return
+    picklable :class:`BenchmarkReport` payloads and the parent emits
+    their events in suite order, so the JSONL content matches the serial
+    run.
     """
     from ..benchmarks import suite
 
@@ -216,9 +229,21 @@ def build_suite_report(
              machines=[c.name for c in configs],
              stall_causes=list(STALL_CAUSES))
     start = time.perf_counter()
-    reports = [
-        observe_benchmark(bench, configs, recorder=rec) for bench in benchs
-    ]
+    if workers <= 1 or len(benchs) <= 1:
+        reports = [
+            observe_benchmark(bench, configs, recorder=rec)
+            for bench in benchs
+        ]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        names = [b if isinstance(b, str) else b.name for b in benchs]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            reports = list(pool.map(
+                _observe_task, [(name, configs) for name in names]
+            ))
+        for report in reports:
+            _emit_benchmark_events(rec, report)
     seconds = time.perf_counter() - start
     rec.emit("run_end", seconds=seconds, counters=dict(rec.counters))
     return RunReport(run_id=run_id, seconds=seconds, benchmarks=reports)

@@ -84,6 +84,28 @@ class CompilerOptions:
                 f"unknown scheduling heuristic {self.sched_heuristic!r}"
             )
 
+    def fingerprint(self) -> tuple:
+        """Canonical value covering every knob that can change the
+        compiled program or its schedule.
+
+        The benchmark suite's in-process memo and the execution engine's
+        on-disk trace cache both key on this one tuple (plus the source
+        text), so the two caches can never disagree: any option field
+        that affects compilation must be added *here* and nowhere else.
+        ``alias`` folds to :attr:`alias_level` because that is the
+        effective setting the scheduler sees.
+        """
+        return (
+            int(self.opt_level),
+            self.regfile.n_temp,
+            self.regfile.n_home,
+            self.unroll,
+            self.careful,
+            int(self.alias_level),
+            self.sched_heuristic,
+            self.schedule_for.fingerprint(),
+        )
+
     @property
     def alias_level(self) -> AliasLevel:
         """Effective alias level: explicit setting, else careful => AFFINE."""
