@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Benchmark the simulator: interpreter and timing-replay throughput.
+
+Measures, on a benchmarks x machines grid:
+
+1. ``interp``  — functional interpreter throughput (trace recording),
+2. ``direct``  — timing replay with memoization disabled: the
+   per-instruction reference path, equivalent to the pre-memoization
+   simulator (every dynamic instruction re-walked per machine),
+3. ``cold``    — memoized replay from scratch: plan construction plus
+   first-touch memo misses included (fresh ``ReplayCore`` per cell,
+   plans reset beforehand), i.e. what a first ``simulate()`` costs,
+4. ``warm``    — memoized replay in the steady state: a second
+   ``ReplayCore.run()`` on already-populated memo tables, i.e. what
+   every later replay of the same trace costs.
+
+Each mode reports dynamic instructions per second; the headline number
+is ``speedup.cold_vs_direct`` — the end-to-end grid speedup of the
+memoized path over the per-instruction path.  With ``--check`` the
+memoized grid is additionally verified bit-identical (minor cycles and
+full stall breakdowns) against the direct path before timing.
+
+Results go to ``BENCH_sim.json`` (see ``--output``).  CI runs a
+reduced grid and archives the JSON as an artifact.
+
+Usage::
+
+    python scripts/bench_sim.py [--benchmarks a,b,...]
+        [--machines spec ...] [--output PATH] [--repeat K] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(
+    0,
+    os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    ),
+)
+
+DEFAULT_BENCHMARKS = "ccom,grr,linpack,livermore,met,stanford,whet,yacc"
+DEFAULT_MACHINES = ["base", "superscalar:2", "superscalar:4",
+                    "superscalar:8", "superpipelined:4", "multititan",
+                    "cray1"]
+
+
+def _best(fn, repeat: int) -> float:
+    best = None
+    for _ in range(max(1, repeat)):
+        seconds = fn()
+        if best is None or seconds < best:
+            best = seconds
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--benchmarks", default=DEFAULT_BENCHMARKS,
+                        help="comma-separated benchmark names")
+    parser.add_argument("--machines", nargs="+", default=DEFAULT_MACHINES,
+                        help="machine preset specs")
+    parser.add_argument("--output", default="BENCH_sim.json")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="repetitions per mode (best is kept)")
+    parser.add_argument("--check", action="store_true",
+                        help="verify memoized == direct before timing")
+    args = parser.parse_args(argv)
+
+    from repro.benchmarks import suite
+    from repro.machine.presets import resolve
+    from repro.opt.driver import compile_source
+    from repro.sim import interp
+    from repro.sim.replay import ReplayCore
+    from repro.sim.timing import simulate
+
+    names = [b for b in args.benchmarks.replace(",", " ").split() if b]
+    benchs = [suite.get(name) for name in names]
+    machines = [resolve(spec) for spec in args.machines]
+
+    programs = [
+        compile_source(b.source(), suite.default_options(b)) for b in benchs
+    ]
+
+    # --- interpreter throughput (functional execution + trace recording)
+    def interp_pass() -> float:
+        start = time.perf_counter()
+        for program in programs:
+            interp.run(program)
+        return time.perf_counter() - start
+
+    interp_seconds = _best(interp_pass, args.repeat)
+    runs = [interp.run(program) for program in programs]
+    traces = [r.trace for r in runs]
+    total_instr = sum(r.instructions for r in runs)
+    grid_instr = total_instr * len(machines)
+
+    if args.check:
+        for name, trace in zip(names, traces):
+            for machine in machines:
+                memo = simulate(trace, machine, observe=True)
+                ref = simulate(trace, machine, observe=True, memoize=False)
+                if (memo.minor_cycles != ref.minor_cycles
+                        or memo.stalls != ref.stalls):
+                    print(f"FAIL: {name} on {machine.name}: memoized "
+                          f"replay differs from direct", file=sys.stderr)
+                    return 1
+        print(f"check: memoized == direct on all "
+              f"{len(names) * len(machines)} cells")
+
+    # --- direct (per-instruction) timing replay: the pre-memo reference
+    def direct_pass() -> float:
+        start = time.perf_counter()
+        for trace in traces:
+            for machine in machines:
+                simulate(trace, machine, memoize=False)
+        return time.perf_counter() - start
+
+    direct_seconds = _best(direct_pass, args.repeat)
+
+    # --- memoized, cold: plan build + first-touch misses included
+    # (the static-table skeleton is cleared too, so the direct mode above
+    # keeps it warm while cold honestly pays for everything derived)
+    def cold_pass() -> float:
+        for trace in traces:
+            trace._plan = None
+            trace._skel = None
+        start = time.perf_counter()
+        for trace in traces:
+            for machine in machines:
+                simulate(trace, machine)
+        return time.perf_counter() - start
+
+    cold_seconds = _best(cold_pass, args.repeat)
+
+    # --- memoized, warm: steady-state replay on populated memo tables
+    cores = [
+        (trace, [ReplayCore(trace, machine) for machine in machines])
+        for trace in traces
+    ]
+    for _, machine_cores in cores:
+        for core in machine_cores:
+            core.run()
+
+    def warm_pass() -> float:
+        start = time.perf_counter()
+        for _, machine_cores in cores:
+            for core in machine_cores:
+                core.run()
+        return time.perf_counter() - start
+
+    warm_seconds = _best(warm_pass, args.repeat)
+
+    modes = {
+        "interp": (interp_seconds, total_instr),
+        "direct": (direct_seconds, grid_instr),
+        "cold": (cold_seconds, grid_instr),
+        "warm": (warm_seconds, grid_instr),
+    }
+    for label, (seconds, instructions) in modes.items():
+        print(f"{label:7s} {seconds:7.3f}s  "
+              f"{instructions / seconds / 1e6:8.2f} M instr/s")
+
+    document = {
+        "grid": {"benchmarks": names, "machines": args.machines,
+                 "cells": len(names) * len(machines),
+                 "dynamic_instructions": total_instr,
+                 "grid_instructions": grid_instr},
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "repeat": args.repeat,
+        "modes": {
+            label: {
+                "seconds": round(seconds, 4),
+                "instructions": instructions,
+                "instr_per_sec": round(instructions / seconds),
+            }
+            for label, (seconds, instructions) in modes.items()
+        },
+        "speedup": {
+            "cold_vs_direct": round(direct_seconds / cold_seconds, 3),
+            "warm_vs_direct": round(direct_seconds / warm_seconds, 3),
+        },
+    }
+    parent = os.path.dirname(args.output)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}: memoized replay "
+          f"{document['speedup']['cold_vs_direct']}x cold / "
+          f"{document['speedup']['warm_vs_direct']}x warm "
+          f"vs per-instruction path")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,7 +13,10 @@ Checks, per file:
 * every ``timing``/``sweep_row`` event with a ``stalls`` payload obeys
   the conservation law: the per-cause stall cycles plus ``issued_cycles``
   reconstruct ``minor_cycles`` exactly, and the per-class roll-up sums
-  back to the per-cause totals.
+  back to the per-cause totals;
+* every event with a ``replay`` payload (replay-memo counters) carries
+  non-negative integer counters and obeys its own conservation law:
+  ``memo_instructions + direct_instructions == instructions``.
 
 Deliberately stdlib-only so CI can run it without installing the
 package; ``tests/test_obs_report.py`` pins this copy of the schema
@@ -61,12 +64,45 @@ _NUMERIC_FIELDS: dict[str, tuple[tuple[type, ...], bool]] = {
     "groups": ((int,), False),
     "cache_hits": ((int,), False),
     "cache_misses": ((int,), False),
+    # engine replay-memo roll-ups
+    "memo_hits": ((int,), False),
+    "memo_misses": ((int,), False),
+    "memo_fallbacks": ((int,), False),
+    "memo_instructions": ((int,), False),
+    "direct_instructions": ((int,), False),
     # compile_pass size fields use -1 for "not applicable"
     "instrs_before": ((int,), True),
     "instrs_after": ((int,), True),
     "blocks_before": ((int,), True),
     "blocks_after": ((int,), True),
 }
+
+#: replay payload counters (all required, all non-negative ints)
+_REPLAY_FIELDS = ("blocks", "memo_hits", "memo_misses", "fallbacks",
+                  "memo_instructions", "direct_instructions")
+
+
+def check_replay(replay: object, record: dict) -> list[str]:
+    """Validate one replay-memo payload; returns error strings."""
+    if not isinstance(replay, dict):
+        return [f"replay must be an object, got {type(replay).__name__}"]
+    errors = []
+    for name in _REPLAY_FIELDS:
+        value = replay.get(name)
+        if isinstance(value, bool) or not isinstance(value, int) \
+                or value < 0:
+            errors.append(f"replay.{name} must be a non-negative int")
+    if errors:
+        return errors
+    instructions = record.get("instructions")
+    if isinstance(instructions, int):
+        total = replay["memo_instructions"] + replay["direct_instructions"]
+        if total != instructions:
+            errors.append(
+                f"replay conservation violated: memoized+direct == "
+                f"{total}, instructions == {instructions}"
+            )
+    return errors
 
 
 def check_stalls(stalls: object, record: dict) -> list[str]:
@@ -132,6 +168,8 @@ def check_event(record: dict) -> list[str]:
         )
     if "stalls" in record:
         errors.extend(check_stalls(record["stalls"], record))
+    if "replay" in record and record["replay"] is not None:
+        errors.extend(check_replay(record["replay"], record))
     return errors
 
 

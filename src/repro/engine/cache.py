@@ -30,11 +30,15 @@ import tempfile
 from dataclasses import dataclass
 
 from .. import __version__
+from ..errors import TraceError
 from ..opt.options import CompilerOptions
 from ..sim.interp import RunResult
+from ..sim.trace import Trace
 
 #: Bump when the pickled payload layout changes incompatibly.
-_FORMAT = "trace-v1"
+#: v2: run-length encoded traces with a flat memory-address side array
+#: (see :mod:`repro.sim.trace`).
+_FORMAT = "trace-v2"
 
 #: Default cache directory (relative to the working directory).
 DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
@@ -89,7 +93,7 @@ class TraceCache:
             self.stats.misses += 1
             return None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
+                ImportError, IndexError, TypeError, ValueError, KeyError):
             # Corrupt or stale entry: drop it and recompile.
             try:
                 os.remove(path)
@@ -97,7 +101,25 @@ class TraceCache:
                 pass
             self.stats.misses += 1
             return None
-        if not isinstance(result, RunResult):
+        # A payload that unpickles but is not structurally a valid run
+        # (wrong type, or a trace whose v2 invariants do not hold —
+        # e.g. an entry written by a different layout that happens to
+        # unpickle) is dropped the same way, never handed to the
+        # timing model.
+        ok = (
+            isinstance(result, RunResult)
+            and isinstance(result.trace, Trace)
+        )
+        if ok:
+            try:
+                result.trace.validate()
+            except TraceError:
+                ok = False
+        if not ok:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
             self.stats.misses += 1
             return None
         self.stats.hits += 1

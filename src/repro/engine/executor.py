@@ -47,6 +47,9 @@ class CellResult:
     compile_seconds: float
     #: True when the group's trace came from the on-disk cache
     compile_cached: bool
+    #: replay-memo counters from the timing simulation
+    #: (:meth:`~repro.sim.replay.ReplayStats.as_dict`), when available
+    replay: dict | None = None
 
     def to_timing(self):
         """Rebuild the equivalent :class:`~repro.sim.timing.TimingResult`
@@ -74,6 +77,13 @@ class EngineReport:
     seconds: float
     compile_seconds: float = 0.0
     sim_seconds: float = 0.0
+    #: replay-memo counters summed over every cell's timing simulation
+    memo_hits: int = 0
+    memo_misses: int = 0
+    memo_fallbacks: int = 0
+    #: dynamic instructions advanced via memo hits vs replayed directly
+    memo_instructions: int = 0
+    direct_instructions: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -85,15 +95,30 @@ class EngineReport:
             "seconds": self.seconds,
             "compile_seconds": self.compile_seconds,
             "sim_seconds": self.sim_seconds,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "memo_fallbacks": self.memo_fallbacks,
+            "memo_instructions": self.memo_instructions,
+            "direct_instructions": self.direct_instructions,
         }
 
     def summary(self) -> str:
         """One-line human rendering for the CLI."""
-        return (
+        text = (
             f"engine: {self.cells} cells in {self.groups} compile groups, "
             f"workers={self.workers}, cache {self.cache_hits} hit / "
             f"{self.cache_misses} miss, {self.seconds:.2f}s wall"
         )
+        total = self.memo_instructions + self.direct_instructions
+        if total:
+            text += (
+                f" | replay memo {self.memo_hits} hit / "
+                f"{self.memo_misses} miss / "
+                f"{self.memo_fallbacks} fallback, "
+                f"{self.memo_instructions / total:.0%} of instructions "
+                f"memoized"
+            )
+        return text
 
 
 @dataclass(slots=True)
@@ -151,6 +176,8 @@ def _run_group(
             seconds=time.perf_counter() - t0,
             compile_seconds=compile_seconds,
             compile_cached=cached,
+            replay=(timing.replay.as_dict()
+                    if timing.replay is not None else None),
         )))
     return out, cached
 
@@ -320,16 +347,27 @@ def execute(
         compile_seconds=compile_seconds,
         sim_seconds=sum(c.seconds for c in cells),
     )
+    for c in cells:
+        if c.replay:
+            report.memo_hits += c.replay.get("memo_hits", 0)
+            report.memo_misses += c.replay.get("memo_misses", 0)
+            report.memo_fallbacks += c.replay.get("fallbacks", 0)
+            report.memo_instructions += c.replay.get(
+                "memo_instructions", 0)
+            report.direct_instructions += c.replay.get(
+                "direct_instructions", 0)
     if rec.enabled:
         for c in cells:
-            rec.emit(
-                "cell",
-                benchmark=c.benchmark,
-                machine=c.machine,
-                options=c.options_label,
-                seconds=c.seconds,
-                cached=c.compile_cached,
-            )
+            event = {
+                "benchmark": c.benchmark,
+                "machine": c.machine,
+                "options": c.options_label,
+                "seconds": c.seconds,
+                "cached": c.compile_cached,
+            }
+            if c.replay is not None:
+                event["replay"] = c.replay
+            rec.emit("cell", **event)
             rec.incr("engine.cells")
         rec.emit("engine", **report.as_dict())
     return EngineResult(cells=cells, report=report)

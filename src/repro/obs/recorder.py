@@ -30,6 +30,10 @@ SCHEMA_VERSION = 1
 
 #: event name -> fields that must be present (value may be any JSON type;
 #: the validator additionally type-checks the common numeric fields).
+#: ``timing`` and ``cell`` events may carry an optional ``replay``
+#: payload (replay-memo counters, see
+#: :class:`repro.sim.replay.ReplayStats`), and ``engine`` events the
+#: corresponding ``memo_*`` roll-ups; the validator checks both.
 EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "run_start": ("schema", "run_id"),
     "compile_pass": ("benchmark", "pass", "seconds"),

@@ -99,7 +99,34 @@ class BenchmarkReport:
         parts.append(render_stall_table(
             self.timings, title="stall attribution (minor cycles)"
         ))
+        memo_line = self.replay_summary()
+        if memo_line:
+            parts.append(memo_line)
         return "\n\n".join(parts)
+
+    def replay_summary(self) -> str:
+        """One-line replay-memo roll-up over this benchmark's timings
+        (empty when no timing carried replay statistics)."""
+        hits = misses = fallbacks = memoized = total = 0
+        seen = False
+        for t in self.timings:
+            s = t.replay
+            if s is None:
+                continue
+            seen = True
+            hits += s.memo_hits
+            misses += s.memo_misses
+            fallbacks += s.fallbacks
+            memoized += s.memo_instructions
+            total += s.memo_instructions + s.direct_instructions
+        if not seen:
+            return ""
+        frac = memoized / total if total else 0.0
+        return (
+            f"replay memo ({len(self.timings)} machines): "
+            f"{hits} hits / {misses} misses / {fallbacks} fallbacks, "
+            f"{frac:.0%} of instructions memoized"
+        )
 
 
 @dataclass(slots=True)

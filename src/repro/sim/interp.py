@@ -8,11 +8,17 @@ that the timing model replays under different machine configurations.
 The machine state is a flat word-addressed memory (each word holds a Python
 int or float), a register file, and a program counter over the *flattened*
 program (all functions' blocks laid out consecutively).
+
+Trace recording is run-structured (format v2): executor closures append
+only the effective addresses of memory operations; the outer fetch loop
+detects maximal straight-line runs (``next pc == pc + 1``) and records
+one ``(start, length)`` pair per run instead of two list entries per
+dynamic instruction.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import SimulationError
 from ..isa.instruction import Instruction
@@ -84,7 +90,9 @@ def run(
     """Execute ``program`` from its entry stub until ``HALT``.
 
     Raises :class:`SimulationError` on illegal memory accesses, division by
-    zero, or when ``max_instructions`` is exceeded (runaway loop guard).
+    zero, or when ``max_instructions`` is exceeded (runaway loop guard; the
+    guard is checked at run boundaries, so a handful of straight-line
+    instructions may execute past the limit before the error is raised).
     """
     flat = flatten(program)
     instrs = flat.instrs
@@ -108,9 +116,8 @@ def run(
             for i, value in enumerate(g.initial):
                 mem[g.address + i] = value
 
-    trace = Trace(static=instrs)
-    ops = trace.ops
-    addrs = trace.addrs
+    #: One entry per dynamic memory operation, in execution order.
+    mem_addrs: list[int] = []
 
     # Pre-decode every static instruction into an executor closure.
     # Each executor mutates state and returns the next pc.
@@ -123,103 +130,82 @@ def run(
             raise SimulationError(f"instruction {idx} writes register zero")
         srcs = tuple(flat_index(r) for r in ins.srcs)
         imm = ins.imm
-        nxt = idx + 1
         ex = None
 
         if op is Opcode.LW:
             base = srcs[0]
             off = imm
 
-            def ex(pc, i=idx, d=dest, b=base, o=off):
+            def ex(pc, d=dest, b=base, o=off):
                 a = regs[b] + o
                 if a < _GUARD_WORDS or a >= memory_words:
                     raise SimulationError(f"load out of bounds: {a}")
                 regs[d] = mem[a]
-                ops.append(i)
-                addrs.append(a)
+                mem_addrs.append(a)
                 return pc + 1
 
         elif op is Opcode.SW:
             val, base = srcs
             off = imm
 
-            def ex(pc, i=idx, v=val, b=base, o=off):
+            def ex(pc, v=val, b=base, o=off):
                 a = regs[b] + o
                 if a < _GUARD_WORDS or a >= memory_words:
                     raise SimulationError(f"store out of bounds: {a}")
                 mem[a] = regs[v]
-                ops.append(i)
-                addrs.append(a)
+                mem_addrs.append(a)
                 return pc + 1
 
         elif op in (Opcode.LI, Opcode.LIF):
 
-            def ex(pc, i=idx, d=dest, v=imm):
+            def ex(pc, d=dest, v=imm):
                 regs[d] = v
-                ops.append(i)
-                addrs.append(-1)
                 return pc + 1
 
         elif op is Opcode.MOV:
 
-            def ex(pc, i=idx, d=dest, s=srcs[0]):
+            def ex(pc, d=dest, s=srcs[0]):
                 regs[d] = regs[s]
-                ops.append(i)
-                addrs.append(-1)
                 return pc + 1
 
         elif op is Opcode.BEQZ:
             target = label_index[ins.target]
 
-            def ex(pc, i=idx, s=srcs[0], t=target):
-                ops.append(i)
-                addrs.append(-1)
+            def ex(pc, s=srcs[0], t=target):
                 return t if regs[s] == 0 else pc + 1
 
         elif op is Opcode.BNEZ:
             target = label_index[ins.target]
 
-            def ex(pc, i=idx, s=srcs[0], t=target):
-                ops.append(i)
-                addrs.append(-1)
+            def ex(pc, s=srcs[0], t=target):
                 return t if regs[s] != 0 else pc + 1
 
         elif op is Opcode.J:
             target = label_index[ins.target]
 
-            def ex(pc, i=idx, t=target):
-                ops.append(i)
-                addrs.append(-1)
+            def ex(pc, t=target):
                 return t
 
         elif op is Opcode.CALL:
             target = entry_index[ins.target]
 
-            def ex(pc, i=idx, t=target):
+            def ex(pc, t=target):
                 regs[RA_INDEX] = pc + 1
-                ops.append(i)
-                addrs.append(-1)
                 return t
 
         elif op is Opcode.RET:
 
-            def ex(pc, i=idx, s=srcs[0]):
-                ops.append(i)
-                addrs.append(-1)
+            def ex(pc, s=srcs[0]):
                 return regs[s]
 
         elif op is Opcode.HALT:
 
-            def ex(pc, i=idx):
-                ops.append(i)
-                addrs.append(-1)
+            def ex(pc):
                 return -1
 
         elif op is Opcode.NOP:
 
-            def ex(pc, i=idx):
-                ops.append(i)
-                addrs.append(-1)
+            def ex(pc):
                 return pc + 1
 
         else:
@@ -229,28 +215,22 @@ def run(
             if ins.op.info.n_srcs == 2:
                 a_i, b_i = srcs
 
-                def ex(pc, i=idx, d=dest, a=a_i, b=b_i, f=fn):
+                def ex(pc, d=dest, a=a_i, b=b_i, f=fn):
                     regs[d] = f(regs[a], regs[b])
-                    ops.append(i)
-                    addrs.append(-1)
                     return pc + 1
 
             elif ins.op.info.has_imm:
                 a_i = srcs[0]
 
-                def ex(pc, i=idx, d=dest, a=a_i, v=imm, f=fn):
+                def ex(pc, d=dest, a=a_i, v=imm, f=fn):
                     regs[d] = f(regs[a], v)
-                    ops.append(i)
-                    addrs.append(-1)
                     return pc + 1
 
             else:
                 a_i = srcs[0]
 
-                def ex(pc, i=idx, d=dest, a=a_i, f=fn):
+                def ex(pc, d=dest, a=a_i, f=fn):
                     regs[d] = f(regs[a])
-                    ops.append(i)
-                    addrs.append(-1)
                     return pc + 1
 
         executors[idx] = ex
@@ -258,16 +238,37 @@ def run(
     pc = flat.start
     executed = 0
     budget = max_instructions
+    run_starts: list[int] = []
+    run_lengths: list[int] = []
+    run_start = pc
+    run_len = 0
     while pc >= 0:
         if pc >= n_static:
             raise SimulationError(f"pc ran off the end: {pc}")
-        pc = executors[pc](pc)
-        executed += 1
-        if executed > budget:
-            raise SimulationError(
-                f"instruction budget exceeded ({max_instructions})"
-            )
+        nxt = executors[pc](pc)
+        run_len += 1
+        if nxt != pc + 1:
+            # A taken control transfer (or HALT) closes the current
+            # straight-line run.  A run's length is bounded by the static
+            # table, so checking the budget here keeps the guard sound.
+            run_starts.append(run_start)
+            run_lengths.append(run_len)
+            executed += run_len
+            run_start = nxt
+            run_len = 0
+            if executed > budget:
+                raise SimulationError(
+                    f"instruction budget exceeded ({max_instructions})"
+                )
+        pc = nxt
 
+    trace = Trace(
+        static=instrs,
+        run_starts=run_starts,
+        run_lengths=run_lengths,
+        mem_addrs=mem_addrs,
+        n=executed,
+    )
     return RunResult(
         value=regs[RV_INDEX],
         trace=trace,

@@ -20,16 +20,28 @@ Time is counted in minor cycles and converted to base-machine cycles for
 reporting; the *parallelism* (ILP actually exploited) of a run is
 ``dynamic instructions / base cycles``, which is exactly 1.0 on the base
 machine.
+
+All three entry points — :func:`simulate` (fast and ``observe=True``
+stall-attributed) and :func:`issue_schedule` — share the single replay
+loop in :mod:`repro.sim.replay`, which memoizes repeated trace blocks;
+``memoize=False`` forces the direct per-instruction reference path, which
+is bit-identical by construction (and by the property tests).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..isa.opcodes import InstrClass
-from ..isa.registers import flat_index
 from ..machine.config import MachineConfig
 from ..obs.stalls import StallBreakdown
+from .replay import (  # noqa: F401  (re-exported for sim.cache/sim.limits)
+    ReplayCore,
+    ReplayStats,
+    _static_records,
+    _UnitState,
+    replay,
+)
 from .trace import Trace
 
 _CLASS_INDEX = {klass: i for i, klass in enumerate(InstrClass)}
@@ -46,6 +58,9 @@ class TimingResult:
     #: Per-cause stall attribution; only populated by
     #: ``simulate(..., observe=True)`` (None on the fast path).
     stalls: StallBreakdown | None = None
+    #: Replay-memo counters (hits/misses/fallbacks); informational only,
+    #: so two results differing just in replay statistics compare equal.
+    replay: ReplayStats | None = field(default=None, compare=False)
 
     @property
     def parallelism(self) -> float:
@@ -97,64 +112,14 @@ class TimingResult:
         }
         if self.stalls is not None:
             record["stalls"] = self.stalls.as_dict()
+        if self.replay is not None:
+            record["replay"] = self.replay.as_dict()
         return record
 
 
-class _UnitState:
-    """Run-time state of one functional-unit type (all copies)."""
-
-    __slots__ = ("issue_latency", "free")
-
-    def __init__(self, issue_latency: int, multiplicity: int) -> None:
-        self.issue_latency = issue_latency
-        self.free = [0] * multiplicity
-
-
-def _static_records(
-    trace: Trace, config: MachineConfig
-) -> tuple[list[tuple], int]:
-    """Precompute per-static-instruction issue records.
-
-    Each record is ``(src_indices, dest_index, latency, unit, is_load,
-    is_store)`` with ``dest_index = -1`` for no destination and ``unit``
-    either ``None`` (ideal) or the shared :class:`_UnitState`.
-    """
-    unit_for_class: dict[InstrClass, _UnitState] = {}
-    if config.units:
-        for u in config.units:
-            state = _UnitState(u.issue_latency, u.multiplicity)
-            for klass in u.classes:
-                # First unit listed for a class wins; presets do not overlap.
-                unit_for_class.setdefault(klass, state)
-
-    records: list[tuple] = []
-    max_reg = 0
-    for ins in trace.static:
-        info = ins.op.info
-        klass = ins.op.klass
-        srcs = tuple(flat_index(r) for r in ins.srcs)
-        dest = flat_index(ins.dest) if ins.dest is not None else -1
-        for r in srcs:
-            if r > max_reg:
-                max_reg = r
-        if dest > max_reg:
-            max_reg = dest
-        records.append(
-            (
-                srcs,
-                dest,
-                config.latencies[klass],
-                unit_for_class.get(klass),
-                info.is_load,
-                info.is_store,
-                info.is_cond_branch,
-            )
-        )
-    return records, max_reg
-
-
 def simulate(
-    trace: Trace, config: MachineConfig, *, observe: bool = False
+    trace: Trace, config: MachineConfig, *,
+    observe: bool = False, memoize: bool = True,
 ) -> TimingResult:
     """Replay ``trace`` on ``config`` and return cycle counts.
 
@@ -164,253 +129,34 @@ def simulate(
     With ``observe=True`` the replay additionally attributes every minor
     cycle an instruction waited to a stall cause (see
     :mod:`repro.obs.stalls`) and attaches the resulting
-    :class:`~repro.obs.stalls.StallBreakdown` to the result.  The default
-    path is untouched — observability off costs nothing.
+    :class:`~repro.obs.stalls.StallBreakdown` to the result.
+
+    ``memoize=False`` disables block memoization and replays every
+    dynamic instruction directly (the reference path; results are
+    identical either way).
     """
-    if observe:
-        return _simulate_observed(trace, config)
-    records, max_reg = _static_records(trace, config)
-    width = config.issue_width
-
-    reg_ready = [0] * (max_reg + 1)
-    mem_ready: dict[int, int] = {}
-    ops = trace.ops
-    addrs = trace.addrs
-
-    stall_on_branches = config.branch_policy == "stall"
-    branch_floor = 0
-    cur_cycle = 0
-    cur_count = 0
-    last_finish = 0
-
-    for i, si in enumerate(ops):
-        srcs, dest, lat, unit, is_load, is_store, is_cbr = records[si]
-
-        t = cur_cycle
-        if t < branch_floor:
-            t = branch_floor
-        for s in srcs:
-            r = reg_ready[s]
-            if r > t:
-                t = r
-        if is_load:
-            r = mem_ready.get(addrs[i], 0)
-            if r > t:
-                t = r
-
-        # Find the first cycle >= t with an issue slot and a free unit copy.
-        while True:
-            if t == cur_cycle and cur_count >= width:
-                t += 1
-            if unit is not None:
-                free = unit.free
-                best = 0
-                best_time = free[0]
-                for k in range(1, len(free)):
-                    if free[k] < best_time:
-                        best_time = free[k]
-                        best = k
-                if best_time > t:
-                    t = best_time
-                    continue  # re-check the issue-width constraint
-                free[best] = t + unit.issue_latency
-            break
-
-        if t > cur_cycle:
-            cur_cycle = t
-            cur_count = 1
-        else:
-            cur_count += 1
-
-        finish = t + lat
-        if dest >= 0:
-            reg_ready[dest] = finish
-        if is_store:
-            mem_ready[addrs[i]] = finish
-        if stall_on_branches and is_cbr:
-            branch_floor = finish
-        if finish > last_finish:
-            last_finish = finish
-
+    outcome = replay(trace, config, observe=observe, memoize=memoize)
     return TimingResult(
         config_name=config.name,
-        instructions=len(ops),
-        minor_cycles=last_finish,
-        base_cycles=config.minor_to_base(last_finish),
+        instructions=len(trace),
+        minor_cycles=outcome.minor_cycles,
+        base_cycles=config.minor_to_base(outcome.minor_cycles),
+        stalls=outcome.stalls,
+        replay=outcome.stats,
     )
 
 
-def _simulate_observed(trace: Trace, config: MachineConfig) -> TimingResult:
-    """The :func:`simulate` loop with exact stall-cycle attribution.
-
-    For instruction *i* issuing at ``t_i``, the minor cycles in
-    ``[t_{i-1}, t_i)`` are charged to *i*; the intervals tile the issue
-    span ``[0, t_last)`` exactly, so the per-cause totals plus the
-    ``issued_cycles`` remainder always reconstruct ``minor_cycles``
-    (the conservation law asserted by the tests).  Causes are attributed
-    in segment order along the wait: control (branch stall policy), then
-    operand readiness (raw_dep), then memory ordering, then functional
-    unit availability, with the residual — cycles where only the issue
-    width / in-order limit binds — charged to ``issue_width``.
-    """
-    records, max_reg = _static_records(trace, config)
-    klasses = [ins.op.klass for ins in trace.static]
-    width = config.issue_width
-    breakdown = StallBreakdown()
-
-    reg_ready = [0] * (max_reg + 1)
-    mem_ready: dict[int, int] = {}
-    ops = trace.ops
-    addrs = trace.addrs
-
-    stall_on_branches = config.branch_policy == "stall"
-    branch_floor = 0
-    cur_cycle = 0
-    cur_count = 0
-    last_finish = 0
-    last_issue = 0
-
-    for i, si in enumerate(ops):
-        srcs, dest, lat, unit, is_load, is_store, is_cbr = records[si]
-
-        start = cur_cycle
-        t = start
-        if t < branch_floor:
-            t = branch_floor
-        floor_mark = t
-        for s in srcs:
-            r = reg_ready[s]
-            if r > t:
-                t = r
-        raw_mark = t
-        if is_load:
-            r = mem_ready.get(addrs[i], 0)
-            if r > t:
-                t = r
-        mem_mark = t
-        unit_free_at = -1
-        if unit is not None:
-            unit_free_at = min(unit.free)
-
-        while True:
-            if t == start and cur_count >= width:
-                t += 1
-            if unit is not None:
-                free = unit.free
-                best = 0
-                best_time = free[0]
-                for k in range(1, len(free)):
-                    if free[k] < best_time:
-                        best_time = free[k]
-                        best = k
-                if best_time > t:
-                    t = best_time
-                    continue  # re-check the issue-width constraint
-                free[best] = t + unit.issue_latency
-            break
-
-        if t > start:
-            # Attribute the wait [start, t) segment by segment; the marks
-            # are non-decreasing (start <= floor <= raw <= mem <= t).
-            klass = klasses[si]
-            b = start
-            if floor_mark > b:
-                breakdown.charge(klass, 0, floor_mark - b)  # control
-                b = floor_mark
-            if raw_mark > b:
-                breakdown.charge(klass, 1, raw_mark - b)    # raw_dep
-                b = raw_mark
-            if mem_mark > b:
-                breakdown.charge(klass, 2, mem_mark - b)    # memory_order
-                b = mem_mark
-            if unit_free_at > b:
-                m = unit_free_at if unit_free_at < t else t
-                breakdown.charge(klass, 3, m - b)           # unit_conflict
-                b = m
-            if t > b:
-                breakdown.charge(klass, 4, t - b)           # issue_width
-            cur_cycle = t
-            cur_count = 1
-        else:
-            cur_count += 1
-
-        finish = t + lat
-        if dest >= 0:
-            reg_ready[dest] = finish
-        if is_store:
-            mem_ready[addrs[i]] = finish
-        if stall_on_branches and is_cbr:
-            branch_floor = finish
-        if finish > last_finish:
-            last_finish = finish
-        last_issue = t
-
-    # Every cycle up to the final issue is accounted as a stall of some
-    # instruction; the remainder is the final issue-to-completion span.
-    breakdown.issued_cycles = last_finish - last_issue
-    return TimingResult(
-        config_name=config.name,
-        instructions=len(ops),
-        minor_cycles=last_finish,
-        base_cycles=config.minor_to_base(last_finish),
-        stalls=breakdown,
-    )
-
-
-def issue_schedule(trace: Trace, config: MachineConfig) -> list[int]:
+def issue_schedule(
+    trace: Trace, config: MachineConfig, *, memoize: bool = True
+) -> list[int]:
     """Per-event issue times in minor cycles (for pipeline diagrams).
 
     Runs the same model as :func:`simulate` but records when each dynamic
     instruction issues; used by ``repro.analysis.pipeviz`` to regenerate the
     paper's Figure 2-x execution diagrams.
     """
-    records, max_reg = _static_records(trace, config)
-    width = config.issue_width
-    reg_ready = [0] * (max_reg + 1)
-    mem_ready: dict[int, int] = {}
-    times: list[int] = []
-    stall_on_branches = config.branch_policy == "stall"
-    branch_floor = 0
-    cur_cycle = 0
-    cur_count = 0
-
-    for i, si in enumerate(trace.ops):
-        srcs, dest, lat, unit, is_load, is_store, is_cbr = records[si]
-        t = cur_cycle
-        if t < branch_floor:
-            t = branch_floor
-        for s in srcs:
-            r = reg_ready[s]
-            if r > t:
-                t = r
-        if is_load:
-            r = mem_ready.get(trace.addrs[i], 0)
-            if r > t:
-                t = r
-        while True:
-            if t == cur_cycle and cur_count >= width:
-                t += 1
-            if unit is not None:
-                free = unit.free
-                best = min(range(len(free)), key=free.__getitem__)
-                if free[best] > t:
-                    t = free[best]
-                    continue
-                free[best] = t + unit.issue_latency
-            break
-        if t > cur_cycle:
-            cur_cycle, cur_count = t, 1
-        else:
-            cur_count += 1
-        finish = t + lat
-        if dest >= 0:
-            reg_ready[dest] = finish
-        if is_store:
-            mem_ready[trace.addrs[i]] = finish
-        if stall_on_branches and is_cbr:
-            branch_floor = finish
-        times.append(t)
-    return times
+    outcome = replay(trace, config, want_times=True, memoize=memoize)
+    return outcome.times
 
 
 def parallelism(trace: Trace, config: MachineConfig) -> float:

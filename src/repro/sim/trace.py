@@ -1,20 +1,37 @@
-"""Dynamic instruction traces.
+"""Dynamic instruction traces (block-structured, format v2).
 
 The functional interpreter produces a :class:`Trace`: the sequence of
-executed instructions (as indices into a static instruction table) plus the
-effective word address of every memory operation.  The timing simulator
-replays a trace under a machine configuration.
+executed instructions plus the effective word address of every memory
+operation.  The timing simulator replays a trace under a machine
+configuration.
 
 Traces deliberately contain *resolved* control flow — the paper assumes
 perfect branch prediction / branch-slot filling, so the timing model never
 needs to re-discover branch outcomes.
+
+Storage format (v2)
+-------------------
+Executed instructions are stored run-length encoded: a *run* is a maximal
+stretch of consecutive static indices ``start, start+1, ..., start+len-1``
+executed back to back (straight-line code between taken control
+transfers).  Effective addresses live in a flat side array ``mem_addrs``
+with exactly one entry per dynamic *memory* operation, in execution
+order — non-memory instructions carry no ``-1`` padding entry.  Loop
+iterations therefore collapse to one ``(start, length)`` pair plus their
+address chunk, which is what makes the memoized replay in
+:mod:`repro.sim.replay` possible and shrinks pickled traces by an order
+of magnitude.
+
+The pre-v2 per-event views are kept as materializing properties
+(:attr:`Trace.ops`, :attr:`Trace.addrs`) for code that genuinely wants
+one entry per dynamic instruction.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from ..errors import TraceError
 from ..isa.instruction import Instruction
@@ -26,22 +43,42 @@ class Trace:
     """A dynamic execution trace.
 
     ``static``: the static instruction table (flattened program).
-    ``ops``: for each dynamic event, the index of its static instruction.
-    ``addrs``: for each dynamic event, the effective word address of the
-    memory access, or -1 for non-memory instructions.
+    ``run_starts`` / ``run_lengths``: run-length encoded execution — run
+    *k* executes static indices ``run_starts[k] .. run_starts[k] +
+    run_lengths[k] - 1`` in order.
+    ``mem_addrs``: effective word addresses, one per dynamic memory
+    operation, in execution order.
+    ``n``: total dynamic instruction count (sum of ``run_lengths``).
     """
 
     static: list[Instruction]
-    ops: list[int] = field(default_factory=list)
-    addrs: list[int] = field(default_factory=list)
+    run_starts: list[int] = field(default_factory=list)
+    run_lengths: list[int] = field(default_factory=list)
+    mem_addrs: list[int] = field(default_factory=list)
+    n: int = 0
+    #: Lazily built replay plan (see :func:`repro.sim.replay.plan_for`);
+    #: derived data — never compared, never pickled.
+    _plan: object = field(default=None, repr=False, compare=False)
+    #: Lazily decoded static-table skeleton (see
+    #: :func:`repro.sim.replay._static_skeleton`); same rules as ``_plan``.
+    _skel: object = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
-        return len(self.ops)
+        return self.n
 
     @property
     def n_instructions(self) -> int:
         """Dynamic instruction count."""
-        return len(self.ops)
+        return self.n
+
+    @property
+    def n_runs(self) -> int:
+        """Number of straight-line runs in the encoding."""
+        return len(self.run_starts)
+
+    def runs(self) -> Iterator[tuple[int, int]]:
+        """Iterate over ``(start, length)`` runs in execution order."""
+        return zip(self.run_starts, self.run_lengths)
 
     def append(self, static_index: int, addr: int = -1) -> None:
         """Record one executed instruction.
@@ -50,6 +87,8 @@ class Trace:
         memory instruction must carry its effective word address (>= 0),
         and a non-memory instruction must not carry one (addr == -1) —
         violating either would silently corrupt store→load ordering.
+
+        Consecutive static indices merge into one run.
         """
         if not 0 <= static_index < len(self.static):
             raise TraceError(
@@ -63,28 +102,132 @@ class Trace:
                     f"({self.static[static_index].op.name}) recorded "
                     "without an effective address"
                 )
+            self.mem_addrs.append(addr)
         elif addr >= 0:
             raise TraceError(
                 f"non-memory instruction {static_index} "
                 f"({self.static[static_index].op.name}) recorded with "
                 f"address {addr}; expected addr=-1"
             )
-        self.ops.append(static_index)
-        self.addrs.append(addr)
+        starts, lengths = self.run_starts, self.run_lengths
+        if starts and starts[-1] + lengths[-1] == static_index:
+            lengths[-1] += 1
+        else:
+            starts.append(static_index)
+            lengths.append(1)
+        self.n += 1
+        self._plan = None
+
+    @property
+    def ops(self) -> list[int]:
+        """Per-event static indices (materialized from the runs)."""
+        out: list[int] = []
+        extend = out.extend
+        for start, length in zip(self.run_starts, self.run_lengths):
+            extend(range(start, start + length))
+        return out
+
+    @property
+    def addrs(self) -> list[int]:
+        """Per-event effective addresses, ``-1`` for non-memory events
+        (materialized from the side array)."""
+        is_mem = [ins.op.info.is_mem for ins in self.static]
+        mem_addrs = self.mem_addrs
+        out: list[int] = []
+        append = out.append
+        m = 0
+        for start, length in zip(self.run_starts, self.run_lengths):
+            for si in range(start, start + length):
+                if is_mem[si]:
+                    append(mem_addrs[m])
+                    m += 1
+                else:
+                    append(-1)
+        return out
 
     def class_counts(self) -> Counter[InstrClass]:
         """Dynamic instruction-class histogram."""
         klass_of = [ins.op.klass for ins in self.static]
         counts: Counter[InstrClass] = Counter()
-        for si in self.ops:
-            counts[klass_of[si]] += 1
+        for (start, length), times in Counter(
+            zip(self.run_starts, self.run_lengths)
+        ).items():
+            for si in range(start, start + length):
+                counts[klass_of[si]] += times
         return counts
 
     def instructions(self) -> Iterable[Instruction]:
         """Iterate over the executed instructions in order."""
         static = self.static
-        for si in self.ops:
-            yield static[si]
+        for start, length in zip(self.run_starts, self.run_lengths):
+            for si in range(start, start + length):
+                yield static[si]
+
+    def validate(self) -> None:
+        """Check the v2 structural invariants; raise :class:`TraceError`.
+
+        O(runs + static): run bounds, length/total consistency, and the
+        memory-address side array matching the dynamic memory-op count.
+        Used by the on-disk trace cache to reject stale or corrupt
+        entries instead of deserializing them into garbage.
+        """
+        starts, lengths = self.run_starts, self.run_lengths
+        if len(starts) != len(lengths):
+            raise TraceError(
+                f"run encoding mismatch: {len(starts)} starts vs "
+                f"{len(lengths)} lengths"
+            )
+        n_static = len(self.static)
+        mem_prefix = [0] * (n_static + 1)
+        acc = 0
+        for i, ins in enumerate(self.static):
+            if ins.op.info.is_mem:
+                acc += 1
+            mem_prefix[i + 1] = acc
+        total = 0
+        n_mem = 0
+        for start, length in zip(starts, lengths):
+            if length <= 0:
+                raise TraceError(f"non-positive run length {length}")
+            if start < 0 or start + length > n_static:
+                raise TraceError(
+                    f"run [{start}, {start + length}) out of range "
+                    f"(table has {n_static} instructions)"
+                )
+            total += length
+            n_mem += mem_prefix[start + length] - mem_prefix[start]
+        if total != self.n:
+            raise TraceError(
+                f"declared {self.n} dynamic instructions, runs encode "
+                f"{total}"
+            )
+        if n_mem != len(self.mem_addrs):
+            raise TraceError(
+                f"{n_mem} dynamic memory operations but "
+                f"{len(self.mem_addrs)} recorded addresses"
+            )
+        for addr in self.mem_addrs:
+            if addr < 0:
+                raise TraceError(f"negative effective address {addr}")
+
+    @classmethod
+    def from_runs(
+        cls,
+        static: list[Instruction],
+        run_starts: list[int],
+        run_lengths: list[int],
+        mem_addrs: list[int],
+    ) -> "Trace":
+        """Build (and validate) a trace directly from its v2 encoding."""
+        trace = cls(
+            static=static,
+            run_starts=run_starts,
+            run_lengths=run_lengths,
+            mem_addrs=mem_addrs,
+            n=sum(run_lengths),
+        )
+        trace.validate()
+        return trace
 
     @staticmethod
     def from_instructions(
@@ -109,3 +252,16 @@ class Trace:
                 addr = -1
             trace.append(i, addr)
         return trace
+
+    # The replay plan is derived data: keep it out of pickles (the
+    # on-disk trace cache) so cached entries stay small and the plan
+    # implementation can evolve without invalidating them.
+    def __getstate__(self):
+        return (self.static, self.run_starts, self.run_lengths,
+                self.mem_addrs, self.n)
+
+    def __setstate__(self, state):
+        (self.static, self.run_starts, self.run_lengths,
+         self.mem_addrs, self.n) = state
+        self._plan = None
+        self._skel = None

@@ -361,3 +361,69 @@ class TestApiBehavior:
         assert "whet" in text
         assert "harmonic mean" in text
         assert result.engine.cells == 2
+
+
+class TestCacheFormat:
+    """The cache format tag and structural validation guard the v2
+    trace layout: stale or corrupt entries are dropped and recompiled,
+    never deserialized into garbage."""
+
+    def test_format_tag_participates_in_the_key(self, monkeypatch):
+        bench = suite.get("whet")
+        options = suite.default_options(bench)
+        current = trace_key(bench.source(), options)
+        from repro.engine import cache as cache_mod
+
+        monkeypatch.setattr(cache_mod, "_FORMAT", "trace-v1")
+        stale = trace_key(bench.source(), options)
+        assert stale != current, \
+            "bumping the format tag must invalidate every old entry"
+
+    def test_stale_format_entry_is_never_served(self, tmp_path,
+                                                monkeypatch):
+        """An entry written under an old format tag misses under the
+        current one (its key differs), forcing a recompile."""
+        from repro.engine import cache as cache_mod
+
+        cache = TraceCache(str(tmp_path))
+        bench = suite.get("whet")
+        options = suite.default_options(bench)
+        result = suite.run_benchmark(bench, options)
+        with monkeypatch.context() as patch:
+            patch.setattr(cache_mod, "_FORMAT", "trace-v1")
+            cache.store(trace_key(bench.source(), options), result)
+        assert cache.load(trace_key(bench.source(), options)) is None
+        assert cache.stats.misses == 1
+
+    def test_wrong_payload_type_is_dropped(self, tmp_path):
+        import os
+
+        cache = TraceCache(str(tmp_path))
+        key = "cd" + "1" * 62
+        path = cache.path_for(key)
+        os.makedirs(os.path.dirname(path))
+        with open(path, "wb") as handle:
+            pickle.dump({"not": "a run result"}, handle)
+        assert cache.load(key) is None
+        assert not os.path.exists(path), \
+            "a structurally invalid entry must be removed"
+
+    def test_invalid_trace_payload_is_dropped(self, tmp_path):
+        """A pickle that *is* a RunResult but whose trace violates the
+        v2 invariants (as a stale layout would) is treated as corrupt."""
+        import os
+
+        cache = TraceCache(str(tmp_path))
+        bench = suite.get("whet")
+        options = suite.default_options(bench)
+        result = suite.run_benchmark(bench, options)
+        # Corrupt the run-length encoding: drop an address so the
+        # mem-op count no longer matches the side array.
+        result.trace.mem_addrs.pop()
+        key = "ef" + "2" * 62
+        cache.store(key, result)
+        assert os.path.exists(cache.path_for(key))
+        loaded = cache.load(key)
+        assert loaded is None
+        assert not os.path.exists(cache.path_for(key))
+        assert cache.stats.misses == 1
