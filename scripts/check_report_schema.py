@@ -16,7 +16,10 @@ Checks, per file:
   back to the per-cause totals;
 * every event with a ``replay`` payload (replay-memo counters) carries
   non-negative integer counters and obeys its own conservation law:
-  ``memo_instructions + direct_instructions == instructions``.
+  ``memo_instructions + direct_instructions == instructions``;
+* every ``status`` field is one of ``ok/retried/degraded/failed``, and
+  each ``engine`` event obeys status conservation:
+  ``ok_cells + retried_cells + degraded_cells + failed_cells == cells``.
 
 Deliberately stdlib-only so CI can run it without installing the
 package; ``tests/test_obs_report.py`` pins this copy of the schema
@@ -39,9 +42,11 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
                "base_cycles", "parallelism", "cpi"),
     "sweep_row": ("benchmark", "machine", "options", "instructions",
                   "base_cycles", "parallelism"),
-    "cell": ("benchmark", "machine", "options", "seconds", "cached"),
+    "cell": ("benchmark", "machine", "options", "seconds", "cached",
+             "status"),
     "engine": ("workers", "cells", "groups", "cache_hits",
-               "cache_misses", "seconds"),
+               "cache_misses", "seconds", "ok_cells", "retried_cells",
+               "degraded_cells", "failed_cells"),
     "exhibit": ("ident", "title", "seconds"),
     "run_end": ("seconds", "counters"),
 }
@@ -70,6 +75,14 @@ _NUMERIC_FIELDS: dict[str, tuple[tuple[type, ...], bool]] = {
     "memo_fallbacks": ((int,), False),
     "memo_instructions": ((int,), False),
     "direct_instructions": ((int,), False),
+    # supervision status counts and retry accounting
+    "ok_cells": ((int,), False),
+    "retried_cells": ((int,), False),
+    "degraded_cells": ((int,), False),
+    "failed_cells": ((int,), False),
+    "group_retries": ((int,), False),
+    "pool_restarts": ((int,), False),
+    "attempts": ((int,), False),
     # compile_pass size fields use -1 for "not applicable"
     "instrs_before": ((int,), True),
     "instrs_after": ((int,), True),
@@ -80,6 +93,9 @@ _NUMERIC_FIELDS: dict[str, tuple[tuple[type, ...], bool]] = {
 #: replay payload counters (all required, all non-negative ints)
 _REPLAY_FIELDS = ("blocks", "memo_hits", "memo_misses", "fallbacks",
                   "memo_instructions", "direct_instructions")
+
+#: legal values of a cell/sweep_row supervision status
+CELL_STATUSES = ("ok", "retried", "degraded", "failed")
 
 
 def check_replay(replay: object, record: dict) -> list[str]:
@@ -166,6 +182,25 @@ def check_event(record: dict) -> list[str]:
             f"run_start: schema {record.get('schema')!r}, "
             f"expected {SCHEMA_VERSION}"
         )
+    if "status" in record and record["status"] not in CELL_STATUSES:
+        errors.append(
+            f"{event}: status {record['status']!r} not in "
+            f"{'/'.join(CELL_STATUSES)}"
+        )
+    if event == "engine" and all(
+        isinstance(record.get(name), int)
+        for name in ("cells", "ok_cells", "retried_cells",
+                     "degraded_cells", "failed_cells")
+    ):
+        # Status conservation: every cell ends in exactly one state.
+        total = (record["ok_cells"] + record["retried_cells"]
+                 + record["degraded_cells"] + record["failed_cells"])
+        if total != record["cells"]:
+            errors.append(
+                f"engine: status conservation violated: "
+                f"ok+retried+degraded+failed == {total}, "
+                f"cells == {record['cells']}"
+            )
     if "stalls" in record:
         errors.extend(check_stalls(record["stalls"], record))
     if "replay" in record and record["replay"] is not None:

@@ -57,6 +57,21 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="disable the on-disk trace cache for this run",
     )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="attempts per compile group before degrading to serial "
+             "(default 3)",
+    )
+    parser.add_argument(
+        "--group-timeout", type=float, default=None, metavar="SEC",
+        help="wall-clock budget per compile group in a worker before it "
+             "counts as hung (default 300; 0 disables)",
+    )
+    parser.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="deterministic fault-injection plan, e.g. "
+             "'crash@whet#1,hang@linpack' (default: $REPRO_FAULTS)",
+    )
 
 
 def _add_machines_flag(parser: argparse.ArgumentParser,
@@ -185,6 +200,50 @@ def _engine_cache(args) -> TraceCache:
                       getattr(args, "no_cache", False))
 
 
+def _engine_policy(args):
+    """A RetryPolicy from --retries/--group-timeout (None = defaults)."""
+    from .engine.resilience import RetryPolicy
+
+    retries = getattr(args, "retries", None)
+    timeout = getattr(args, "group_timeout", None)
+    if retries is None and timeout is None:
+        return None
+    policy = RetryPolicy()
+    kwargs = {}
+    if retries is not None:
+        kwargs["max_attempts"] = retries
+    if timeout is not None:
+        kwargs["group_timeout"] = timeout if timeout > 0 else None
+    import dataclasses
+
+    return dataclasses.replace(policy, **kwargs)
+
+
+def _engine_faults(args):
+    """A FaultPlan from --faults (None = $REPRO_FAULTS via the engine)."""
+    from .engine.faults import FaultPlan
+
+    spec = getattr(args, "faults", None)
+    if spec is None:
+        return None
+    try:
+        return FaultPlan.parse(spec)
+    except ValueError as exc:
+        print(f"--faults: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _report_failures(items) -> int:
+    """Print the one-line failure manifest; returns the exit code."""
+    from .engine.resilience import failure_manifest
+
+    manifest = failure_manifest(items)
+    if manifest is None:
+        return 0
+    print(manifest, file=sys.stderr)
+    return 1
+
+
 def _compile_file(path: str, args, profile=None) -> tuple:
     from .opt.driver import compile_source
 
@@ -244,12 +303,14 @@ def _measure_benchmarks(args) -> int:
             benchmarks, machines, options=options, observe=observe,
             recorder=recorder, workers=args.workers,
             cache=_engine_cache(args),
+            policy=_engine_policy(args), faults=_engine_faults(args),
         )
         print(summarize(rows))
         if observe:
             by_bench: dict[str, list] = {}
             for row in rows:
-                by_bench.setdefault(row.benchmark, []).append(row)
+                if row.status != "failed":
+                    by_bench.setdefault(row.benchmark, []).append(row)
             for bench, bench_rows in by_bench.items():
                 print()
                 print(render_stall_table(
@@ -261,7 +322,7 @@ def _measure_benchmarks(args) -> int:
                           counters=dict(recorder.counters))
     if args.report is not None:
         print(f"\nJSONL report written to {args.report}")
-    return 0
+    return _report_failures(rows)
 
 
 def _row_timing(row):
@@ -369,11 +430,14 @@ def _cmd_suite(args) -> int:
             workers=getattr(args, "workers", 1),
             cache=_engine_cache(args),
             recorder=recorder,
+            policy=_engine_policy(args),
+            faults=_engine_faults(args),
         )
         if recorder.enabled:
             for cell in result.cells:
-                recorder.emit("timing", benchmark=cell.benchmark,
-                              **cell.to_timing().as_dict())
+                if cell.status != "failed":
+                    recorder.emit("timing", benchmark=cell.benchmark,
+                                  **cell.to_timing().as_dict())
 
         if single_machine:
             headers = ["benchmark", "dyn. instructions", "checksum",
@@ -383,6 +447,12 @@ def _cmd_suite(args) -> int:
                             "issue_width"]
             rows = []
             for cell in result.cells:
+                if cell.status == "failed":
+                    row = [cell.benchmark, "-", "FAILED", "-"]
+                    if profile:
+                        row += ["-"] * 4
+                    rows.append(row)
+                    continue
                 row = [cell.benchmark, cell.instructions,
                        "ok" if cell.checksum_ok else "MISMATCH",
                        cell.parallelism]
@@ -406,13 +476,16 @@ def _cmd_suite(args) -> int:
             ]
             print(summarize(sweep_rows))
             bad = sorted({c.benchmark for c in result.cells
-                          if not c.checksum_ok})
+                          if not c.checksum_ok and c.status != "failed"})
             print("checksums:",
                   "all ok" if not bad else f"MISMATCH in {', '.join(bad)}")
             if profile:
                 for bench in bench_names:
                     cells = [c for c in result.cells
-                             if c.benchmark == bench]
+                             if c.benchmark == bench
+                             and c.status != "failed"]
+                    if not cells:
+                        continue
                     print()
                     print(render_stall_table(
                         [c.to_timing() for c in cells],
@@ -423,7 +496,7 @@ def _cmd_suite(args) -> int:
         if recorder.enabled:
             recorder.emit("run_end", seconds=result.report.seconds,
                           counters=dict(recorder.counters))
-    return 0
+    return _report_failures(result.cells)
 
 
 def _cmd_report(args) -> int:

@@ -41,6 +41,10 @@ class SweepRow:
     parallelism: float
     #: stall attribution; populated only when sweeping with observe=True
     stalls: StallBreakdown | None = None
+    #: supervision outcome: ok | retried | degraded | failed
+    status: str = "ok"
+    #: final typed error payload for failed cells
+    error: dict | None = None
 
 
 def sweep(
@@ -53,6 +57,8 @@ def sweep(
     recorder: Recorder | None = None,
     workers: int = 1,
     cache: TraceCache | None = None,
+    policy=None,
+    faults=None,
 ) -> list[SweepRow]:
     """Measure every benchmark on every machine.
 
@@ -68,7 +74,11 @@ def sweep(
     :class:`~repro.obs.recorder.JsonlRecorder` turns a sweep into a
     machine-readable run report.  ``workers`` and ``cache`` select
     parallel execution and the on-disk trace cache; results are
-    identical regardless.
+    identical regardless.  ``policy`` (a
+    :class:`~repro.engine.resilience.RetryPolicy`) and ``faults`` (a
+    :class:`~repro.engine.faults.FaultPlan`) configure supervision;
+    cells that exhaust the retry ladder come back with
+    ``status="failed"`` instead of aborting the sweep.
     """
     rec = active_recorder(recorder)
     plan = plan_sweep(
@@ -79,7 +89,8 @@ def sweep(
         schedule_for_target=schedule_for_target,
         observe=observe,
     )
-    result = execute(plan, workers=workers, cache=cache, recorder=rec)
+    result = execute(plan, workers=workers, cache=cache, recorder=rec,
+                     policy=policy, faults=faults)
     rows: list[SweepRow] = []
     for cell in result.cells:
         rows.append(SweepRow(
@@ -90,6 +101,8 @@ def sweep(
             base_cycles=cell.base_cycles,
             parallelism=cell.parallelism,
             stalls=cell.stalls,
+            status=cell.status,
+            error=cell.error,
         ))
         if rec.enabled:
             event = {
@@ -99,6 +112,7 @@ def sweep(
                 "instructions": cell.instructions,
                 "base_cycles": cell.base_cycles,
                 "parallelism": cell.parallelism,
+                "status": cell.status,
             }
             if cell.stalls is not None:
                 event["stalls"] = cell.stalls.as_dict()
@@ -108,7 +122,11 @@ def sweep(
 
 def summarize(rows: Sequence[SweepRow]) -> str:
     """Render sweep rows as a machines-by-benchmarks parallelism table,
-    with a harmonic-mean column."""
+    with a harmonic-mean column.
+
+    Failed cells render as NaN and are excluded from the mean, so a
+    partially failed sweep still summarizes cleanly.
+    """
     machines: list[str] = []
     benches: list[str] = []
     values: dict[tuple[str, str], float] = {}
@@ -117,7 +135,8 @@ def summarize(rows: Sequence[SweepRow]) -> str:
             machines.append(row.machine)
         if row.benchmark not in benches:
             benches.append(row.benchmark)
-        values[(row.machine, row.benchmark)] = row.parallelism
+        if row.status != "failed":
+            values[(row.machine, row.benchmark)] = row.parallelism
     table_rows = []
     for machine in machines:
         cells = [values[(machine, b)] for b in benches
@@ -125,7 +144,7 @@ def summarize(rows: Sequence[SweepRow]) -> str:
         table_rows.append(
             [machine]
             + [values.get((machine, b), float("nan")) for b in benches]
-            + [harmonic_mean(cells)]
+            + [harmonic_mean(cells) if cells else float("nan")]
         )
     return format_table(
         ["machine"] + benches + ["harmonic mean"], table_rows

@@ -40,7 +40,9 @@ from .benchmarks import suite as _suite
 from .benchmarks.suite import Benchmark
 from .engine.cache import open_cache
 from .engine.executor import EngineReport, execute as _execute
+from .engine.faults import FaultPlan
 from .engine.plan import Plan, plan_sweep
+from .engine.resilience import RetryPolicy, failure_manifest as _manifest
 from .isa.program import Program
 from .machine.config import MachineConfig
 from .machine.presets import resolve as _resolve_machine
@@ -51,8 +53,10 @@ from .sim.timing import TimingResult, simulate as _simulate
 from .sim.trace import Trace
 
 __all__ = [
+    "FaultPlan",
     "MachineLike",
     "Plan",
+    "RetryPolicy",
     "SweepResult",
     "compile",
     "measure",
@@ -140,20 +144,41 @@ class SweepResult:
         """Machines-by-benchmarks parallelism table with harmonic means."""
         return _summarize_rows(list(self.rows))
 
+    def failures(self) -> tuple[SweepRow, ...]:
+        """Rows whose cell exhausted the whole degradation ladder."""
+        return tuple(r for r in self.rows if r.status == "failed")
+
+    def failure_manifest(self) -> str | None:
+        """One-line manifest of failed cells (``None`` when all ran)."""
+        return _manifest(self.rows)
+
+    @property
+    def ok(self) -> bool:
+        """True when no cell ended ``failed``."""
+        return not self.failures()
+
 
 def sweep(plan: Plan, *, workers: int = 1, cache_dir: str | None = None,
-          no_cache: bool = False,
-          recorder: Recorder | None = None) -> SweepResult:
+          no_cache: bool = False, recorder: Recorder | None = None,
+          policy: RetryPolicy | None = None,
+          faults: FaultPlan | None = None) -> SweepResult:
     """Execute a :class:`Plan` and return every cell's measurement.
 
-    ``workers`` fans compile groups across a process pool (``1`` = the
-    bit-identical serial fallback).  ``cache_dir`` enables the
-    content-addressed on-disk trace cache there (``no_cache=True``
+    ``workers`` fans compile groups across a supervised process pool
+    (``1`` = the bit-identical serial fallback).  ``cache_dir`` enables
+    the content-addressed on-disk trace cache there (``no_cache=True``
     forces it off).  ``recorder`` receives ``cell``/``engine`` events.
+
+    Execution is fault tolerant: ``policy`` (a :class:`RetryPolicy`)
+    bounds retries, per-group timeouts, and the serial degradation
+    step; ``faults`` (a :class:`FaultPlan`; default ``$REPRO_FAULTS``)
+    injects deterministic failures for testing.  A sweep always
+    completes — check :meth:`SweepResult.failures` / ``.ok`` for cells
+    that exhausted the ladder.
     """
     cache = open_cache(cache_dir, no_cache)
     result = _execute(plan, workers=workers, cache=cache,
-                      recorder=recorder)
+                      recorder=recorder, policy=policy, faults=faults)
     rows = tuple(
         SweepRow(
             benchmark=c.benchmark,
@@ -163,6 +188,8 @@ def sweep(plan: Plan, *, workers: int = 1, cache_dir: str | None = None,
             base_cycles=c.base_cycles,
             parallelism=c.parallelism,
             stalls=c.stalls,
+            status=c.status,
+            error=c.error,
         )
         for c in result.cells
     )

@@ -98,8 +98,15 @@ _RUN_CACHE: dict[tuple, RunResult] = {}
 def run_benchmark(
     benchmark: Benchmark | str,
     options: CompilerOptions | None = None,
+    max_instructions: int | None = None,
 ) -> RunResult:
-    """Compile and functionally execute a benchmark (memoized)."""
+    """Compile and functionally execute a benchmark (memoized).
+
+    ``max_instructions`` tightens the interpreter's runaway guard for
+    this call (the engine's per-cell instruction budget); a run that
+    completes within a budget is identical to an unbounded one, so the
+    memo key is unaffected.
+    """
     if isinstance(benchmark, str):
         benchmark = get(benchmark)
     opts = options or default_options(benchmark)
@@ -108,7 +115,10 @@ def run_benchmark(
     if cached is not None:
         return cached
     program = compile_source(benchmark.source(), opts)
-    result = run(program)
+    if max_instructions is None:
+        result = run(program)
+    else:
+        result = run(program, max_instructions=max_instructions)
     _RUN_CACHE[key] = result
     return result
 

@@ -33,19 +33,36 @@ from .executor import (
     execute,
     prime_runs,
 )
+from .faults import NO_FAULTS, FaultPlan, FaultSpec, InjectedFaultError
 from .plan import Cell, Plan, plan_sweep
+from .resilience import (
+    CELL_STATUSES,
+    CellError,
+    ResourceLimits,
+    RetryPolicy,
+    failure_manifest,
+)
 
 __all__ = [
+    "CELL_STATUSES",
     "Cell",
+    "CellError",
     "CellResult",
     "CacheStats",
     "DEFAULT_CACHE_DIR",
     "EngineReport",
     "EngineResult",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFaultError",
+    "NO_FAULTS",
     "NULL_TRACE_CACHE",
     "Plan",
+    "ResourceLimits",
+    "RetryPolicy",
     "TraceCache",
     "execute",
+    "failure_manifest",
     "open_cache",
     "plan_sweep",
     "prime_runs",

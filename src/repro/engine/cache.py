@@ -134,6 +134,11 @@ class TraceCache:
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                # Flush to stable storage before the rename becomes
+                # visible: a crash mid-write must never leave a torn
+                # entry behind the final name.
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_path, path)
         except BaseException:
             try:

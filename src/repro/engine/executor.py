@@ -5,16 +5,26 @@ fingerprint): each group compiles/functionally-executes its benchmark
 once — consulting the :class:`~repro.engine.cache.TraceCache` first —
 then replays the trace on every machine in the group.  With
 ``workers > 1`` whole groups are fanned across a
-:class:`~concurrent.futures.ProcessPoolExecutor`; workers return only
+:class:`concurrent.futures.ProcessPoolExecutor`; workers return only
 picklable :class:`CellResult` payloads and the parent reassembles them
 in plan order, so the parallel path is bit-identical to the serial one
 (``workers=1``), which runs the exact same group code inline.
+
+Execution is *supervised* (:mod:`repro.engine.resilience`): worker
+crashes, hangs, and corrupt payloads cost bounded retries with backoff,
+a broken pool is respawned with only unfinished groups requeued, and a
+group that exhausts its worker budget is re-run once in-process before
+being marked failed.  Every cell carries a structured ``status``
+(``ok`` / ``retried`` / ``degraded`` / ``failed``) plus its attempt
+history; ``ok`` cells are bit-identical to an unsupervised clean run.
+Deterministic faults can be injected for testing via
+:mod:`repro.engine.faults` (the ``REPRO_FAULTS`` environment variable).
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from ..benchmarks import suite
@@ -24,7 +34,17 @@ from ..obs.stalls import StallBreakdown
 from ..opt.options import CompilerOptions
 from ..sim.timing import simulate
 from .cache import NULL_TRACE_CACHE, TraceCache, trace_key
+from .faults import NO_FAULTS, FaultPlan
 from .plan import Plan
+from .resilience import (
+    NO_LIMITS,
+    GroupOutcome,
+    ResourceLimits,
+    RetryPolicy,
+    SupervisionStats,
+    run_group_serial,
+    run_supervised,
+)
 
 
 @dataclass(slots=True)
@@ -50,6 +70,14 @@ class CellResult:
     #: replay-memo counters from the timing simulation
     #: (:meth:`~repro.sim.replay.ReplayStats.as_dict`), when available
     replay: dict | None = None
+    #: supervision outcome: ok | retried | degraded | failed
+    status: str = "ok"
+    #: total attempts the cell's group consumed (1 for a clean run)
+    attempts: int = 1
+    #: final typed error (:meth:`CellError.as_dict`) for failed cells
+    error: dict | None = None
+    #: per-failed-attempt records (empty for a clean run)
+    history: tuple = ()
 
     def to_timing(self):
         """Rebuild the equivalent :class:`~repro.sim.timing.TimingResult`
@@ -84,6 +112,15 @@ class EngineReport:
     #: dynamic instructions advanced via memo hits vs replayed directly
     memo_instructions: int = 0
     direct_instructions: int = 0
+    #: supervision outcome counts (ok + retried + degraded + failed == cells)
+    ok_cells: int = 0
+    retried_cells: int = 0
+    degraded_cells: int = 0
+    failed_cells: int = 0
+    #: failed group attempts (each consumed one retry-ladder slot)
+    group_retries: int = 0
+    #: times the worker pool was killed and respawned
+    pool_restarts: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -100,6 +137,12 @@ class EngineReport:
             "memo_fallbacks": self.memo_fallbacks,
             "memo_instructions": self.memo_instructions,
             "direct_instructions": self.direct_instructions,
+            "ok_cells": self.ok_cells,
+            "retried_cells": self.retried_cells,
+            "degraded_cells": self.degraded_cells,
+            "failed_cells": self.failed_cells,
+            "group_retries": self.group_retries,
+            "pool_restarts": self.pool_restarts,
         }
 
     def summary(self) -> str:
@@ -118,6 +161,15 @@ class EngineReport:
                 f"{self.memo_instructions / total:.0%} of instructions "
                 f"memoized"
             )
+        if self.retried_cells or self.degraded_cells or self.failed_cells:
+            text += (
+                f" | status {self.ok_cells} ok / "
+                f"{self.retried_cells} retried / "
+                f"{self.degraded_cells} degraded / "
+                f"{self.failed_cells} FAILED "
+                f"({self.group_retries} retries, "
+                f"{self.pool_restarts} pool restarts)"
+            )
         return text
 
 
@@ -128,6 +180,10 @@ class EngineResult:
     cells: list[CellResult] = field(default_factory=list)
     report: EngineReport | None = None
 
+    def failed_cells(self) -> list[CellResult]:
+        """Cells that exhausted the whole degradation ladder."""
+        return [c for c in self.cells if c.status == "failed"]
+
 
 def _run_group(
     benchmark: str,
@@ -135,14 +191,25 @@ def _run_group(
     machine_cells: list[tuple[int, MachineConfig, str]],
     observe: bool,
     cache: TraceCache,
+    faults: FaultPlan = NO_FAULTS,
+    attempt: int = 1,
+    limits: ResourceLimits = NO_LIMITS,
+    in_worker: bool = False,
 ) -> tuple[list[tuple[int, CellResult]], bool]:
     """Compile one group's benchmark and measure every machine in it.
 
     ``machine_cells`` carries ``(plan_index, machine, options_label)``
     triples; the plan index rides along so the caller can reassemble
-    results in plan order regardless of completion order.
+    results in plan order regardless of completion order.  ``faults``
+    and ``attempt`` drive deterministic fault injection; ``limits``
+    enforces the per-cell instruction-budget and RSS guardrails.
     """
     bench = suite.get(benchmark)
+    if faults:
+        faults.fire_group_faults(
+            benchmark, [m.name for _, m, _ in machine_cells],
+            attempt, in_worker,
+        )
     start = time.perf_counter()
     # In-process memo first (free), then the on-disk cache, then compile.
     result = suite.cached_run(bench, options)
@@ -153,9 +220,15 @@ def _run_group(
             suite.seed_run(bench, options, result)
     cached = result is not None
     if result is None:
-        result = suite.run_benchmark(bench, options)
+        result = suite.run_benchmark(
+            bench, options, max_instructions=limits.max_instructions,
+        )
         if cache.enabled:
-            cache.store(trace_key(bench.source(), options), result)
+            key = trace_key(bench.source(), options)
+            cache.store(key, result)
+            if faults:
+                faults.maybe_corrupt_cache(cache, key, benchmark, attempt)
+    limits.check_rss()
     compile_seconds = time.perf_counter() - start
     checksum_ok = abs(result.value - bench.reference()) <= bench.fp_tolerance
 
@@ -163,7 +236,7 @@ def _run_group(
     for index, machine, label in machine_cells:
         t0 = time.perf_counter()
         timing = simulate(result.trace, machine, observe=observe)
-        out.append((index, CellResult(
+        cell = CellResult(
             benchmark=benchmark,
             options_label=label,
             machine=machine.name,
@@ -178,15 +251,22 @@ def _run_group(
             compile_cached=cached,
             replay=(timing.replay.as_dict()
                     if timing.replay is not None else None),
-        )))
+        )
+        if faults:
+            cell = faults.maybe_corrupt_cell(cell, attempt)
+        out.append((index, cell))
     return out, cached
 
 
 def _run_group_task(payload: tuple) -> tuple[list[tuple[int, "CellResult"]], bool]:
     """Pool entry point: rebuild the cache handle and run one group."""
-    benchmark, options, machine_cells, observe, cache_root = payload
+    (benchmark, options, machine_cells, observe,
+     cache_root, attempt, faults, limits) = payload
     cache = TraceCache(cache_root) if cache_root else NULL_TRACE_CACHE
-    return _run_group(benchmark, options, machine_cells, observe, cache)
+    return _run_group(
+        benchmark, options, machine_cells, observe, cache,
+        faults=faults, attempt=attempt, limits=limits, in_worker=True,
+    )
 
 
 def _prime_one(
@@ -268,20 +348,61 @@ def prime_runs(
     )
 
 
+def _failed_group_cells(
+    plan: Plan, indices: list[int], outcome: GroupOutcome,
+) -> list[tuple[int, CellResult]]:
+    """Placeholder cells for a group that exhausted the whole ladder."""
+    error = outcome.error.as_dict() if outcome.error is not None else None
+    history = tuple(r.as_dict() for r in outcome.history)
+    out = []
+    for index in indices:
+        cell = plan.cells[index]
+        out.append((index, CellResult(
+            benchmark=cell.benchmark,
+            options_label=cell.options_label,
+            machine=cell.machine.name,
+            instructions=0,
+            checksum_ok=False,
+            minor_cycles=0,
+            base_cycles=0.0,
+            parallelism=0.0,
+            stalls=None,
+            seconds=0.0,
+            compile_seconds=0.0,
+            compile_cached=False,
+            replay=None,
+            status="failed",
+            attempts=outcome.attempts,
+            error=error,
+            history=history,
+        )))
+    return out
+
+
 def execute(
     plan: Plan,
     *,
     workers: int = 1,
     cache: TraceCache | None = None,
     recorder: Recorder | None = None,
+    policy: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
 ) -> EngineResult:
     """Execute every cell of ``plan`` and return results in plan order.
 
     ``workers=1`` runs the groups inline (the serial fallback);
-    ``workers>1`` fans them across a process pool.  ``cache`` (a
-    :class:`~repro.engine.cache.TraceCache`, or ``None`` for no disk
+    ``workers>1`` fans them across a supervised process pool.  ``cache``
+    (a :class:`~repro.engine.cache.TraceCache`, or ``None`` for no disk
     cache) is consulted before every compile and populated after every
     miss, in the parent and in every worker alike.
+
+    ``policy`` configures the retry/backoff/timeout/degradation ladder
+    (:class:`~repro.engine.resilience.RetryPolicy`, default policy when
+    ``None``); ``faults`` injects deterministic failures for testing
+    (default: whatever ``$REPRO_FAULTS`` names; an empty plan when
+    unset).  A sweep always completes: cells that fail every rung of
+    the ladder come back with ``status="failed"`` and a typed error
+    instead of aborting the run.
 
     ``recorder`` receives one ``cell`` event per cell (in plan order)
     and a closing ``engine`` summary event.
@@ -289,24 +410,17 @@ def execute(
     if workers < 1:
         raise ValueError("workers must be >= 1")
     rec = active_recorder(recorder)
+    retry_policy = policy if policy is not None else RetryPolicy()
+    fault_plan = faults if faults is not None else FaultPlan.from_env()
     disk_cache = cache if cache is not None else NULL_TRACE_CACHE
     groups = plan.compile_groups()
     start = time.perf_counter()
     slots: list[CellResult | None] = [None] * len(plan.cells)
     hits = misses = 0
     compile_seconds = 0.0
+    stats = SupervisionStats()
 
-    def _install(done: list[tuple[int, CellResult]], cached: bool) -> None:
-        nonlocal hits, misses, compile_seconds
-        for index, cell_result in done:
-            slots[index] = cell_result
-        if done:
-            compile_seconds += done[0][1].compile_seconds
-        if cached:
-            hits += 1
-        else:
-            misses += 1
-
+    group_indices = list(groups.values())
     group_args = [
         (
             plan.cells[indices[0]].benchmark,
@@ -315,24 +429,68 @@ def execute(
              for i in indices],
             plan.observe,
         )
-        for indices in groups.values()
+        for indices in group_indices
     ]
+    group_keys = plan.group_labels()
+
+    def serial_runner(base: tuple, attempt: int):
+        benchmark, options, machine_cells, observe = base
+        return _run_group(
+            benchmark, options, machine_cells, observe, disk_cache,
+            faults=fault_plan, attempt=attempt,
+            limits=retry_policy.limits, in_worker=False,
+        )
 
     if workers == 1 or len(group_args) <= 1:
-        for benchmark, options, machine_cells, observe in group_args:
-            _install(*_run_group(
-                benchmark, options, machine_cells, observe, disk_cache
-            ))
+        outcomes = [
+            run_group_serial(
+                key,
+                lambda attempt, base=base: serial_runner(base, attempt),
+                retry_policy,
+                expected_indices=set(indices),
+            )
+            for key, base, indices
+            in zip(group_keys, group_args, group_indices)
+        ]
     else:
         cache_root = disk_cache.root if disk_cache.enabled else ""
-        payloads = [args + (cache_root,) for args in group_args]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending = {pool.submit(_run_group_task, p) for p in payloads}
-            while pending:
-                finished, pending = wait(pending,
-                                         return_when=FIRST_COMPLETED)
-                for future in finished:
-                    _install(*future.result())
+
+        def make_payload(base: tuple, attempt: int) -> tuple:
+            return base + (cache_root, attempt, fault_plan,
+                           retry_policy.limits)
+
+        outcomes = run_supervised(
+            [(key, base, set(indices))
+             for key, base, indices
+             in zip(group_keys, group_args, group_indices)],
+            workers=workers,
+            task=_run_group_task,
+            make_payload=make_payload,
+            serial_runner=serial_runner,
+            policy=retry_policy,
+            faults=fault_plan,
+            stats=stats,
+        )
+
+    for indices, outcome in zip(group_indices, outcomes):
+        if outcome.status == "failed":
+            installed = _failed_group_cells(plan, indices, outcome)
+        else:
+            assert outcome.results is not None
+            installed = outcome.results
+            for _, cell_result in installed:
+                cell_result.status = outcome.status
+                cell_result.attempts = outcome.attempts
+                cell_result.history = tuple(
+                    r.as_dict() for r in outcome.history
+                )
+            compile_seconds += installed[0][1].compile_seconds
+            if outcome.cached:
+                hits += 1
+            else:
+                misses += 1
+        for index, cell_result in installed:
+            slots[index] = cell_result
 
     cells = [c for c in slots if c is not None]
     assert len(cells) == len(plan.cells), "engine lost cell results"
@@ -346,6 +504,12 @@ def execute(
         seconds=seconds,
         compile_seconds=compile_seconds,
         sim_seconds=sum(c.seconds for c in cells),
+        ok_cells=sum(1 for c in cells if c.status == "ok"),
+        retried_cells=sum(1 for c in cells if c.status == "retried"),
+        degraded_cells=sum(1 for c in cells if c.status == "degraded"),
+        failed_cells=sum(1 for c in cells if c.status == "failed"),
+        group_retries=sum(len(o.history) for o in outcomes),
+        pool_restarts=stats.pool_restarts,
     )
     for c in cells:
         if c.replay:
@@ -364,9 +528,13 @@ def execute(
                 "options": c.options_label,
                 "seconds": c.seconds,
                 "cached": c.compile_cached,
+                "status": c.status,
+                "attempts": c.attempts,
             }
             if c.replay is not None:
                 event["replay"] = c.replay
+            if c.error is not None:
+                event["error"] = c.error
             rec.emit("cell", **event)
             rec.incr("engine.cells")
         rec.emit("engine", **report.as_dict())

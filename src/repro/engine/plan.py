@@ -33,6 +33,14 @@ class Cell:
         """Grouping key: cells with equal keys share one compilation."""
         return (self.benchmark, self.options.fingerprint())
 
+    @property
+    def ident(self) -> str:
+        """Human-readable cell identity for manifests and logs."""
+        text = f"{self.benchmark}@{self.machine.name}"
+        if self.options_label != "default":
+            text += f"[{self.options_label}]"
+        return text
+
 
 @dataclass(frozen=True, slots=True)
 class Plan:
@@ -54,6 +62,16 @@ class Plan:
         for i, cell in enumerate(self.cells):
             groups.setdefault(cell.compile_key(), []).append(i)
         return groups
+
+    def group_labels(self) -> list[str]:
+        """One human-readable label per compile group, aligned with
+        :meth:`compile_groups` order (used for retry jitter keys and
+        failure manifests)."""
+        return [
+            f"{self.cells[indices[0]].benchmark}"
+            f"/{self.cells[indices[0]].options_label}"
+            for indices in self.compile_groups().values()
+        ]
 
 
 def plan_sweep(

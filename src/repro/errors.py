@@ -52,6 +52,47 @@ class SimulationError(ReproError):
     """
 
 
+class InterpBudgetError(SimulationError):
+    """Raised when a functional execution exceeds its instruction budget.
+
+    Carries the state the execution engine needs to classify the failure
+    as a *bounded* cell error (fail fast, no retries) instead of a dead
+    worker: ``executed`` dynamic instructions so far, the current ``pc``
+    in the flattened program, and the ``budget`` that was exceeded.
+    """
+
+    def __init__(self, executed: int, pc: int, budget: int) -> None:
+        super().__init__(
+            f"instruction budget exceeded ({budget}): "
+            f"{executed} instructions executed, pc={pc}"
+        )
+        self.executed = executed
+        self.pc = pc
+        self.budget = budget
+
+    def __reduce__(self):  # keep picklable across process boundaries
+        return (InterpBudgetError, (self.executed, self.pc, self.budget))
+
+
+class ResourceLimitError(ReproError):
+    """Raised when a cell exceeds a resource ceiling (e.g. peak RSS).
+
+    A typed, picklable signal the engine classifies as a bounded cell
+    failure rather than letting the worker die to the OOM killer.
+    """
+
+    def __init__(self, resource: str, used: float, limit: float) -> None:
+        super().__init__(
+            f"{resource} ceiling exceeded: {used:.1f} > {limit:.1f}"
+        )
+        self.resource = resource
+        self.used = used
+        self.limit = limit
+
+    def __reduce__(self):
+        return (ResourceLimitError, (self.resource, self.used, self.limit))
+
+
 class RegisterAllocationError(ReproError):
     """Raised when register allocation cannot honour the register budget."""
 

@@ -42,9 +42,11 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
                "base_cycles", "parallelism", "cpi"),
     "sweep_row": ("benchmark", "machine", "options", "instructions",
                   "base_cycles", "parallelism"),
-    "cell": ("benchmark", "machine", "options", "seconds", "cached"),
+    "cell": ("benchmark", "machine", "options", "seconds", "cached",
+             "status"),
     "engine": ("workers", "cells", "groups", "cache_hits",
-               "cache_misses", "seconds"),
+               "cache_misses", "seconds", "ok_cells", "retried_cells",
+               "degraded_cells", "failed_cells"),
     "exhibit": ("ident", "title", "seconds"),
     "run_end": ("seconds", "counters"),
 }

@@ -244,7 +244,8 @@ def build_suite_report(
     benchmarks are observed in parallel processes; workers return
     picklable :class:`BenchmarkReport` payloads and the parent emits
     their events in suite order, so the JSONL content matches the serial
-    run.
+    run.  A worker failure (crashed process, broken pool) degrades that
+    benchmark to an in-process rerun instead of aborting the report.
     """
     from ..benchmarks import suite
 
@@ -262,15 +263,44 @@ def build_suite_report(
             for bench in benchs
         ]
     else:
-        from concurrent.futures import ProcessPoolExecutor
-
         names = [b if isinstance(b, str) else b.name for b in benchs]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            reports = list(pool.map(
-                _observe_task, [(name, configs) for name in names]
-            ))
-        for report in reports:
+        worker_reports = _observe_parallel(names, configs, workers)
+        reports = []
+        for name, report in zip(names, worker_reports):
+            if report is None:
+                # Worker lost to a crash or broken pool: degrade to an
+                # in-process rerun so the report still covers the suite.
+                report = observe_benchmark(name, configs)
             _emit_benchmark_events(rec, report)
+            reports.append(report)
     seconds = time.perf_counter() - start
     rec.emit("run_end", seconds=seconds, counters=dict(rec.counters))
     return RunReport(run_id=run_id, seconds=seconds, benchmarks=reports)
+
+
+def _observe_parallel(
+    names: list[str], configs: list[MachineConfig], workers: int
+) -> list["BenchmarkReport | None"]:
+    """Observe benchmarks across a pool; ``None`` marks lost workers.
+
+    One crashed worker breaks a whole :class:`ProcessPoolExecutor`, so
+    each benchmark gets its own future and failures are recorded per
+    benchmark rather than letting ``pool.map`` raise away every result.
+    """
+    from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
+    results: list["BenchmarkReport | None"] = [None] * len(names)
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_observe_task, (name, configs))
+                for name in names
+            ]
+            for i, future in enumerate(futures):
+                try:
+                    results[i] = future.result()
+                except (BrokenExecutor, OSError):
+                    continue  # degraded serially by the caller
+    except BrokenExecutor:
+        pass
+    return results

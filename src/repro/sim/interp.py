@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import SimulationError
+from ..errors import InterpBudgetError, SimulationError
 from ..isa.instruction import Instruction
 from ..isa.opcodes import Opcode
 from ..isa.program import Program
@@ -257,9 +257,7 @@ def run(
             run_start = nxt
             run_len = 0
             if executed > budget:
-                raise SimulationError(
-                    f"instruction budget exceeded ({max_instructions})"
-                )
+                raise InterpBudgetError(executed, pc, max_instructions)
         pc = nxt
 
     trace = Trace(

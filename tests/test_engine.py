@@ -321,7 +321,9 @@ class TestApiSurface:
                 "observe: 'bool' = False) -> 'Plan'",
         "sweep": "(plan: 'Plan', *, workers: 'int' = 1, cache_dir: "
                  "'str | None' = None, no_cache: 'bool' = False, "
-                 "recorder: 'Recorder | None' = None) -> 'SweepResult'",
+                 "recorder: 'Recorder | None' = None, policy: "
+                 "'RetryPolicy | None' = None, faults: "
+                 "'FaultPlan | None' = None) -> 'SweepResult'",
     }
 
     @pytest.mark.parametrize("name", sorted(EXPECTED))
