@@ -27,6 +27,11 @@ Usage::
 
     python scripts/bench_sim.py [--benchmarks a,b,...]
         [--machines spec ...] [--output PATH] [--repeat K] [--check]
+        [--gate BASELINE.json]
+
+``--gate`` applies the warm-throughput regression gate from
+``scripts/validate_bench.py`` to the freshly measured document: exit
+status 1 when warm instr/s drops more than 10% below the baseline.
 """
 
 from __future__ import annotations
@@ -71,6 +76,9 @@ def main(argv=None) -> int:
                         help="repetitions per mode (best is kept)")
     parser.add_argument("--check", action="store_true",
                         help="verify memoized == direct before timing")
+    parser.add_argument("--gate", metavar="BASELINE",
+                        help="fail if warm throughput regresses >10%% "
+                             "vs this baseline BENCH_sim.json")
     args = parser.parse_args(argv)
 
     from repro.benchmarks import suite
@@ -198,6 +206,26 @@ def main(argv=None) -> int:
           f"{document['speedup']['cold_vs_direct']}x cold / "
           f"{document['speedup']['warm_vs_direct']}x warm "
           f"vs per-instruction path")
+
+    if args.gate:
+        import validate_bench
+
+        try:
+            with open(args.gate, encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"FAIL: cannot load baseline {args.gate}: {exc}",
+                  file=sys.stderr)
+            return 1
+        failures, lines = validate_bench.check_throughput(
+            document, baseline
+        )
+        print(f"throughput gate vs {args.gate}:")
+        for line in lines:
+            print(line)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
     return 0
 
 

@@ -5,17 +5,22 @@ Times the same benchmarks x machines grid three ways —
 
 1. serial, cold (``workers=1``, empty trace cache),
 2. parallel, cold (``--workers N``, empty trace cache),
-3. serial, warm  (``workers=1``, cache populated by the runs above) —
+3. serial, warm  (``workers=1``, cache populated by the runs above),
+4. serial, warm, traced (same, with span tracing + metrics enabled) —
 
-verifies all three produce identical rows, and writes the measurements
+verifies all four produce identical rows, and writes the measurements
 to ``BENCH_sweep.json``.  Each configuration runs in a fresh
 subprocess so no in-process memoization leaks between timings; the
-reported numbers are honest end-to-end wall times.
+reported numbers are honest end-to-end wall times.  The traced run
+also yields ``traced_overhead_pct`` — how much the observability layer
+costs on a warm sweep — and ``--trace-out`` exports its span timeline
+as a Chrome trace-event file loadable at https://ui.perfetto.dev.
 
 Usage::
 
     python scripts/bench_sweep.py [--workers N] [--benchmarks a,b,...]
         [--machines spec ...] [--output PATH] [--repeat K]
+        [--trace-out PATH]
 """
 
 from __future__ import annotations
@@ -37,14 +42,23 @@ import json, sys, time
 from repro.engine.cache import open_cache
 from repro.engine.executor import execute
 from repro.engine.plan import plan_sweep
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, write_chrome_trace
 
-benchmarks, machines, workers, cache_dir = json.loads(sys.argv[1])
+benchmarks, machines, workers, cache_dir, traced, trace_out = \
+    json.loads(sys.argv[1])
 plan = plan_sweep(benchmarks, machines)
+tracer = Tracer() if traced else None
+metrics = MetricsRegistry() if traced else None
 start = time.perf_counter()
-result = execute(plan, workers=workers, cache=open_cache(cache_dir))
+result = execute(plan, workers=workers, cache=open_cache(cache_dir),
+                 tracer=tracer, metrics=metrics)
 seconds = time.perf_counter() - start
+if trace_out:
+    write_chrome_trace(trace_out, tracer.spans)
 print(json.dumps({
     "seconds": seconds,
+    "spans": len(tracer.export()) if traced else 0,
     "report": result.report.as_dict(),
     "rows": [[c.benchmark, c.machine, c.instructions, c.base_cycles,
               c.parallelism] for c in result.cells],
@@ -52,10 +66,12 @@ print(json.dumps({
 """
 
 
-def _timed_sweep(benchmarks, machines, workers, cache_dir):
+def _timed_sweep(benchmarks, machines, workers, cache_dir, traced=False,
+                 trace_out=None):
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
-    payload = json.dumps([benchmarks, machines, workers, cache_dir])
+    payload = json.dumps([benchmarks, machines, workers, cache_dir,
+                          traced, trace_out])
     out = subprocess.run(
         [sys.executable, "-c", _CHILD, payload],
         check=True, capture_output=True, text=True, env=env,
@@ -78,31 +94,42 @@ def main(argv=None) -> int:
     parser.add_argument("--output", default="BENCH_sweep.json")
     parser.add_argument("--repeat", type=int, default=1,
                         help="repetitions per configuration (best is kept)")
+    parser.add_argument("--trace-out", default=None,
+                        help="write the traced run's span timeline as a "
+                             "Chrome trace-event file (Perfetto-loadable)")
     args = parser.parse_args(argv)
 
     benchmarks = [b for b in args.benchmarks.replace(",", " ").split() if b]
     configs = []
     with tempfile.TemporaryDirectory(prefix="bench-sweep-cache-") as cache:
         runs = [
-            ("serial_cold", 1, None),
-            ("parallel_cold", args.workers, cache),
+            ("serial_cold", 1, None, False),
+            ("parallel_cold", args.workers, cache, False),
             # The parallel run above populated the cache; this measures a
             # fully warm second run (zero recompiles).
-            ("serial_warm", 1, cache),
+            ("serial_warm", 1, cache, False),
+            # Same warm sweep with the observability layer live: the gap
+            # to serial_warm is the tracing + metrics overhead.
+            ("serial_warm_traced", 1, cache, True),
         ]
-        for label, workers, cache_dir in runs:
+        for label, workers, cache_dir, traced in runs:
             best = None
             for _ in range(max(1, args.repeat)):
-                timing = _timed_sweep(benchmarks, args.machines, workers,
-                                      cache_dir)
+                timing = _timed_sweep(
+                    benchmarks, args.machines, workers, cache_dir,
+                    traced=traced,
+                    trace_out=args.trace_out if traced else None,
+                )
                 if best is None or timing["seconds"] < best["seconds"]:
                     best = timing
             configs.append({"label": label, "workers": workers,
-                            "cached": cache_dir is not None, **best})
-            print(f"{label:14s} workers={workers} "
+                            "cached": cache_dir is not None,
+                            "traced": traced, **best})
+            extra = f", {best['spans']} spans" if traced else ""
+            print(f"{label:18s} workers={workers} "
                   f"{best['seconds']:7.2f}s  "
                   f"(cache {best['report']['cache_hits']} hit / "
-                  f"{best['report']['cache_misses']} miss)")
+                  f"{best['report']['cache_misses']} miss{extra})")
 
     rows = configs[0]["rows"]
     for config in configs[1:]:
@@ -111,6 +138,17 @@ def main(argv=None) -> int:
                   file=sys.stderr)
             return 1
     print("rows identical across all configurations")
+
+    warm = next(c for c in configs if c["label"] == "serial_warm")
+    traced = next(c for c in configs if c["label"] == "serial_warm_traced")
+    overhead_pct = round(
+        (traced["seconds"] / warm["seconds"] - 1.0) * 100, 2
+    ) if warm["seconds"] > 0 else None
+    print(f"tracing overhead on warm sweep: {overhead_pct}% "
+          f"({traced['spans']} spans)")
+    if args.trace_out:
+        print(f"Chrome trace written to {args.trace_out} "
+              f"(load at ui.perfetto.dev)")
 
     serial = configs[0]["seconds"]
     document = {
@@ -124,6 +162,7 @@ def main(argv=None) -> int:
             c["label"]: round(serial / c["seconds"], 3)
             for c in configs if c["seconds"] > 0
         },
+        "traced_overhead_pct": overhead_pct,
     }
     parent = os.path.dirname(args.output)
     if parent:

@@ -19,7 +19,14 @@ Checks, per file:
   ``memo_instructions + direct_instructions == instructions``;
 * every ``status`` field is one of ``ok/retried/degraded/failed``, and
   each ``engine`` event obeys status conservation:
-  ``ok_cells + retried_cells + degraded_cells + failed_cells == cells``.
+  ``ok_cells + retried_cells + degraded_cells + failed_cells == cells``;
+* every ``span`` event carries non-negative microsecond times and a
+  well-formed span/parent ID pair;
+* every ``metrics`` event carries numeric counters/gauges and
+  well-formed histograms, each obeying bucket conservation (the bucket
+  counts, overflow included, sum exactly to the observation count) —
+  and when the cache counters are present, the cache conservation law
+  ``cache.gets == cache.hits + cache.misses + cache.corrupt``.
 
 Deliberately stdlib-only so CI can run it without installing the
 package; ``tests/test_obs_report.py`` pins this copy of the schema
@@ -47,6 +54,9 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "engine": ("workers", "cells", "groups", "cache_hits",
                "cache_misses", "seconds", "ok_cells", "retried_cells",
                "degraded_cells", "failed_cells"),
+    "span": ("name", "cat", "track", "start_us", "dur_us", "span_id",
+             "parent_id"),
+    "metrics": ("counters", "gauges", "histograms"),
     "exhibit": ("ident", "title", "seconds"),
     "run_end": ("seconds", "counters"),
 }
@@ -83,6 +93,10 @@ _NUMERIC_FIELDS: dict[str, tuple[tuple[type, ...], bool]] = {
     "group_retries": ((int,), False),
     "pool_restarts": ((int,), False),
     "attempts": ((int,), False),
+    # span events (microsecond times relative to the run's first span)
+    "start_us": ((int, float), False),
+    "dur_us": ((int, float), False),
+    "span_id": ((int,), False),
     # compile_pass size fields use -1 for "not applicable"
     "instrs_before": ((int,), True),
     "instrs_after": ((int,), True),
@@ -158,6 +172,95 @@ def check_stalls(stalls: object, record: dict) -> list[str]:
     return errors
 
 
+def check_span(record: dict) -> list[str]:
+    """Validate one span event's ID fields; returns error strings."""
+    errors = []
+    parent = record.get("parent_id")
+    if parent is not None and (isinstance(parent, bool)
+                               or not isinstance(parent, int)
+                               or parent < 0):
+        errors.append("span: parent_id must be null or a non-negative int")
+    for name in ("name", "cat", "track"):
+        if name in record and not isinstance(record[name], str):
+            errors.append(f"span: field {name!r} must be a string")
+    return errors
+
+
+def check_histogram(name: str, hist: object) -> list[str]:
+    """Validate one histogram payload; returns error strings."""
+    if not isinstance(hist, dict):
+        return [f"metrics: histogram {name!r} must be an object"]
+    errors = []
+    bounds = hist.get("bounds")
+    counts = hist.get("counts")
+    count = hist.get("count")
+    total = hist.get("sum")
+    if (not isinstance(bounds, list) or not bounds
+            or any(isinstance(b, bool) or not isinstance(b, (int, float))
+                   for b in bounds)
+            or bounds != sorted(bounds)):
+        errors.append(
+            f"metrics: histogram {name!r} bounds must be a sorted "
+            "non-empty numeric list")
+    if (not isinstance(counts, list)
+            or any(isinstance(c, bool) or not isinstance(c, int) or c < 0
+                   for c in counts)):
+        errors.append(
+            f"metrics: histogram {name!r} counts must be "
+            "non-negative ints")
+    elif isinstance(bounds, list) and len(counts) != len(bounds) + 1:
+        errors.append(
+            f"metrics: histogram {name!r} needs len(bounds)+1 buckets "
+            f"(overflow included), got {len(counts)}")
+    if isinstance(count, bool) or not isinstance(count, int) or count < 0:
+        errors.append(
+            f"metrics: histogram {name!r} count must be a "
+            "non-negative int")
+    elif isinstance(counts, list) and all(
+            isinstance(c, int) and not isinstance(c, bool) for c in counts
+    ) and sum(counts) != count:
+        errors.append(
+            f"metrics: histogram {name!r} bucket conservation violated: "
+            f"sum(counts) == {sum(counts)}, count == {count}")
+    if isinstance(total, bool) or not isinstance(total, (int, float)):
+        errors.append(f"metrics: histogram {name!r} sum must be numeric")
+    return errors
+
+
+def check_metrics(record: dict) -> list[str]:
+    """Validate one metrics snapshot event; returns error strings."""
+    errors = []
+    for section in ("counters", "gauges"):
+        values = record.get(section)
+        if not isinstance(values, dict):
+            errors.append(f"metrics: {section} must be an object")
+            continue
+        for name, value in values.items():
+            if isinstance(value, bool) \
+                    or not isinstance(value, (int, float)):
+                errors.append(
+                    f"metrics: {section}[{name!r}] must be numeric")
+    histograms = record.get("histograms")
+    if not isinstance(histograms, dict):
+        errors.append("metrics: histograms must be an object")
+    else:
+        for name, hist in histograms.items():
+            errors.extend(check_histogram(name, hist))
+    counters = record.get("counters")
+    if isinstance(counters, dict) and "cache.gets" in counters:
+        # Cache conservation: every lookup ends as exactly one of
+        # hit / miss / corrupt-drop.
+        parts = (counters.get("cache.hits", 0)
+                 + counters.get("cache.misses", 0)
+                 + counters.get("cache.corrupt", 0))
+        if parts != counters["cache.gets"]:
+            errors.append(
+                f"metrics: cache conservation violated: "
+                f"hits+misses+corrupt == {parts}, "
+                f"gets == {counters['cache.gets']}")
+    return errors
+
+
 def check_event(record: dict) -> list[str]:
     """Validate one event object; returns error strings."""
     event = record.get("event")
@@ -201,6 +304,10 @@ def check_event(record: dict) -> list[str]:
                 f"ok+retried+degraded+failed == {total}, "
                 f"cells == {record['cells']}"
             )
+    if event == "span":
+        errors.extend(check_span(record))
+    if event == "metrics":
+        errors.extend(check_metrics(record))
     if "stalls" in record:
         errors.extend(check_stalls(record["stalls"], record))
     if "replay" in record and record["replay"] is not None:

@@ -1,26 +1,120 @@
-"""Dev helper: validate one benchmark across compile configurations.
+"""Dev helper: validate one benchmark across compile configurations,
+or gate simulator throughput against the committed baseline.
 
-Usage: python scripts/validate_bench.py <name> [quick]
+Usage::
+
+    python scripts/validate_bench.py <name> [quick]
+    python scripts/validate_bench.py --throughput CANDIDATE.json
+        [--baseline BENCH_sim.json] [--max-regression 0.10]
+
+The first form compiles and runs one suite benchmark under every
+optimization level (plus unroll variants unless ``quick``) and checks
+the result checksum each time.
+
+The second form compares a freshly measured ``BENCH_sim.json`` (produced
+by ``scripts/bench_sim.py``) against the committed baseline and fails —
+exit status 1 — when warm-replay throughput (``modes.warm.instr_per_sec``)
+regresses by more than ``--max-regression`` (default 10%).  Other modes
+are reported informationally but do not gate, since only the warm path
+is the steady-state cost every later replay pays.
 """
 
+import argparse
+import json
 import sys
 import time
 
-from repro.benchmarks import suite
-from repro.machine import ideal_superscalar
-from repro.opt import CompilerOptions, OptLevel
-from repro.sim import simulate
+#: The mode whose throughput gates; others are informational only.
+GATED_MODE = "warm"
+
+#: Default allowed fractional drop in warm instr/s before failing.
+DEFAULT_MAX_REGRESSION = 0.10
 
 
-def main() -> int:
-    name = sys.argv[1]
-    quick = len(sys.argv) > 2 and sys.argv[2] == "quick"
-    bench = suite.get(name)
+def check_throughput(
+    candidate: dict, baseline: dict,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> tuple[list[str], list[str]]:
+    """Compare two ``BENCH_sim.json`` documents mode by mode.
+
+    Returns ``(failures, lines)``: the failure messages (empty when the
+    gated mode holds) and human-readable report lines for every mode in
+    the baseline.  Only :data:`GATED_MODE` can fail; a missing or
+    malformed gated mode in either document is itself a failure so a
+    truncated candidate can't pass silently.
+    """
+    failures: list[str] = []
+    lines: list[str] = []
+    cand_modes = candidate.get("modes") or {}
+    base_modes = baseline.get("modes") or {}
+    for label in base_modes:
+        base = (base_modes.get(label) or {}).get("instr_per_sec")
+        cand = (cand_modes.get(label) or {}).get("instr_per_sec")
+        if not isinstance(base, (int, float)) or base <= 0 \
+                or not isinstance(cand, (int, float)) or cand <= 0:
+            if label == GATED_MODE:
+                failures.append(
+                    f"{label}: instr_per_sec missing or non-positive "
+                    f"(baseline={base!r}, candidate={cand!r})"
+                )
+            continue
+        ratio = cand / base
+        gated = label == GATED_MODE
+        verdict = "ok"
+        if ratio < 1.0 - max_regression:
+            verdict = "REGRESSED" if gated else "slower (not gated)"
+            if gated:
+                failures.append(
+                    f"{label}: {cand:,.0f} instr/s is "
+                    f"{(1.0 - ratio):.1%} below baseline {base:,.0f} "
+                    f"(allowed {max_regression:.0%})"
+                )
+        lines.append(
+            f"  {label:7s} baseline {base / 1e6:8.2f} M/s  "
+            f"candidate {cand / 1e6:8.2f} M/s  "
+            f"({ratio:6.1%}) {verdict}"
+        )
+    if GATED_MODE not in base_modes:
+        failures.append(f"baseline has no '{GATED_MODE}' mode")
+    return failures, lines
+
+
+def _cmd_throughput(args) -> int:
+    try:
+        with open(args.throughput, encoding="utf-8") as handle:
+            candidate = json.load(handle)
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"FAIL: cannot load benchmark documents: {exc}",
+              file=sys.stderr)
+        return 1
+    failures, lines = check_throughput(
+        candidate, baseline, args.max_regression
+    )
+    print(f"throughput gate: {args.throughput} vs {args.baseline} "
+          f"(max regression {args.max_regression:.0%} on "
+          f"'{GATED_MODE}')")
+    for line in lines:
+        print(line)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    print("PASS" if not failures else f"FAIL ({len(failures)})")
+    return 1 if failures else 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.benchmarks import suite
+    from repro.machine import ideal_superscalar
+    from repro.opt import CompilerOptions, OptLevel
+    from repro.sim import simulate
+
+    bench = suite.get(args.name)
     expected = bench.reference()
-    print(f"{name}: reference checksum = {expected}")
+    print(f"{args.name}: reference checksum = {expected}")
     configs = [("O%d" % lvl, CompilerOptions(opt_level=OptLevel(lvl)))
                for lvl in range(5)]
-    if not quick:
+    if not args.quick:
         configs += [
             ("u4-naive", CompilerOptions(unroll=4)),
             ("u4-careful", CompilerOptions(unroll=4, careful=True)),
@@ -44,6 +138,33 @@ def main() -> int:
         )
     print("PASS" if failures == 0 else f"FAIL ({failures})")
     return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("name", nargs="?",
+                        help="benchmark to validate across compile configs")
+    parser.add_argument("quick", nargs="?", choices=["quick"],
+                        help="skip the slower unroll configurations")
+    parser.add_argument("--throughput", metavar="CANDIDATE",
+                        help="gate a fresh BENCH_sim.json against the "
+                             "committed baseline instead of validating "
+                             "a benchmark")
+    parser.add_argument("--baseline", default="BENCH_sim.json",
+                        help="baseline document for --throughput "
+                             "(default: committed BENCH_sim.json)")
+    parser.add_argument("--max-regression", type=float,
+                        default=DEFAULT_MAX_REGRESSION,
+                        help="allowed fractional warm-throughput drop "
+                             "(default 0.10)")
+    args = parser.parse_args(argv)
+    if args.throughput:
+        return _cmd_throughput(args)
+    if not args.name:
+        parser.error("either a benchmark name or --throughput is required")
+    return _cmd_validate(args)
 
 
 if __name__ == "__main__":

@@ -16,6 +16,15 @@ Commands
     stall breakdown, and a machine-readable JSONL run report.
 ``exhibit <ident> [...]``
     Regenerate paper exhibits (``exhibit list`` to enumerate).
+``trace <run.jsonl>``
+    Self-profile a JSONL run report's span events: an aggregated
+    time-per-phase tree, cache/memo hit rates and retry counts, plus
+    optional Chrome trace-event export (``--chrome``) for Perfetto.
+
+Engine commands also take ``--trace-out PATH`` (write the run's merged
+span timeline straight to a Perfetto-loadable Chrome trace JSON) and
+``--live`` (a single self-updating progress line on stderr:
+cells done, ok/retried/degraded/failed counts, instantaneous instr/s).
 
 The ``measure``/``suite``/``report``/``exhibit`` commands submit their
 work through :mod:`repro.engine`: ``--workers N`` fans compilation
@@ -71,6 +80,16 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         "--faults", metavar="SPEC", default=None,
         help="deterministic fault-injection plan, e.g. "
              "'crash@whet#1,hang@linpack' (default: $REPRO_FAULTS)",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the run's span timeline as Chrome trace-event JSON "
+             "(load at ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--live", action="store_true",
+        help="show a live progress line (cells done, status counts, "
+             "instantaneous instr/s) on stderr",
     )
 
 
@@ -160,10 +179,27 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_machines_flag(p_report, "the paper's seven machines")
     _add_engine_flags(p_report)
 
+    p_report.add_argument(
+        "--input", metavar="PATH", default=None,
+        help="summarize an existing JSONL run report instead of "
+             "running the suite (tolerates truncated reports)",
+    )
+
     p_ex = sub.add_parser("exhibit", help="regenerate paper exhibits")
     p_ex.add_argument("idents", nargs="+",
                       help="exhibit ids, or 'list' / 'all'")
     _add_engine_flags(p_ex)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="self-profile a JSONL run report's span events",
+    )
+    p_trace.add_argument("input", help="run report (JSONL) to profile")
+    p_trace.add_argument(
+        "--chrome", metavar="PATH", default=None,
+        help="also export the spans as Chrome trace-event JSON "
+             "(load at ui.perfetto.dev)",
+    )
     return parser
 
 
@@ -270,6 +306,47 @@ def _open_recorder(path: str | None):
     return JsonlRecorder(path)
 
 
+def _engine_tracer(args):
+    """A Tracer when --trace-out asks for one (else None: the engine
+    auto-enables its own iff a recorder is active)."""
+    if getattr(args, "trace_out", None) is None:
+        return None
+    from .obs.trace import Tracer
+
+    return Tracer()
+
+
+def _write_trace(args, tracer) -> None:
+    """Write --trace-out's Chrome trace JSON, when requested."""
+    path = getattr(args, "trace_out", None)
+    if path is None or tracer is None:
+        return
+    from .obs.trace import write_chrome_trace
+
+    write_chrome_trace(path, tracer.spans)
+    print(f"Chrome trace written to {path} (load at ui.perfetto.dev)")
+
+
+def _progress_line(args, total_cells: int):
+    """(ProgressLine, engine progress callback), or (None, None)."""
+    if not getattr(args, "live", False):
+        return None, None
+    from .obs.live import ProgressLine
+
+    line = ProgressLine(total_cells)
+
+    def callback(key, outcome, n_cells):
+        del key
+        instructions = 0
+        if outcome.results:
+            instructions = sum(
+                cell.instructions for _, cell in outcome.results
+            )
+        line.update(n_cells, outcome.status, instructions)
+
+    return line, callback
+
+
 def _cmd_run(args) -> int:
     _program, result = _compile_file(args.file, args)
     print(f"result: {result.value}")
@@ -294,6 +371,9 @@ def _measure_benchmarks(args) -> int:
             unroll=args.unroll,
             careful=args.careful,
         )
+    tracer = _engine_tracer(args)
+    line, progress = _progress_line(
+        args, total_cells=len(benchmarks) * len(machines))
     with _open_recorder(args.report) as recorder:
         if recorder.enabled:
             recorder.emit("run_start", schema=SCHEMA_VERSION,
@@ -304,7 +384,10 @@ def _measure_benchmarks(args) -> int:
             recorder=recorder, workers=args.workers,
             cache=_engine_cache(args),
             policy=_engine_policy(args), faults=_engine_faults(args),
+            tracer=tracer, progress=progress,
         )
+        if line is not None:
+            line.finish()
         print(summarize(rows))
         if observe:
             by_bench: dict[str, list] = {}
@@ -320,6 +403,7 @@ def _measure_benchmarks(args) -> int:
         if recorder.enabled:
             recorder.emit("run_end", seconds=0.0,
                           counters=dict(recorder.counters))
+    _write_trace(args, tracer)
     if args.report is not None:
         print(f"\nJSONL report written to {args.report}")
     return _report_failures(rows)
@@ -425,6 +509,9 @@ def _cmd_suite(args) -> int:
                           machines=[c.name for c in machines])
         plan = plan_sweep(bench_names, machines,
                           observe=profile or recorder.enabled)
+        tracer = _engine_tracer(args)
+        line, progress = _progress_line(args,
+                                        total_cells=len(plan.cells))
         result = execute(
             plan,
             workers=getattr(args, "workers", 1),
@@ -432,7 +519,11 @@ def _cmd_suite(args) -> int:
             recorder=recorder,
             policy=_engine_policy(args),
             faults=_engine_faults(args),
+            tracer=tracer,
+            progress=progress,
         )
+        if line is not None:
+            line.finish()
         if recorder.enabled:
             for cell in result.cells:
                 if cell.status != "failed":
@@ -496,21 +587,28 @@ def _cmd_suite(args) -> int:
         if recorder.enabled:
             recorder.emit("run_end", seconds=result.report.seconds,
                           counters=dict(recorder.counters))
+    _write_trace(args, tracer)
     return _report_failures(result.cells)
 
 
 def _cmd_report(args) -> int:
     from .obs.report import build_suite_report, default_report_machines
 
+    if args.input is not None:
+        return _summarize_report(args.input)
+
     benchmarks = _parse_benchmarks(args.benchmarks)
     machines = _resolve_machines(args.machines, default_report_machines())
+    tracer = _engine_tracer(args)
     with _open_recorder(args.output) as recorder:
         report = build_suite_report(
             benchmarks=benchmarks,
             machines=machines,
             recorder=recorder,
             workers=args.workers,
+            tracer=tracer,
         )
+    _write_trace(args, tracer)
     if not args.quiet:
         print(report.render())
         print()
@@ -518,6 +616,120 @@ def _cmd_report(args) -> int:
     print(f"JSONL report written to {args.output} "
           f"(conservation law: {'holds' if ok else 'VIOLATED'})")
     return 0 if ok else 1
+
+
+def _load_report_events(path: str, command: str):
+    """Tolerantly load a JSONL report for a read-side CLI command.
+
+    Returns ``(events, skipped)``; on an unreadable or empty report
+    prints one clear line instead of a stack trace and returns
+    ``(None, 0)``.
+    """
+    from .obs.recorder import read_jsonl_tolerant
+
+    try:
+        events, skipped = read_jsonl_tolerant(path)
+    except OSError as exc:
+        print(f"{command}: cannot read {path}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return None, 0
+    if skipped:
+        print(f"{command}: warning: skipped {skipped} malformed "
+              f"line(s) in {path} (truncated report?)", file=sys.stderr)
+    if not events:
+        print(f"{command}: {path}: no valid events "
+              "(empty or fully truncated report)", file=sys.stderr)
+        return None, skipped
+    return events, skipped
+
+
+def _summarize_report(path: str) -> int:
+    """``repro report --input``: summarize an existing JSONL report."""
+    events, _skipped = _load_report_events(path, "report")
+    if events is None:
+        return 1
+    counts: dict[str, int] = {}
+    for event in events:
+        name = event.get("event", "?")
+        counts[name] = counts.get(name, 0) + 1
+    run_start = next((e for e in events if e.get("event") == "run_start"),
+                     None)
+    run_id = run_start.get("run_id", "?") if run_start else "?"
+    print(f"run report {path} (run_id: {run_id})")
+    rows = [[name, counts[name]] for name in sorted(counts)]
+    print(format_table(["event", "count"], rows))
+    if "run_end" not in counts:
+        print("note: no run_end event — the run did not finish cleanly")
+    return 0
+
+
+def _render_metrics_summary(events: list[dict]) -> str:
+    """Cache/memo hit rates and retry counts from a report's events."""
+    lines = []
+
+    def rate(hits: float, total: float) -> str:
+        return f"{hits / total:.0%}" if total else "n/a"
+
+    metrics = [e for e in events if e.get("event") == "metrics"]
+    if metrics:
+        counters = metrics[-1].get("counters", {})
+        gets = counters.get("cache.gets", 0)
+        if gets:
+            lines.append(
+                f"trace cache: {gets:.0f} gets, "
+                f"{counters.get('cache.hits', 0):.0f} hits / "
+                f"{counters.get('cache.misses', 0):.0f} misses / "
+                f"{counters.get('cache.corrupt', 0):.0f} corrupt-drops "
+                f"({rate(counters.get('cache.hits', 0), gets)} hit rate)"
+            )
+        memo = (counters.get("replay.memo_hits", 0)
+                + counters.get("replay.memo_misses", 0))
+        if memo:
+            lines.append(
+                f"replay memo: "
+                f"{counters.get('replay.memo_hits', 0):.0f} hits / "
+                f"{counters.get('replay.memo_misses', 0):.0f} misses / "
+                f"{counters.get('replay.fallbacks', 0):.0f} fallbacks "
+                f"({rate(counters.get('replay.memo_hits', 0), memo)} "
+                "hit rate)"
+            )
+        retries = counters.get("engine.group_retries", 0)
+        restarts = counters.get("engine.pool_restarts", 0)
+        degraded = counters.get("engine.cells.degraded", 0)
+        failed = counters.get("engine.cells.failed", 0)
+        if retries or restarts or degraded or failed:
+            lines.append(
+                f"resilience: {retries:.0f} group retries, "
+                f"{restarts:.0f} pool restarts, {degraded:.0f} degraded "
+                f"/ {failed:.0f} failed cells"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_trace(args) -> int:
+    """``repro trace``: self-profile a run report's span timeline."""
+    from .obs.trace import profile_tree, spans_from_events
+
+    events, _skipped = _load_report_events(args.input, "trace")
+    if events is None:
+        return 1
+    spans = spans_from_events(events)
+    if not spans:
+        print(f"trace: {args.input}: no span events (re-run with "
+              "--report/--trace-out on a current build)", file=sys.stderr)
+        return 1
+    print(profile_tree(spans, title=f"self-profile: {args.input}"))
+    summary = _render_metrics_summary(events)
+    if summary:
+        print()
+        print(summary)
+    if args.chrome is not None:
+        from .obs.trace import write_chrome_trace
+
+        write_chrome_trace(args.chrome, spans)
+        print(f"\nChrome trace written to {args.chrome} "
+              "(load at ui.perfetto.dev)")
+    return 0
 
 
 def _cmd_exhibit(args) -> int:
@@ -556,6 +768,7 @@ def main(argv: list[str] | None = None) -> int:
         "suite": _cmd_suite,
         "report": _cmd_report,
         "exhibit": _cmd_exhibit,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

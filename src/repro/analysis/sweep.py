@@ -22,8 +22,10 @@ from ..engine.cache import TraceCache
 from ..engine.executor import execute
 from ..engine.plan import plan_sweep
 from ..machine.config import MachineConfig
+from ..obs.metrics import MetricsRegistry
 from ..obs.recorder import Recorder, active_recorder
 from ..obs.stalls import StallBreakdown
+from ..obs.trace import Tracer, active_tracer
 from ..opt.options import CompilerOptions
 from .stats import harmonic_mean
 from .tables import format_table
@@ -59,6 +61,9 @@ def sweep(
     cache: TraceCache | None = None,
     policy=None,
     faults=None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    progress=None,
 ) -> list[SweepRow]:
     """Measure every benchmark on every machine.
 
@@ -79,18 +84,29 @@ def sweep(
     :class:`~repro.engine.faults.FaultPlan`) configure supervision;
     cells that exhaust the retry ladder come back with
     ``status="failed"`` instead of aborting the sweep.
+
+    ``tracer``/``metrics``/``progress`` thread straight through to
+    :func:`~repro.engine.executor.execute` — pass a
+    :class:`~repro.obs.trace.Tracer` to capture the full span timeline
+    (plan build included) for Perfetto export, a
+    :class:`~repro.obs.metrics.MetricsRegistry` for the merged
+    counters/histograms, and a ``progress(group_key, outcome,
+    n_cells)`` callback for live display.
     """
     rec = active_recorder(recorder)
-    plan = plan_sweep(
-        benchmarks,
-        machines,
-        options=options,
-        options_label=options_label,
-        schedule_for_target=schedule_for_target,
-        observe=observe,
-    )
+    tr = active_tracer(tracer)
+    with tr.span("plan.build", cat="engine"):
+        plan = plan_sweep(
+            benchmarks,
+            machines,
+            options=options,
+            options_label=options_label,
+            schedule_for_target=schedule_for_target,
+            observe=observe,
+        )
     result = execute(plan, workers=workers, cache=cache, recorder=rec,
-                     policy=policy, faults=faults)
+                     policy=policy, faults=faults, tracer=tracer,
+                     metrics=metrics, progress=progress)
     rows: list[SweepRow] = []
     for cell in result.cells:
         rows.append(SweepRow(

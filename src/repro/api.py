@@ -46,7 +46,9 @@ from .engine.resilience import RetryPolicy, failure_manifest as _manifest
 from .isa.program import Program
 from .machine.config import MachineConfig
 from .machine.presets import resolve as _resolve_machine
+from .obs.metrics import MetricsRegistry
 from .obs.recorder import Recorder
+from .obs.trace import Tracer
 from .opt.options import CompilerOptions
 from .sim.interp import RunResult, run as _interp_run
 from .sim.timing import TimingResult, simulate as _simulate
@@ -161,13 +163,17 @@ class SweepResult:
 def sweep(plan: Plan, *, workers: int = 1, cache_dir: str | None = None,
           no_cache: bool = False, recorder: Recorder | None = None,
           policy: RetryPolicy | None = None,
-          faults: FaultPlan | None = None) -> SweepResult:
+          faults: FaultPlan | None = None,
+          tracer: Tracer | None = None,
+          metrics: MetricsRegistry | None = None,
+          progress=None) -> SweepResult:
     """Execute a :class:`Plan` and return every cell's measurement.
 
     ``workers`` fans compile groups across a supervised process pool
     (``1`` = the bit-identical serial fallback).  ``cache_dir`` enables
     the content-addressed on-disk trace cache there (``no_cache=True``
-    forces it off).  ``recorder`` receives ``cell``/``engine`` events.
+    forces it off).  ``recorder`` receives ``cell``/``engine`` events
+    plus the run's ``span`` events and ``metrics`` snapshot.
 
     Execution is fault tolerant: ``policy`` (a :class:`RetryPolicy`)
     bounds retries, per-group timeouts, and the serial degradation
@@ -175,10 +181,20 @@ def sweep(plan: Plan, *, workers: int = 1, cache_dir: str | None = None,
     injects deterministic failures for testing.  A sweep always
     completes — check :meth:`SweepResult.failures` / ``.ok`` for cells
     that exhausted the ladder.
+
+    ``tracer`` (a :class:`~repro.obs.trace.Tracer`) captures the full
+    cross-process span timeline — export it with
+    :func:`~repro.obs.trace.write_chrome_trace` and load the file in
+    Perfetto; ``metrics`` (a
+    :class:`~repro.obs.metrics.MetricsRegistry`) receives the merged
+    counters/gauges/histograms; ``progress(group_key, outcome,
+    n_cells)`` is invoked as each compile group settles (live
+    dashboards).
     """
     cache = open_cache(cache_dir, no_cache)
     result = _execute(plan, workers=workers, cache=cache,
-                      recorder=recorder, policy=policy, faults=faults)
+                      recorder=recorder, policy=policy, faults=faults,
+                      tracer=tracer, metrics=metrics, progress=progress)
     rows = tuple(
         SweepRow(
             benchmark=c.benchmark,

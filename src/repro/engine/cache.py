@@ -60,14 +60,28 @@ def trace_key(source: str, options: CompilerOptions) -> str:
 
 @dataclass(slots=True)
 class CacheStats:
-    """Hit/miss/store counts for one cache handle."""
+    """Hit/miss/corrupt-drop/store counts for one cache handle.
+
+    ``misses`` counts clean not-found lookups only; an entry dropped for
+    being unreadable or structurally invalid counts under ``corrupt``
+    instead, so the conservation law ``gets == hits + misses + corrupt``
+    holds exactly (and the report-schema validator enforces it).
+    """
 
     hits: int = 0
     misses: int = 0
+    corrupt: int = 0
     stores: int = 0
 
+    @property
+    def gets(self) -> int:
+        """Total lookups: every ``load()`` ends as exactly one of
+        hit / miss / corrupt-drop."""
+        return self.hits + self.misses + self.corrupt
+
     def as_dict(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses,
+        return {"gets": self.gets, "hits": self.hits,
+                "misses": self.misses, "corrupt": self.corrupt,
                 "stores": self.stores}
 
 
@@ -99,7 +113,7 @@ class TraceCache:
                 os.remove(path)
             except OSError:
                 pass
-            self.stats.misses += 1
+            self.stats.corrupt += 1
             return None
         # A payload that unpickles but is not structurally a valid run
         # (wrong type, or a trace whose v2 invariants do not hold —
@@ -120,7 +134,7 @@ class TraceCache:
                 os.remove(path)
             except OSError:
                 pass
-            self.stats.misses += 1
+            self.stats.corrupt += 1
             return None
         self.stats.hits += 1
         return result

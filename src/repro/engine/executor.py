@@ -29,8 +29,10 @@ from dataclasses import dataclass, field
 
 from ..benchmarks import suite
 from ..machine.config import MachineConfig
+from ..obs.metrics import COUNT_BUCKETS, NULL_METRICS, MetricsRegistry
 from ..obs.recorder import Recorder, active_recorder
 from ..obs.stalls import StallBreakdown
+from ..obs.trace import NULL_TRACER, Tracer, emit_span_events, worker_track
 from ..opt.options import CompilerOptions
 from ..sim.timing import simulate
 from .cache import NULL_TRACE_CACHE, TraceCache, trace_key
@@ -195,6 +197,8 @@ def _run_group(
     attempt: int = 1,
     limits: ResourceLimits = NO_LIMITS,
     in_worker: bool = False,
+    tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> tuple[list[tuple[int, CellResult]], bool]:
     """Compile one group's benchmark and measure every machine in it.
 
@@ -203,6 +207,10 @@ def _run_group(
     results in plan order regardless of completion order.  ``faults``
     and ``attempt`` drive deterministic fault injection; ``limits``
     enforces the per-cell instruction-budget and RSS guardrails.
+
+    ``tracer``/``metrics`` receive the group/cache/compile/simulate
+    spans and the cache/replay/timing metrics; both default to the
+    zero-overhead null sinks.
     """
     bench = suite.get(benchmark)
     if faults:
@@ -210,63 +218,110 @@ def _run_group(
             benchmark, [m.name for _, m, _ in machine_cells],
             attempt, in_worker,
         )
-    start = time.perf_counter()
-    # In-process memo first (free), then the on-disk cache, then compile.
-    result = suite.cached_run(bench, options)
-    if result is None and cache.enabled:
-        result = cache.load(trace_key(bench.source(), options))
-        if result is not None:
-            # Share the cached run with in-process callers (exhibits, etc.).
-            suite.seed_run(bench, options, result)
-    cached = result is not None
-    if result is None:
-        result = suite.run_benchmark(
-            bench, options, max_instructions=limits.max_instructions,
-        )
-        if cache.enabled:
-            key = trace_key(bench.source(), options)
-            cache.store(key, result)
-            if faults:
-                faults.maybe_corrupt_cache(cache, key, benchmark, attempt)
-    limits.check_rss()
-    compile_seconds = time.perf_counter() - start
-    checksum_ok = abs(result.value - bench.reference()) <= bench.fp_tolerance
+    with tracer.span("group.run", cat="engine", benchmark=benchmark,
+                     cells=len(machine_cells), attempt=attempt):
+        start = time.perf_counter()
+        # In-process memo first (free), then the on-disk cache, then
+        # compile.
+        result = suite.cached_run(bench, options)
+        if result is None and cache.enabled:
+            corrupt_before = cache.stats.corrupt
+            with tracer.span("cache.get", cat="cache",
+                             benchmark=benchmark):
+                result = cache.load(trace_key(bench.source(), options))
+            metrics.incr("cache.gets")
+            if result is not None:
+                metrics.incr("cache.hits")
+                # Share the cached run with in-process callers
+                # (exhibits, etc.).
+                suite.seed_run(bench, options, result)
+            elif cache.stats.corrupt > corrupt_before:
+                metrics.incr("cache.corrupt")
+            else:
+                metrics.incr("cache.misses")
+        cached = result is not None
+        if result is None:
+            with tracer.span("compile.run", cat="compile",
+                             benchmark=benchmark):
+                result = suite.run_benchmark(
+                    bench, options,
+                    max_instructions=limits.max_instructions,
+                )
+            if cache.enabled:
+                key = trace_key(bench.source(), options)
+                with tracer.span("cache.put", cat="cache",
+                                 benchmark=benchmark):
+                    cache.store(key, result)
+                metrics.incr("cache.stores")
+                if faults:
+                    faults.maybe_corrupt_cache(cache, key, benchmark,
+                                               attempt)
+        limits.check_rss()
+        compile_seconds = time.perf_counter() - start
+        if not cached:
+            metrics.observe("compile.seconds", compile_seconds)
+        checksum_ok = (abs(result.value - bench.reference())
+                       <= bench.fp_tolerance)
 
-    out: list[tuple[int, CellResult]] = []
-    for index, machine, label in machine_cells:
-        t0 = time.perf_counter()
-        timing = simulate(result.trace, machine, observe=observe)
-        cell = CellResult(
-            benchmark=benchmark,
-            options_label=label,
-            machine=machine.name,
-            instructions=result.instructions,
-            checksum_ok=checksum_ok,
-            minor_cycles=timing.minor_cycles,
-            base_cycles=timing.base_cycles,
-            parallelism=timing.parallelism,
-            stalls=timing.stalls,
-            seconds=time.perf_counter() - t0,
-            compile_seconds=compile_seconds,
-            compile_cached=cached,
-            replay=(timing.replay.as_dict()
-                    if timing.replay is not None else None),
-        )
-        if faults:
-            cell = faults.maybe_corrupt_cell(cell, attempt)
-        out.append((index, cell))
+        out: list[tuple[int, CellResult]] = []
+        for index, machine, label in machine_cells:
+            t0 = time.perf_counter()
+            with tracer.span("simulate", cat="sim", benchmark=benchmark,
+                             machine=machine.name):
+                timing = simulate(result.trace, machine, observe=observe)
+            cell = CellResult(
+                benchmark=benchmark,
+                options_label=label,
+                machine=machine.name,
+                instructions=result.instructions,
+                checksum_ok=checksum_ok,
+                minor_cycles=timing.minor_cycles,
+                base_cycles=timing.base_cycles,
+                parallelism=timing.parallelism,
+                stalls=timing.stalls,
+                seconds=time.perf_counter() - t0,
+                compile_seconds=compile_seconds,
+                compile_cached=cached,
+                replay=(timing.replay.as_dict()
+                        if timing.replay is not None else None),
+            )
+            if metrics.enabled:
+                metrics.incr("engine.cells")
+                metrics.observe("cell.sim.seconds", cell.seconds)
+                metrics.observe("cell.instructions", cell.instructions,
+                                bounds=COUNT_BUCKETS)
+                if timing.replay is not None:
+                    timing.replay.record_to(metrics)
+            if faults:
+                cell = faults.maybe_corrupt_cell(cell, attempt)
+            out.append((index, cell))
     return out, cached
 
 
-def _run_group_task(payload: tuple) -> tuple[list[tuple[int, "CellResult"]], bool]:
-    """Pool entry point: rebuild the cache handle and run one group."""
+def _run_group_task(payload: tuple):
+    """Pool entry point: rebuild the cache handle and run one group.
+
+    With ``traced`` set, the worker buffers spans/metrics into local
+    collectors and ships them back as a third payload element — the
+    existing result round-trip is the only IPC.
+    """
     (benchmark, options, machine_cells, observe,
-     cache_root, attempt, faults, limits) = payload
+     cache_root, attempt, faults, limits, traced) = payload
     cache = TraceCache(cache_root) if cache_root else NULL_TRACE_CACHE
-    return _run_group(
+    if not traced:
+        return _run_group(
+            benchmark, options, machine_cells, observe, cache,
+            faults=faults, attempt=attempt, limits=limits, in_worker=True,
+        )
+    tracer = Tracer(track=worker_track())
+    metrics = MetricsRegistry()
+    results, cached = _run_group(
         benchmark, options, machine_cells, observe, cache,
         faults=faults, attempt=attempt, limits=limits, in_worker=True,
+        tracer=tracer, metrics=metrics,
     )
+    obs = {"spans": tracer.export(), "metrics": metrics.as_dict()}
+    return results, cached, obs
 
 
 def _prime_one(
@@ -387,6 +442,9 @@ def execute(
     recorder: Recorder | None = None,
     policy: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    progress=None,
 ) -> EngineResult:
     """Execute every cell of ``plan`` and return results in plan order.
 
@@ -405,11 +463,26 @@ def execute(
     instead of aborting the run.
 
     ``recorder`` receives one ``cell`` event per cell (in plan order)
-    and a closing ``engine`` summary event.
+    and a closing ``engine`` summary event, followed by the run's
+    ``span`` events and one ``metrics`` snapshot.
+
+    ``tracer``/``metrics`` opt into span tracing and the metrics
+    registry explicitly (pass your own to keep a handle on the merged
+    run — e.g. for :func:`~repro.obs.trace.write_chrome_trace`); when
+    ``None`` they are auto-enabled iff a recorder is active, so plain
+    ``execute(plan)`` stays on the zero-overhead null path.  Workers
+    buffer spans/metrics locally and ship them back on the result
+    payload; the parent merges them in plan order, which keeps merged
+    metric values deterministic.  ``progress(group_key, outcome,
+    n_cells)`` is called as each group settles (the ``--live`` hook).
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
     rec = active_recorder(recorder)
+    tr = tracer if tracer is not None else (
+        Tracer() if rec.enabled else NULL_TRACER)
+    mx = metrics if metrics is not None else (
+        MetricsRegistry() if rec.enabled else NULL_METRICS)
     retry_policy = policy if policy is not None else RetryPolicy()
     fault_plan = faults if faults is not None else FaultPlan.from_env()
     disk_cache = cache if cache is not None else NULL_TRACE_CACHE
@@ -439,58 +512,75 @@ def execute(
             benchmark, options, machine_cells, observe, disk_cache,
             faults=fault_plan, attempt=attempt,
             limits=retry_policy.limits, in_worker=False,
+            tracer=tr, metrics=mx,
         )
 
-    if workers == 1 or len(group_args) <= 1:
-        outcomes = [
-            run_group_serial(
-                key,
-                lambda attempt, base=base: serial_runner(base, attempt),
-                retry_policy,
-                expected_indices=set(indices),
-            )
-            for key, base, indices
-            in zip(group_keys, group_args, group_indices)
-        ]
-    else:
-        cache_root = disk_cache.root if disk_cache.enabled else ""
+    with tr.span("engine.run", cat="engine", workers=workers,
+                 cells=len(plan.cells), groups=len(group_args)):
+        root_id = tr.current_id()
 
-        def make_payload(base: tuple, attempt: int) -> tuple:
-            return base + (cache_root, attempt, fault_plan,
-                           retry_policy.limits)
-
-        outcomes = run_supervised(
-            [(key, base, set(indices))
-             for key, base, indices
-             in zip(group_keys, group_args, group_indices)],
-            workers=workers,
-            task=_run_group_task,
-            make_payload=make_payload,
-            serial_runner=serial_runner,
-            policy=retry_policy,
-            faults=fault_plan,
-            stats=stats,
-        )
-
-    for indices, outcome in zip(group_indices, outcomes):
-        if outcome.status == "failed":
-            installed = _failed_group_cells(plan, indices, outcome)
-        else:
-            assert outcome.results is not None
-            installed = outcome.results
-            for _, cell_result in installed:
-                cell_result.status = outcome.status
-                cell_result.attempts = outcome.attempts
-                cell_result.history = tuple(
-                    r.as_dict() for r in outcome.history
+        if workers == 1 or len(group_args) <= 1:
+            outcomes = []
+            for key, base, indices in zip(group_keys, group_args,
+                                          group_indices):
+                outcome = run_group_serial(
+                    key,
+                    lambda attempt, base=base: serial_runner(base, attempt),
+                    retry_policy,
+                    expected_indices=set(indices),
+                    tracer=tr,
                 )
-            compile_seconds += installed[0][1].compile_seconds
-            if outcome.cached:
-                hits += 1
+                if progress is not None:
+                    progress(key, outcome, len(indices))
+                outcomes.append(outcome)
+        else:
+            cache_root = disk_cache.root if disk_cache.enabled else ""
+            traced = tr.enabled or mx.enabled
+
+            def make_payload(base: tuple, attempt: int) -> tuple:
+                return base + (cache_root, attempt, fault_plan,
+                               retry_policy.limits, traced)
+
+            outcomes = run_supervised(
+                [(key, base, set(indices))
+                 for key, base, indices
+                 in zip(group_keys, group_args, group_indices)],
+                workers=workers,
+                task=_run_group_task,
+                make_payload=make_payload,
+                serial_runner=serial_runner,
+                policy=retry_policy,
+                faults=fault_plan,
+                stats=stats,
+                tracer=tr,
+                progress=progress,
+            )
+
+        for indices, outcome in zip(group_indices, outcomes):
+            # Splice worker-buffered spans/metrics into the parent
+            # collectors, in plan order (deterministic merge).
+            if outcome.obs:
+                tr.merge(outcome.obs.get("spans") or [],
+                         parent_id=root_id)
+                mx.merge(outcome.obs.get("metrics"))
+            if outcome.status == "failed":
+                installed = _failed_group_cells(plan, indices, outcome)
             else:
-                misses += 1
-        for index, cell_result in installed:
-            slots[index] = cell_result
+                assert outcome.results is not None
+                installed = outcome.results
+                for _, cell_result in installed:
+                    cell_result.status = outcome.status
+                    cell_result.attempts = outcome.attempts
+                    cell_result.history = tuple(
+                        r.as_dict() for r in outcome.history
+                    )
+                compile_seconds += installed[0][1].compile_seconds
+                if outcome.cached:
+                    hits += 1
+                else:
+                    misses += 1
+            for index, cell_result in installed:
+                slots[index] = cell_result
 
     cells = [c for c in slots if c is not None]
     assert len(cells) == len(plan.cells), "engine lost cell results"
@@ -520,6 +610,15 @@ def execute(
                 "memo_instructions", 0)
             report.direct_instructions += c.replay.get(
                 "direct_instructions", 0)
+    if mx.enabled:
+        mx.gauge("engine.workers", workers)
+        mx.incr("engine.groups", len(groups))
+        mx.incr("engine.cells.ok", report.ok_cells)
+        mx.incr("engine.cells.retried", report.retried_cells)
+        mx.incr("engine.cells.degraded", report.degraded_cells)
+        mx.incr("engine.cells.failed", report.failed_cells)
+        mx.incr("engine.group_retries", report.group_retries)
+        mx.incr("engine.pool_restarts", report.pool_restarts)
     if rec.enabled:
         for c in cells:
             event = {
@@ -538,4 +637,7 @@ def execute(
             rec.emit("cell", **event)
             rec.incr("engine.cells")
         rec.emit("engine", **report.as_dict())
+        emit_span_events(rec, tr)
+        if mx.enabled:
+            rec.emit("metrics", **mx.as_dict())
     return EngineResult(cells=cells, report=report)

@@ -47,6 +47,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from ..errors import InterpBudgetError, ReproError, ResourceLimitError
+from ..obs.trace import NULL_TRACER, Tracer
 from .faults import NO_FAULTS, FaultPlan, InjectedFaultError
 
 #: The four cell statuses, in "best first" order.
@@ -191,6 +192,25 @@ class GroupOutcome:
     attempts: int                     # total attempts consumed
     history: list[AttemptRecord]
     error: CellError | None = None    # final error, for failed groups
+    #: observability payload shipped back by the successful worker
+    #: attempt: {"spans": [...], "metrics": {...}} or None (serial runs
+    #: record straight into the parent's tracer/registry instead)
+    obs: dict | None = None
+
+
+def split_group_payload(payload: tuple) -> tuple[list, bool, dict | None]:
+    """Normalize a group payload to ``(results, cached, obs)``.
+
+    Serial runners return the historical 2-tuple (their spans/metrics
+    land directly in the parent's collectors); workers append the
+    buffered observability payload as a third element.  Only call on a
+    payload :func:`validate_group_payload` accepted.
+    """
+    if len(payload) == 2:
+        results, cached = payload
+        return results, cached, None
+    results, cached, obs = payload
+    return results, cached, obs
 
 
 def validate_group_payload(payload, expected_indices: set[int]) -> str | None:
@@ -200,10 +220,18 @@ def validate_group_payload(payload, expected_indices: set[int]) -> str | None:
     wrong indices, or cell fields that cannot be real measurements), or
     ``None`` when it is safe to install.  This is the parent-side
     defense against half-transferred or bit-flipped results.
+
+    Payloads are ``(results, cached)`` from serial runners or
+    ``(results, cached, obs)`` from workers, where ``obs`` is ``None``
+    or a dict of buffered spans/metrics (its content is advisory, so
+    only its type is checked — a corrupt span never corrupts results).
     """
-    if not isinstance(payload, tuple) or len(payload) != 2:
+    if not isinstance(payload, tuple) or len(payload) not in (2, 3):
         return f"group payload has wrong shape: {type(payload).__name__}"
-    results, cached = payload
+    if len(payload) == 3 and not (payload[2] is None
+                                  or isinstance(payload[2], dict)):
+        return "group payload obs must be a dict or None"
+    results, cached = payload[0], payload[1]
     if not isinstance(cached, bool) or not isinstance(results, list):
         return "group payload has wrong field types"
     seen: set[int] = set()
@@ -273,16 +301,20 @@ def run_group_serial(
     serial_runner,
     policy: RetryPolicy,
     expected_indices: set[int] | None = None,
+    tracer: Tracer = NULL_TRACER,
 ) -> GroupOutcome:
     """Attempt one group in-process under the retry ladder.
 
     ``serial_runner(attempt)`` performs the work and returns
-    ``(results, cached)``; exceptions are classified and transient ones
-    retried with (blocking) backoff.  ``expected_indices`` additionally
+    ``(results, cached)`` (a trailing observability element is
+    tolerated); exceptions are classified and transient ones retried
+    with (blocking) backoff.  ``expected_indices`` additionally
     subjects each payload to :func:`validate_group_payload` (a corrupt
     payload counts as a failed transient attempt).  There is no
     separate degradation step — the run is already serial — so
-    exhausting the budget means ``failed``.
+    exhausting the budget means ``failed``.  ``tracer`` receives one
+    ``retry.backoff`` span per backoff wait and one ``attempt.failed``
+    span per failed attempt.
     """
     history: list[AttemptRecord] = []
     attempt = 0
@@ -290,29 +322,39 @@ def run_group_serial(
         attempt += 1
         start = time.perf_counter()
         try:
-            results, cached = serial_runner(attempt)
+            payload = serial_runner(attempt)
         except Exception as exc:
             error = CellError(classify_exception(exc), str(exc),
                               attempt, "serial")
         else:
             message = None
             if expected_indices is not None:
-                message = validate_group_payload(
-                    (results, cached), expected_indices
-                )
+                message = validate_group_payload(payload, expected_indices)
+            elif not (isinstance(payload, tuple)
+                      and len(payload) in (2, 3)):
+                message = "group payload has wrong shape"
             if message is None:
+                results, cached, obs = split_group_payload(payload)
                 status = "ok" if attempt == 1 else "retried"
                 return GroupOutcome(status, results, cached, attempt,
-                                    history)
+                                    history, obs=obs)
             error = CellError("corrupt", message, attempt, "serial")
+        seconds = time.perf_counter() - start
         history.append(AttemptRecord(
-            attempt, "serial", error.kind, error.message,
-            time.perf_counter() - start,
+            attempt, "serial", error.kind, error.message, seconds,
         ))
+        if tracer.enabled:
+            now = time.monotonic_ns()
+            tracer.record("attempt.failed", "resilience",
+                          now - int(seconds * 1e9), int(seconds * 1e9),
+                          group=key, attempt=attempt, kind=error.kind)
         if not error.transient or attempt >= policy.max_attempts:
             return GroupOutcome("failed", None, False, attempt,
                                 history, error)
-        time.sleep(policy.backoff_delay(attempt, key))
+        delay = policy.backoff_delay(attempt, key)
+        with tracer.span("retry.backoff", cat="resilience", group=key,
+                         attempt=attempt):
+            time.sleep(delay)
     raise AssertionError("unreachable")  # pragma: no cover
 
 
@@ -375,6 +417,8 @@ def run_supervised(
     policy: RetryPolicy,
     faults: FaultPlan = NO_FAULTS,
     stats: SupervisionStats | None = None,
+    tracer: Tracer = NULL_TRACER,
+    progress=None,
 ) -> list[GroupOutcome]:
     """Run compile groups across a supervised process pool.
 
@@ -396,6 +440,14 @@ def run_supervised(
     policy / faults:
         Retry ladder configuration and the fault plan (threaded through
         payloads so workers inject deterministically).
+    tracer:
+        Receives resilience spans — ``retry.backoff``, ``pool.respawn``,
+        ``degraded.rerun``, ``group.timeout`` and ``attempt.failed`` —
+        so the supervision ladder is visible in the Perfetto timeline.
+    progress:
+        Optional callable ``progress(group_key, outcome, n_cells)``
+        invoked as each group settles (drives the ``--live`` progress
+        line).
 
     Returns one :class:`GroupOutcome` per input group, in input order.
     """
@@ -404,13 +456,21 @@ def run_supervised(
     states = [_Group(i, key, base, set(indices))
               for i, (key, base, indices) in enumerate(groups)]
     pending: deque[_Group] = deque(states)
-    waiting: list[tuple[float, int, _Group]] = []   # backoff heap
+    waiting: list = []      # backoff heap: (ready, seq, group, entered_ns)
     inflight: dict = {}                             # future -> (group, t0)
     seq = 0
     pool = ProcessPoolExecutor(max_workers=workers)
 
     def finish(group: _Group, outcome: GroupOutcome) -> None:
         group.outcome = outcome
+        if progress is not None:
+            progress(group.key, outcome, len(group.indices))
+
+    def respawn_pool() -> ProcessPoolExecutor:
+        with tracer.span("pool.respawn", cat="resilience",
+                         restart=stats.pool_restarts):
+            _kill_pool(pool)
+            return ProcessPoolExecutor(max_workers=workers)
 
     def degrade_or_fail(group: _Group, error: CellError) -> None:
         """The bottom of the worker ladder: serial rerun, then failed."""
@@ -422,20 +482,23 @@ def run_supervised(
             return
         attempt = group.attempts + 1
         start = time.perf_counter()
-        try:
-            results, cached = serial_runner(group.payload_base, attempt)
-        except Exception as exc:
-            final = CellError(classify_exception(exc), str(exc),
-                              attempt, "serial")
-        else:
-            message = validate_group_payload((results, cached),
-                                             group.indices)
-            if message is None:
-                finish(group, GroupOutcome(
-                    "degraded", results, cached, attempt, group.history,
-                ))
-                return
-            final = CellError("corrupt", message, attempt, "serial")
+        with tracer.span("degraded.rerun", cat="resilience",
+                         group=group.key, attempt=attempt):
+            try:
+                payload = serial_runner(group.payload_base, attempt)
+            except Exception as exc:
+                final = CellError(classify_exception(exc), str(exc),
+                                  attempt, "serial")
+            else:
+                message = validate_group_payload(payload, group.indices)
+                if message is None:
+                    results, cached, obs = split_group_payload(payload)
+                    finish(group, GroupOutcome(
+                        "degraded", results, cached, attempt,
+                        group.history, obs=obs,
+                    ))
+                    return
+                final = CellError("corrupt", message, attempt, "serial")
         group.history.append(AttemptRecord(
             attempt, "serial", final.kind, final.message,
             time.perf_counter() - start,
@@ -451,18 +514,25 @@ def run_supervised(
             error.attempt, error.where, error.kind, error.message, seconds,
         ))
         stats.worker_retries += 1
+        if tracer.enabled:
+            now_ns = time.monotonic_ns()
+            tracer.record("attempt.failed", "resilience",
+                          now_ns - int(seconds * 1e9), int(seconds * 1e9),
+                          group=group.key, attempt=error.attempt,
+                          kind=error.kind, where=error.where)
         if error.transient and group.attempts < policy.max_attempts:
             ready = time.monotonic() + policy.backoff_delay(
                 group.attempts, group.key,
             )
             seq += 1
-            heapq.heappush(waiting, (ready, seq, group))
+            heapq.heappush(waiting, (ready, seq, group,
+                                     time.monotonic_ns()))
         else:
             degrade_or_fail(group, error)
 
     def give_up_all(message: str) -> None:
         """Pool-restart budget exhausted: fail every unfinished group."""
-        leftovers = ([g for _, _, g in waiting] + list(pending)
+        leftovers = ([g for _, _, g, _ in waiting] + list(pending)
                      + [g for g, _ in inflight.values()])
         for group in leftovers:
             if group.outcome is None:
@@ -478,7 +548,12 @@ def run_supervised(
         while pending or waiting or inflight:
             now = time.monotonic()
             while waiting and waiting[0][0] <= now:
-                _, _, group = heapq.heappop(waiting)
+                _, _, group, entered_ns = heapq.heappop(waiting)
+                if tracer.enabled:
+                    waited = time.monotonic_ns() - entered_ns
+                    tracer.record("retry.backoff", "resilience",
+                                  entered_ns, waited, group=group.key,
+                                  attempt=group.attempts)
                 pending.append(group)
 
             # Submit up to the pool's width; more would blur the
@@ -503,8 +578,7 @@ def run_supervised(
                     if stats.pool_restarts > policy.max_pool_restarts:
                         give_up_all("pool restart budget exhausted")
                         break
-                    _kill_pool(pool)
-                    pool = ProcessPoolExecutor(max_workers=workers)
+                    pool = respawn_pool()
                     continue
                 if waiting:
                     time.sleep(max(0.0, waiting[0][0] - time.monotonic()))
@@ -547,10 +621,11 @@ def run_supervised(
                         "corrupt", message, group.attempts, "worker",
                     ), seconds)
                     continue
-                results, cached = payload
+                results, cached, obs = split_group_payload(payload)
                 status = "ok" if group.attempts == 1 else "retried"
                 finish(group, GroupOutcome(
                     status, results, cached, group.attempts, group.history,
+                    obs=obs,
                 ))
 
             # Hang detection: any group past its wall-clock budget takes
@@ -565,6 +640,14 @@ def run_supervised(
                 broken = True
                 for future, group, seconds in hung:
                     del inflight[future]
+                    if tracer.enabled:
+                        now_ns = time.monotonic_ns()
+                        tracer.record(
+                            "group.timeout", "resilience",
+                            now_ns - int(seconds * 1e9),
+                            int(seconds * 1e9), group=group.key,
+                            attempt=group.attempts,
+                        )
                     dispose_failure(group, CellError(
                         "hang",
                         f"group exceeded {policy.group_timeout:.1f}s "
@@ -583,8 +666,7 @@ def run_supervised(
                 if stats.pool_restarts > policy.max_pool_restarts:
                     give_up_all("pool restart budget exhausted")
                     break
-                _kill_pool(pool)
-                pool = ProcessPoolExecutor(max_workers=workers)
+                pool = respawn_pool()
     finally:
         # Interrupt/shutdown path: never leak worker processes.
         _kill_pool(pool)

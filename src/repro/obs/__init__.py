@@ -11,6 +11,14 @@ pipeline:
 * :mod:`repro.obs.recorder` — counters and structured JSONL event
   emission (:class:`Recorder`, :class:`JsonlRecorder`,
   :data:`NULL_RECORDER`);
+* :mod:`repro.obs.trace` — hierarchical span tracing with
+  cross-process merge and Chrome trace-event (Perfetto) export
+  (:class:`Tracer`, :data:`NULL_TRACER`, :func:`chrome_trace`);
+* :mod:`repro.obs.metrics` — counters/gauges/fixed-bucket histograms
+  with deterministic cross-process merge (:class:`MetricsRegistry`,
+  :data:`NULL_METRICS`);
+* :mod:`repro.obs.live` — the ``--live`` terminal progress line
+  (:class:`ProgressLine`);
 * :mod:`repro.obs.report` — machine-readable run reports over the
   benchmark suite and their ASCII rendering.
 
@@ -18,6 +26,14 @@ Everything here is opt-in: with no recorder/profile passed, the hot
 paths run the exact same code as before this layer existed.
 """
 
+from .live import ProgressLine
+from .metrics import (
+    NULL_METRICS,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    active_metrics,
+)
 from .profile import (
     NULL_PROFILE,
     CompileProfile,
@@ -34,23 +50,53 @@ from .recorder import (
     Recorder,
     active_recorder,
     read_jsonl,
+    read_jsonl_tolerant,
 )
 from .stalls import STALL_CAUSES, StallBreakdown
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    active_tracer,
+    chrome_trace,
+    emit_span_events,
+    profile_tree,
+    spans_from_events,
+    write_chrome_trace,
+)
 
 __all__ = [
     "EVENT_SCHEMA",
+    "NULL_METRICS",
     "NULL_PROFILE",
     "NULL_RECORDER",
+    "NULL_TRACER",
     "SCHEMA_VERSION",
     "STALL_CAUSES",
     "CompileProfile",
+    "Histogram",
     "JsonlRecorder",
+    "MetricsRegistry",
+    "NullMetrics",
     "NullRecorder",
+    "NullTracer",
     "PassStat",
+    "ProgressLine",
     "Recorder",
     "SchedStats",
+    "Span",
     "StallBreakdown",
+    "Tracer",
+    "active_metrics",
     "active_recorder",
+    "active_tracer",
+    "chrome_trace",
+    "emit_span_events",
+    "profile_tree",
     "program_size",
     "read_jsonl",
+    "read_jsonl_tolerant",
+    "spans_from_events",
+    "write_chrome_trace",
 ]

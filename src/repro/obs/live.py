@@ -1,0 +1,89 @@
+"""Live run progress: a single self-updating terminal status line.
+
+The engine invokes a progress callback as each compile group finishes;
+:class:`ProgressLine` renders those callbacks as one ``\\r``-rewritten
+line on stderr::
+
+    cells 12/56 | 10 ok 1 retried 0 degraded 1 failed | 4.1M instr/s
+
+Throughput is *instantaneous*: dynamic instructions completed since the
+previous repaint divided by the time since it, so a stall (a hung group,
+a backoff storm) is visible as the rate collapsing rather than being
+averaged away.  Updates are throttled to one repaint per
+``min_interval`` seconds; :meth:`finish` always paints the final state
+and terminates the line.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = ["ProgressLine"]
+
+
+class ProgressLine:
+    """Terminal progress reporting for an engine run.
+
+    Usable directly as the engine's ``progress`` callback: it is called
+    with ``(cells_done, status_counts, instructions_done)`` deltas via
+    :meth:`update` each time a compile group completes.
+    """
+
+    def __init__(self, total_cells: int, stream=None,
+                 min_interval: float = 0.1) -> None:
+        self.total = total_cells
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self.done = 0
+        self.instructions = 0
+        self.counts = {"ok": 0, "retried": 0, "degraded": 0, "failed": 0}
+        self._start = time.monotonic()
+        self._last_paint = 0.0
+        self._last_instr = 0
+        self._rate = 0.0
+        self._painted = False
+
+    def update(self, cells: int, status: str, instructions: int) -> None:
+        """Record one finished compile group (``cells`` cells, all with
+        the same supervision ``status``) and maybe repaint."""
+        self.done += cells
+        self.instructions += instructions
+        if status in self.counts:
+            self.counts[status] += cells
+        self._paint()
+
+    def _paint(self, force: bool = False) -> None:
+        now = time.monotonic()
+        if not force and now - self._last_paint < self.min_interval:
+            return
+        window = now - (self._last_paint or self._start)
+        if window > 0:
+            self._rate = (self.instructions - self._last_instr) / window
+        self._last_paint = now
+        self._last_instr = self.instructions
+        c = self.counts
+        line = (
+            f"\rcells {self.done}/{self.total} | "
+            f"{c['ok']} ok {c['retried']} retried "
+            f"{c['degraded']} degraded {c['failed']} failed | "
+            f"{self._format_rate(self._rate)} instr/s"
+        )
+        self.stream.write(f"{line:<79s}")
+        self.stream.flush()
+        self._painted = True
+
+    @staticmethod
+    def _format_rate(rate: float) -> str:
+        if rate >= 1e6:
+            return f"{rate / 1e6:.1f}M"
+        if rate >= 1e3:
+            return f"{rate / 1e3:.1f}k"
+        return f"{rate:.0f}"
+
+    def finish(self) -> None:
+        """Paint the final state and terminate the line."""
+        self._paint(force=True)
+        if self._painted:
+            self.stream.write("\n")
+            self.stream.flush()

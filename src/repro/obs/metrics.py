@@ -1,0 +1,190 @@
+"""Run-level metrics: counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` accumulates three metric shapes:
+
+* **counters** — monotonically increasing floats (``cache.hits``,
+  ``engine.retries``);
+* **gauges** — last-write-wins values (``engine.workers``);
+* **histograms** — observation counts over *fixed* bucket boundaries.
+
+Bucket boundaries are fixed per histogram name (every process uses the
+same boundaries for the same name), so merging registries across
+processes is exact and deterministic: counts add, no re-bucketing, no
+information loss.  Engine workers build a local registry, ship
+:meth:`~MetricsRegistry.as_dict` back on the result payload, and the
+parent :meth:`~MetricsRegistry.merge`\\ s them — same pattern as the
+span tracer (:mod:`repro.obs.trace`).
+
+Every histogram satisfies a conservation law enforced by the report
+schema validator: the bucket counts (including the overflow bucket) sum
+exactly to the observation count.  The cache counters satisfy their own:
+``cache.gets == cache.hits + cache.misses + cache.corrupt``.
+
+:data:`NULL_METRICS` is the zero-overhead disabled registry.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "NULL_METRICS",
+    "SECONDS_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "active_metrics",
+]
+
+#: Default boundaries for wall-time observations (seconds).  Spanning
+#: 100µs..60s in roughly 1-2.5-5 steps; fixed so merges are exact.
+SECONDS_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Default boundaries for size/count observations (e.g. instructions
+#: per cell): powers of ten.
+COUNT_BUCKETS = (
+    10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000,
+)
+
+
+class Histogram:
+    """Observation counts over fixed, sorted bucket boundaries.
+
+    ``counts[i]`` counts observations ``<= bounds[i]``; the final extra
+    slot counts overflow (``> bounds[-1]``).  ``sum`` carries the raw
+    total for mean computation — note it is the one field that is *not*
+    deterministic for wall-time observations.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum")
+
+    def __init__(self, bounds=SECONDS_BUCKETS) -> None:
+        bounds = tuple(bounds)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be sorted and non-empty")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def as_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+    def merge(self, payload: dict) -> None:
+        """Add another histogram's counts (bounds must match exactly)."""
+        if tuple(payload["bounds"]) != self.bounds:
+            raise ValueError(
+                f"histogram bounds mismatch: {payload['bounds']} vs "
+                f"{list(self.bounds)}"
+            )
+        for i, n in enumerate(payload["counts"]):
+            self.counts[i] += n
+        self.count += payload["count"]
+        self.sum += payload["sum"]
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one run."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def incr(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` (creating it at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float,
+                bounds=SECONDS_BUCKETS) -> None:
+        """Record one observation into histogram ``name``.
+
+        ``bounds`` applies only on first use of the name; later calls
+        must agree (fixed boundaries are what make merges exact).
+        """
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(bounds)
+        hist.observe(value)
+
+    def as_dict(self) -> dict:
+        """JSON-safe snapshot with deterministically sorted keys."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                k: self.histograms[k].as_dict()
+                for k in sorted(self.histograms)
+            },
+        }
+
+    def merge(self, payload: dict | None) -> None:
+        """Fold one :meth:`as_dict` snapshot (e.g. from a worker) in.
+
+        Counters and histogram counts add; gauges are last-write-wins.
+        Merging is associative and, for counters/histogram counts,
+        commutative — so any merge order yields the same totals.
+        """
+        if not payload:
+            return
+        for name, value in payload.get("counters", {}).items():
+            self.incr(name, value)
+        for name, value in payload.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, hist in payload.get("histograms", {}).items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram(hist["bounds"])
+            mine.merge(hist)
+
+
+class NullMetrics(MetricsRegistry):
+    """A registry that records nothing (the zero-overhead default)."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def incr(self, name: str, value: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float,
+                bounds=SECONDS_BUCKETS) -> None:
+        pass
+
+    def merge(self, payload: dict | None) -> None:
+        pass
+
+
+#: Shared disabled registry; safe to pass anywhere metrics are expected.
+NULL_METRICS = NullMetrics()
+
+
+def active_metrics(metrics: MetricsRegistry | None) -> MetricsRegistry:
+    """Normalize an optional metrics argument to a usable registry."""
+    return metrics if metrics is not None else NULL_METRICS

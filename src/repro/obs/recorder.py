@@ -21,6 +21,7 @@ types and their required fields are listed in
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from typing import IO, Iterator
@@ -47,6 +48,9 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "engine": ("workers", "cells", "groups", "cache_hits",
                "cache_misses", "seconds", "ok_cells", "retried_cells",
                "degraded_cells", "failed_cells"),
+    "span": ("name", "cat", "track", "start_us", "dur_us", "span_id",
+             "parent_id"),
+    "metrics": ("counters", "gauges", "histograms"),
     "exhibit": ("ident", "title", "seconds"),
     "run_end": ("seconds", "counters"),
 }
@@ -131,31 +135,47 @@ def active_recorder(recorder: Recorder | None) -> Recorder:
 class JsonlRecorder(Recorder):
     """A recorder that also streams every event as one JSON line.
 
+    Safe under concurrent writers: each event is serialized to one
+    complete line first and handed to the file object in a *single*
+    ``write()`` call under a lock, so threads can never interleave or
+    tear lines (``flush()``/``close()`` take the same lock).
+
     Usable as a context manager::
 
         with JsonlRecorder("results/run_report.jsonl") as rec:
             rec.emit("run_start", schema=SCHEMA_VERSION, run_id="suite")
     """
 
-    __slots__ = ("path", "_handle")
+    __slots__ = ("path", "_handle", "_lock")
 
     def __init__(self, path: str) -> None:
         super().__init__()
         self.path = path
         self._handle: IO[str] | None = open(path, "w", encoding="utf-8")
+        self._lock = threading.Lock()
 
     def _write(self, record: dict) -> None:
-        if self._handle is None:
-            raise ValueError(f"recorder for {self.path!r} is closed")
-        json.dump(record, self._handle, separators=(",", ":"),
-                  sort_keys=True, default=str)
-        self._handle.write("\n")
+        # Serialize outside the lock; emit as one atomic write() so a
+        # concurrent writer can never interleave inside a line.
+        line = json.dumps(record, separators=(",", ":"),
+                          sort_keys=True, default=str) + "\n"
+        with self._lock:
+            if self._handle is None:
+                raise ValueError(f"recorder for {self.path!r} is closed")
+            self._handle.write(line)
+
+    def flush(self) -> None:
+        """Flush buffered lines to the OS (no-op when closed)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
 
     def close(self) -> None:
         """Flush and close the underlying file (idempotent)."""
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
 
 def read_jsonl(path: str) -> list[dict]:
@@ -177,3 +197,31 @@ def read_jsonl(path: str) -> list[dict]:
                 )
             events.append(record)
     return events
+
+
+def read_jsonl_tolerant(path: str) -> tuple[list[dict], int]:
+    """Load a JSONL report, skipping malformed lines instead of raising.
+
+    A report written by an interrupted run typically ends in one torn
+    (half-written) line; CLI readers (``repro trace``,
+    ``repro report --input``) must degrade gracefully rather than
+    stack-trace.  Returns ``(events, skipped)`` where ``skipped`` counts
+    the undecodable or structurally invalid lines that were dropped.
+    """
+    events: list[dict] = []
+    skipped = 0
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(record, dict) or "event" not in record:
+                skipped += 1
+                continue
+            events.append(record)
+    return events, skipped

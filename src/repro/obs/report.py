@@ -22,6 +22,7 @@ from ..sim.timing import TimingResult, simulate
 from .profile import CompileProfile
 from .recorder import SCHEMA_VERSION, Recorder, active_recorder
 from .stalls import STALL_CAUSES
+from .trace import Tracer, active_tracer, emit_span_events
 
 #: Table headers shared by every stall-breakdown rendering.
 _STALL_HEADERS = ["machine", "base cycles", "instr/cycle", "raw_dep",
@@ -176,29 +177,39 @@ def observe_benchmark(
     machines: list[MachineConfig],
     options: CompilerOptions | None = None,
     recorder: Recorder | None = None,
+    tracer: Tracer | None = None,
 ) -> BenchmarkReport:
-    """Compile, run, and measure one benchmark with full observability."""
+    """Compile, run, and measure one benchmark with full observability.
+
+    ``tracer`` (optional) receives one ``observe`` span per benchmark
+    with nested ``compile.run``/``simulate`` children.
+    """
     from ..benchmarks import suite
     from ..sim.interp import run as interp_run
     from ..opt.driver import compile_source
 
     rec = active_recorder(recorder)
+    tr = active_tracer(tracer)
     if isinstance(bench, str):
         bench = suite.get(bench)
     opts = options or suite.default_options(bench)
     profile = CompileProfile()
-    program = compile_source(bench.source(), opts, profile)
-    emit_compile_events(rec, bench.name, profile)
+    with tr.span("observe", cat="report", benchmark=bench.name):
+        with tr.span("compile.run", cat="compile", benchmark=bench.name):
+            program = compile_source(bench.source(), opts, profile)
+        emit_compile_events(rec, bench.name, profile)
 
-    result = interp_run(program)
-    ok = abs(result.value - bench.reference()) <= bench.fp_tolerance
-    timings = []
-    for config in machines:
-        timing = simulate(result.trace, config, observe=True)
-        timings.append(timing)
-        rec.emit("timing", benchmark=bench.name, **timing.as_dict())
-        rec.incr("timings")
-    rec.incr("benchmarks")
+        result = interp_run(program)
+        ok = abs(result.value - bench.reference()) <= bench.fp_tolerance
+        timings = []
+        for config in machines:
+            with tr.span("simulate", cat="sim", benchmark=bench.name,
+                         machine=config.name):
+                timing = simulate(result.trace, config, observe=True)
+            timings.append(timing)
+            rec.emit("timing", benchmark=bench.name, **timing.as_dict())
+            rec.incr("timings")
+        rec.incr("benchmarks")
     return BenchmarkReport(
         benchmark=bench.name,
         checksum_ok=ok,
@@ -235,6 +246,7 @@ def build_suite_report(
     recorder: Recorder | None = None,
     run_id: str = "suite",
     workers: int = 1,
+    tracer: Tracer | None = None,
 ) -> RunReport:
     """Observe the whole suite (or a subset) and return the run report.
 
@@ -246,10 +258,18 @@ def build_suite_report(
     their events in suite order, so the JSONL content matches the serial
     run.  A worker failure (crashed process, broken pool) degrades that
     benchmark to an in-process rerun instead of aborting the report.
+
+    ``tracer`` collects the run's span timeline; when ``None`` one is
+    created automatically iff a recorder is active, and its spans are
+    emitted as ``span`` events just before ``run_end``.
     """
     from ..benchmarks import suite
 
     rec = active_recorder(recorder)
+    # Like the engine: tracing is on whenever a recorder is (the JSONL
+    # report then carries the span timeline), opt-out via NULL_TRACER.
+    tr = tracer if tracer is not None else (
+        Tracer() if rec.enabled else active_tracer(None))
     configs = (list(machines) if machines is not None
                else default_report_machines())
     benchs = benchmarks if benchmarks is not None else suite.all_benchmarks()
@@ -257,23 +277,29 @@ def build_suite_report(
              machines=[c.name for c in configs],
              stall_causes=list(STALL_CAUSES))
     start = time.perf_counter()
-    if workers <= 1 or len(benchs) <= 1:
-        reports = [
-            observe_benchmark(bench, configs, recorder=rec)
-            for bench in benchs
-        ]
-    else:
-        names = [b if isinstance(b, str) else b.name for b in benchs]
-        worker_reports = _observe_parallel(names, configs, workers)
-        reports = []
-        for name, report in zip(names, worker_reports):
-            if report is None:
-                # Worker lost to a crash or broken pool: degrade to an
-                # in-process rerun so the report still covers the suite.
-                report = observe_benchmark(name, configs)
-            _emit_benchmark_events(rec, report)
-            reports.append(report)
+    with tr.span("report.run", cat="report", run_id=run_id,
+                 benchmarks=len(benchs)):
+        if workers <= 1 or len(benchs) <= 1:
+            reports = [
+                observe_benchmark(bench, configs, recorder=rec, tracer=tr)
+                for bench in benchs
+            ]
+        else:
+            names = [b if isinstance(b, str) else b.name for b in benchs]
+            with tr.span("observe.parallel", cat="report",
+                         workers=workers):
+                worker_reports = _observe_parallel(names, configs, workers)
+            reports = []
+            for name, report in zip(names, worker_reports):
+                if report is None:
+                    # Worker lost to a crash or broken pool: degrade to
+                    # an in-process rerun so the report still covers the
+                    # suite.
+                    report = observe_benchmark(name, configs, tracer=tr)
+                _emit_benchmark_events(rec, report)
+                reports.append(report)
     seconds = time.perf_counter() - start
+    emit_span_events(rec, tr)
     rec.emit("run_end", seconds=seconds, counters=dict(rec.counters))
     return RunReport(run_id=run_id, seconds=seconds, benchmarks=reports)
 

@@ -1,0 +1,445 @@
+"""Hierarchical span tracing across the execution path.
+
+A :class:`Tracer` records *spans* — named, timed intervals with
+parent/child structure — through a context-manager API::
+
+    tracer = Tracer()
+    with tracer.span("engine.run", cat="engine", cells=56):
+        with tracer.span("compile", cat="compile", benchmark="whet"):
+            ...
+
+Clocks are monotonic (:func:`time.monotonic_ns`, which is system-wide on
+every platform we support), so spans recorded in *different processes on
+the same machine* share one time base: engine workers buffer their spans
+locally and ship them back piggybacked on the existing result payloads,
+and :meth:`Tracer.merge` splices them into the parent's timeline with
+re-namespaced span IDs — a complete cross-process trace without any new
+IPC.
+
+The merged run exports two ways:
+
+* :func:`chrome_trace` — Chrome trace-event JSON (the ``traceEvents``
+  format), loadable in `Perfetto <https://ui.perfetto.dev>`_ or
+  ``chrome://tracing``, one row ("thread") per worker track;
+* ``span`` events in the JSONL run report (see
+  :mod:`repro.obs.recorder`), from which :func:`spans_from_events`
+  rebuilds the tree for the ``repro trace`` self-profile CLI.
+
+The disabled path is :data:`NULL_TRACER`: ``span()`` hands back one
+shared no-op context manager, so instrumented code costs an attribute
+lookup and a function call when tracing is off, nothing more.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "chrome_trace",
+    "emit_span_events",
+    "profile_tree",
+    "spans_from_events",
+    "write_chrome_trace",
+]
+
+#: Track name of the supervising (parent) process.
+MAIN_TRACK = "main"
+
+
+@dataclass(slots=True)
+class Span:
+    """One named, timed interval in a run.
+
+    ``start_ns`` is an absolute :func:`time.monotonic_ns` reading;
+    ``dur_ns`` is ``-1`` while the span is still open.  ``track`` names
+    the process the span was recorded in (``"main"`` or
+    ``"worker-<pid>"``); ``args`` carries small JSON-safe annotations
+    (benchmark, machine, attempt, ...).
+    """
+
+    name: str
+    cat: str
+    span_id: int
+    parent_id: int | None
+    start_ns: int
+    dur_ns: int
+    track: str
+    args: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Compact picklable/JSON-safe form (used to ship worker spans
+        back on result payloads and to rebuild from JSONL events)."""
+        return {
+            "name": self.name, "cat": self.cat,
+            "span_id": self.span_id, "parent_id": self.parent_id,
+            "start_ns": self.start_ns, "dur_ns": self.dur_ns,
+            "track": self.track, "args": self.args,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Span":
+        return cls(
+            name=record["name"], cat=record.get("cat", "run"),
+            span_id=record["span_id"],
+            parent_id=record.get("parent_id"),
+            start_ns=record.get("start_ns", 0),
+            dur_ns=record.get("dur_ns", 0),
+            track=record.get("track", MAIN_TRACK),
+            args=dict(record.get("args") or {}),
+        )
+
+
+class _SpanHandle:
+    """The context manager :meth:`Tracer.span` returns (one per call)."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer._close(self._span)
+
+
+class _NullSpanHandle:
+    """Shared no-op context manager for the disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_HANDLE = _NullSpanHandle()
+
+
+class Tracer:
+    """Records a tree of spans on one track (one per process).
+
+    Not thread-safe by design: one tracer belongs to one thread of one
+    process (engine workers each build their own and the parent merges).
+    """
+
+    __slots__ = ("spans", "track", "_stack", "_next_id", "_emitted")
+
+    enabled = True
+
+    def __init__(self, track: str | None = None) -> None:
+        self.spans: list[Span] = []
+        self.track = track if track is not None else MAIN_TRACK
+        self._stack: list[int] = []   # indices into self.spans
+        self._next_id = 0
+        self._emitted = 0             # watermark for emit_span_events
+
+    def span(self, name: str, cat: str = "run", **args) -> _SpanHandle:
+        """Open a span; use as ``with tracer.span("compile"): ...``."""
+        parent = (self.spans[self._stack[-1]].span_id
+                  if self._stack else None)
+        span = Span(
+            name=name, cat=cat, span_id=self._next_id, parent_id=parent,
+            start_ns=time.monotonic_ns(), dur_ns=-1, track=self.track,
+            args=args,
+        )
+        self._next_id += 1
+        self._stack.append(len(self.spans))
+        self.spans.append(span)
+        return _SpanHandle(self, span)
+
+    def _close(self, span: Span) -> None:
+        span.dur_ns = time.monotonic_ns() - span.start_ns
+        # Close any abandoned children too (exception unwinding).
+        while self._stack and self.spans[self._stack[-1]] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+
+    def record(self, name: str, cat: str, start_ns: int, dur_ns: int,
+               **args) -> Span:
+        """Add a retroactive span (e.g. a backoff wait measured after the
+        fact).  Parented under the currently open span, if any."""
+        parent = (self.spans[self._stack[-1]].span_id
+                  if self._stack else None)
+        span = Span(
+            name=name, cat=cat, span_id=self._next_id, parent_id=parent,
+            start_ns=start_ns, dur_ns=max(0, dur_ns), track=self.track,
+            args=args,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def current_id(self) -> int | None:
+        """Span ID of the innermost open span (None at top level)."""
+        return (self.spans[self._stack[-1]].span_id
+                if self._stack else None)
+
+    def export(self) -> list[dict]:
+        """All spans as compact dicts (the cross-process wire format)."""
+        return [s.as_dict() for s in self.spans]
+
+    def merge(self, records: list[dict],
+              parent_id: int | None = None) -> None:
+        """Splice another process's exported spans into this tracer.
+
+        Span IDs are re-namespaced by a constant offset so they cannot
+        collide with local IDs; root spans of the merged batch (those
+        without a parent) are attached under ``parent_id`` so the
+        profile tree stays connected across the process boundary.
+        Tracks are preserved — merged spans keep their worker identity.
+        """
+        if not records:
+            return
+        offset = self._next_id
+        top = 0
+        for record in records:
+            top = max(top, record["span_id"])
+            span = Span.from_dict(record)
+            span.span_id += offset
+            if span.parent_id is None:
+                span.parent_id = parent_id
+            else:
+                span.parent_id += offset
+            self.spans.append(span)
+        self._next_id = offset + top + 1
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing (the zero-overhead default)."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str, cat: str = "run", **args) -> _NullSpanHandle:
+        return _NULL_HANDLE
+
+    def record(self, name: str, cat: str, start_ns: int, dur_ns: int,
+               **args) -> None:
+        return None
+
+    def merge(self, records: list[dict],
+              parent_id: int | None = None) -> None:
+        pass
+
+
+#: Shared no-op tracer; safe to pass anywhere a tracer is expected.
+NULL_TRACER = NullTracer()
+
+
+def active_tracer(tracer: Tracer | None) -> Tracer:
+    """Normalize an optional tracer argument to a usable instance."""
+    return tracer if tracer is not None else NULL_TRACER
+
+
+def worker_track() -> str:
+    """The span track name for the current (worker) process."""
+    return f"worker-{os.getpid()}"
+
+
+# ----------------------------------------------------------------------
+# JSONL report integration
+
+def emit_span_events(recorder, tracer: Tracer) -> None:
+    """Emit every not-yet-emitted span as one ``span`` report event.
+
+    Times are exported in microseconds relative to the tracer's first
+    span, so reports are small and diffable; the tracer keeps a
+    watermark so repeated calls (e.g. one per ``execute()``) never
+    duplicate events.
+    """
+    if not tracer.enabled or not recorder.enabled:
+        return
+    if not tracer.spans:
+        return
+    origin = min(s.start_ns for s in tracer.spans)
+    for span in tracer.spans[tracer._emitted:]:
+        recorder.emit(
+            "span",
+            name=span.name,
+            cat=span.cat,
+            track=span.track,
+            start_us=round((span.start_ns - origin) / 1000.0, 3),
+            dur_us=round(max(0, span.dur_ns) / 1000.0, 3),
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            args=span.args,
+        )
+    tracer._emitted = len(tracer.spans)
+
+
+def spans_from_events(events: list[dict]) -> list[Span]:
+    """Rebuild spans from the ``span`` events of a JSONL run report."""
+    spans = []
+    for record in events:
+        if record.get("event") != "span":
+            continue
+        spans.append(Span(
+            name=record.get("name", "?"),
+            cat=record.get("cat", "run"),
+            span_id=record.get("span_id", 0),
+            parent_id=record.get("parent_id"),
+            start_ns=int(record.get("start_us", 0) * 1000),
+            dur_ns=int(record.get("dur_us", 0) * 1000),
+            track=record.get("track", MAIN_TRACK),
+            args=dict(record.get("args") or {}),
+        ))
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event export (Perfetto / chrome://tracing)
+
+def chrome_trace(spans: list[Span], process_name: str = "repro") -> dict:
+    """Render spans as a Chrome trace-event JSON document.
+
+    Every span becomes one complete ("X") event; each track maps to its
+    own ``tid`` with a ``thread_name`` metadata record, so Perfetto
+    shows the parent and every worker as separate rows.  Nesting within
+    a row follows time containment, which matches the recorded
+    parent/child structure because children always open after and close
+    before their parent.
+    """
+    tracks: list[str] = []
+    for span in spans:
+        if span.track not in tracks:
+            tracks.append(span.track)
+    # Stable rows: main first, workers in name order after it.
+    tracks.sort(key=lambda t: (t != MAIN_TRACK, t))
+    tid_of = {track: i for i, track in enumerate(tracks)}
+
+    events: list[dict] = [{
+        "ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+        "args": {"name": process_name},
+    }]
+    for track, tid in tid_of.items():
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": 0, "tid": tid,
+            "args": {"name": track},
+        })
+        events.append({
+            "ph": "M", "name": "thread_sort_index", "pid": 0, "tid": tid,
+            "args": {"sort_index": tid},
+        })
+    origin = min((s.start_ns for s in spans), default=0)
+    for span in spans:
+        events.append({
+            "name": span.name,
+            "cat": span.cat,
+            "ph": "X",
+            "ts": round((span.start_ns - origin) / 1000.0, 3),
+            "dur": round(max(0, span.dur_ns) / 1000.0, 3),
+            "pid": 0,
+            "tid": tid_of[span.track],
+            "args": {"span_id": span.span_id,
+                     "parent_id": span.parent_id, **span.args},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, spans: list[Span],
+                       process_name: str = "repro") -> None:
+    """Write :func:`chrome_trace` output to ``path`` (dirs created)."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(spans, process_name), handle,
+                  separators=(",", ":"))
+        handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# self-profile tree ("where did the wall-clock go?")
+
+@dataclass(slots=True)
+class _Node:
+    """One aggregation node of the self-profile tree."""
+
+    name: str
+    seconds: float = 0.0
+    count: int = 0
+    children: dict = field(default_factory=dict)
+
+
+def _aggregate(spans: list[Span]) -> tuple[_Node, float]:
+    """Fold spans into a name-keyed tree; returns (root, wall seconds).
+
+    Sibling spans with the same name aggregate (count/total time), so a
+    56-cell sweep collapses to one line per phase rather than 56.
+    Wall-clock is the envelope of all spans (the engine root span when
+    present).
+    """
+    by_id = {s.span_id: s for s in spans}
+    root = _Node(name="run")
+    nodes: dict[int, _Node] = {}
+
+    def node_for(span: Span) -> _Node:
+        existing = nodes.get(span.span_id)
+        if existing is not None:
+            return existing
+        parent = by_id.get(span.parent_id) if span.parent_id is not None \
+            else None
+        bucket = node_for(parent) if parent is not None else root
+        child = bucket.children.get(span.name)
+        if child is None:
+            child = _Node(name=span.name)
+            bucket.children[span.name] = child
+        nodes[span.span_id] = child
+        return child
+
+    for span in spans:
+        node = node_for(span)
+        node.count += 1
+        node.seconds += max(0, span.dur_ns) / 1e9
+    if spans:
+        start = min(s.start_ns for s in spans)
+        end = max(s.start_ns + max(0, s.dur_ns) for s in spans)
+        wall = (end - start) / 1e9
+    else:
+        wall = 0.0
+    return root, wall
+
+
+def profile_tree(spans: list[Span], title: str = "self-profile") -> str:
+    """Render spans as an ASCII time-per-phase tree.
+
+    Each line shows a phase's aggregate wall time, its share of the
+    run's wall clock, and how many spans were folded into it::
+
+        engine.run                      1.234s   98.7%      1
+          compile                       0.456s   36.5%      8
+          simulate                      0.601s   48.1%     56
+    """
+    root, wall = _aggregate(spans)
+    lines = [f"{title} ({wall:.3f}s wall)"]
+
+    def render(node: _Node, depth: int) -> None:
+        for child in sorted(node.children.values(),
+                            key=lambda n: -n.seconds):
+            share = (child.seconds / wall * 100.0) if wall > 0 else 0.0
+            label = "  " * depth + child.name
+            lines.append(
+                f"{label:<40s} {child.seconds:>9.3f}s "
+                f"{share:>5.1f}%  {child.count:>6d}"
+            )
+            render(child, depth + 1)
+
+    render(root, 1)
+    if len(lines) == 1:
+        lines.append("  (no spans recorded)")
+    return "\n".join(lines)

@@ -389,6 +389,21 @@ class ReplayStats:
             "direct_instructions": self.direct_instructions,
         }
 
+    def record_to(self, metrics) -> None:
+        """Fold these counters into a metrics registry
+        (:class:`repro.obs.metrics.MetricsRegistry`) under the
+        ``replay.*`` namespace — the bridge between per-replay memo
+        statistics and run-level metrics/reports."""
+        if not metrics.enabled:
+            return
+        metrics.incr("replay.blocks", self.blocks)
+        metrics.incr("replay.memo_hits", self.memo_hits)
+        metrics.incr("replay.memo_misses", self.memo_misses)
+        metrics.incr("replay.fallbacks", self.fallbacks)
+        metrics.incr("replay.memo_instructions", self.memo_instructions)
+        metrics.incr("replay.direct_instructions",
+                     self.direct_instructions)
+
 
 @dataclass(slots=True)
 class ReplayOutcome:

@@ -169,7 +169,8 @@ class TestTraceCache:
         assert loaded.value == result.value
         assert loaded.instructions == result.instructions
         assert loaded.trace.ops == result.trace.ops
-        assert cache.stats.as_dict() == {"hits": 1, "misses": 0,
+        assert cache.stats.as_dict() == {"gets": 1, "hits": 1,
+                                         "misses": 0, "corrupt": 0,
                                          "stores": 1}
 
     def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
@@ -323,7 +324,10 @@ class TestApiSurface:
                  "'str | None' = None, no_cache: 'bool' = False, "
                  "recorder: 'Recorder | None' = None, policy: "
                  "'RetryPolicy | None' = None, faults: "
-                 "'FaultPlan | None' = None) -> 'SweepResult'",
+                 "'FaultPlan | None' = None, tracer: "
+                 "'Tracer | None' = None, metrics: "
+                 "'MetricsRegistry | None' = None, progress=None) "
+                 "-> 'SweepResult'",
     }
 
     @pytest.mark.parametrize("name", sorted(EXPECTED))
@@ -428,4 +432,6 @@ class TestCacheFormat:
         loaded = cache.load(key)
         assert loaded is None
         assert not os.path.exists(cache.path_for(key))
-        assert cache.stats.misses == 1
+        assert cache.stats.misses == 0
+        assert cache.stats.corrupt == 1
+        assert cache.stats.gets == 1

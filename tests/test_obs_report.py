@@ -7,6 +7,7 @@ from __future__ import annotations
 import importlib.util
 import json
 import sys
+import threading
 from pathlib import Path
 
 import pytest
@@ -98,6 +99,37 @@ class TestJsonlRecorder:
         record = json.loads(line)
         assert list(record) == sorted(record)
         assert ": " not in line and ", " not in line
+
+
+class TestRecorderThreadSafety:
+    def test_concurrent_emits_produce_no_torn_lines(self, tmp_path):
+        """Hammer one recorder from many threads: every line must parse
+        and every event must arrive intact (single write() per line
+        under the recorder's lock)."""
+        path = tmp_path / "hammer.jsonl"
+        n_threads, n_events = 8, 250
+        payload = "x" * 256  # long enough that torn writes would show
+
+        with JsonlRecorder(path) as rec:
+            def hammer(tid: int) -> None:
+                for i in range(n_events):
+                    rec.emit("cell", thread=tid, seq=i, payload=payload)
+                    rec.incr("events")
+
+            threads = [threading.Thread(target=hammer, args=(t,))
+                       for t in range(n_threads)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        events = read_jsonl(path)  # raises on any torn/corrupt line
+        assert len(events) == n_threads * n_events
+        assert all(e["payload"] == payload for e in events)
+        for tid in range(n_threads):
+            seqs = [e["seq"] for e in events if e["thread"] == tid]
+            assert seqs == list(range(n_events))  # per-thread order kept
+        assert rec.counters["events"] == n_threads * n_events
 
 
 class TestRunReport:
@@ -258,6 +290,57 @@ class TestValidatorRejections:
         ])
         assert any("negative" in e for e in validator.check_file(path))
 
+    def test_rejects_bad_span(self, validator, tmp_path):
+        path = self.write(tmp_path, [
+            self.ok_start(),
+            json.dumps({"event": "span", "name": "engine.run", "cat": "e",
+                        "track": "main", "start_us": 0.0, "dur_us": -3.0,
+                        "span_id": 0, "parent_id": None}),
+            self.ok_end(),
+        ])
+        assert any("dur_us" in e for e in validator.check_file(path))
+
+    def test_rejects_histogram_conservation_violation(self, validator,
+                                                      tmp_path):
+        hist = {"bounds": [1, 10], "counts": [1, 1, 1], "count": 5,
+                "sum": 12.0}
+        path = self.write(tmp_path, [
+            self.ok_start(),
+            json.dumps({"event": "metrics", "counters": {}, "gauges": {},
+                        "histograms": {"lat": hist}}),
+            self.ok_end(),
+        ])
+        assert any("bucket" in e for e in validator.check_file(path))
+
+    def test_rejects_cache_conservation_violation(self, validator,
+                                                  tmp_path):
+        counters = {"cache.gets": 5, "cache.hits": 1, "cache.misses": 1,
+                    "cache.corrupt": 0}
+        path = self.write(tmp_path, [
+            self.ok_start(),
+            json.dumps({"event": "metrics", "counters": counters,
+                        "gauges": {}, "histograms": {}}),
+            self.ok_end(),
+        ])
+        assert any("cache" in e for e in validator.check_file(path))
+
+    def test_accepts_valid_span_and_metrics(self, validator, tmp_path):
+        hist = {"bounds": [1, 10], "counts": [2, 1, 1], "count": 4,
+                "sum": 20.0}
+        counters = {"cache.gets": 2, "cache.hits": 1, "cache.misses": 1,
+                    "cache.corrupt": 0}
+        path = self.write(tmp_path, [
+            self.ok_start(),
+            json.dumps({"event": "span", "name": "engine.run", "cat": "e",
+                        "track": "main", "start_us": 0.0, "dur_us": 3.0,
+                        "span_id": 0, "parent_id": None}),
+            json.dumps({"event": "metrics", "counters": counters,
+                        "gauges": {"engine.workers": 2},
+                        "histograms": {"lat": hist}}),
+            self.ok_end(),
+        ])
+        assert validator.check_file(path) == []
+
     def test_main_reports_failure(self, validator, tmp_path, capsys):
         path = self.write(tmp_path, ["{oops"])
         assert validator.main([path]) == 1
@@ -335,3 +418,82 @@ class TestSweepObservability:
 
         rows = sweep(["whet"], [base_machine()])
         assert rows[0].stalls is None
+
+
+class TestReportInputCli:
+    """``repro report --input``: summarize an existing JSONL report."""
+
+    def test_summarizes_report(self, whet_report, capsys):
+        _, path = whet_report
+        assert main(["report", "--input", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "run report" in out and "test-run" in out
+        assert "run_start" in out and "timing" in out
+
+    def test_missing_file_prints_one_line(self, tmp_path, capsys):
+        assert main(["report", "--input", str(tmp_path / "nope.jsonl")]) == 1
+        err = capsys.readouterr().err
+        assert "cannot read" in err
+        assert "Traceback" not in err
+
+    def test_empty_file_prints_one_line(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["report", "--input", str(path)]) == 1
+        assert "no valid events" in capsys.readouterr().err
+
+    def test_truncated_report_warns_and_summarizes(self, whet_report,
+                                                   tmp_path, capsys):
+        _, src = whet_report
+        lines = Path(src).read_text().splitlines()
+        path = tmp_path / "truncated.jsonl"
+        # Drop run_end and tear the last remaining line mid-record.
+        path.write_text("\n".join(lines[:-2] + [lines[-2][:10]]) + "\n")
+        assert main(["report", "--input", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "skipped 1 malformed line(s)" in captured.err
+        assert "no run_end event" in captured.out
+
+
+class TestTraceCli:
+    """``repro trace``: self-profile tree from a report's span events."""
+
+    @pytest.fixture(scope="class")
+    def traced_report(self, tmp_path_factory):
+        from repro.engine.executor import execute
+        from repro.engine.plan import plan_sweep
+
+        path = tmp_path_factory.mktemp("trace") / "run.jsonl"
+        plan = plan_sweep(["whet"], [base_machine(), ideal_superscalar(4)])
+        with JsonlRecorder(path) as rec:
+            rec.emit("run_start", schema=SCHEMA_VERSION, run_id="traced")
+            execute(plan, recorder=rec)  # recorder auto-enables tracing
+            rec.emit("run_end", seconds=0.0, counters=dict(rec.counters))
+        return str(path)
+
+    def test_prints_profile_tree_and_metrics(self, traced_report, capsys):
+        assert main(["trace", traced_report]) == 0
+        out = capsys.readouterr().out
+        assert f"self-profile: {traced_report}" in out
+        assert "engine.run" in out and "simulate" in out
+        assert "replay memo:" in out
+
+    def test_chrome_export(self, traced_report, tmp_path, capsys):
+        chrome = tmp_path / "out" / "trace.json"
+        assert main(["trace", traced_report, "--chrome", str(chrome)]) == 0
+        assert "Chrome trace written" in capsys.readouterr().out
+        doc = json.loads(chrome.read_text())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert any(e["name"] == "engine.run" for e in complete)
+
+    def test_report_without_spans_fails_clearly(self, tmp_path, capsys):
+        path = tmp_path / "plain.jsonl"
+        path.write_text(json.dumps(
+            {"event": "run_start", "schema": SCHEMA_VERSION,
+             "run_id": "x"}) + "\n")
+        assert main(["trace", str(path)]) == 1
+        assert "no span events" in capsys.readouterr().err
+
+    def test_missing_file_fails_clearly(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "gone.jsonl")]) == 1
+        assert "cannot read" in capsys.readouterr().err
