@@ -32,6 +32,8 @@ Usage::
 ``--gate`` applies the warm-throughput regression gate from
 ``scripts/validate_bench.py`` to the freshly measured document: exit
 status 1 when warm instr/s drops more than 10% below the baseline.
+``--ledger PATH`` additionally ingests the document into the run-history
+ledger (see ``repro ingest`` / ``repro dash``).
 """
 
 from __future__ import annotations
@@ -79,6 +81,9 @@ def main(argv=None) -> int:
     parser.add_argument("--gate", metavar="BASELINE",
                         help="fail if warm throughput regresses >10%% "
                              "vs this baseline BENCH_sim.json")
+    parser.add_argument("--ledger", metavar="PATH",
+                        help="also ingest the measured document into "
+                             "this run-history ledger")
     args = parser.parse_args(argv)
 
     from repro.benchmarks import suite
@@ -206,6 +211,13 @@ def main(argv=None) -> int:
           f"{document['speedup']['cold_vs_direct']}x cold / "
           f"{document['speedup']['warm_vs_direct']}x warm "
           f"vs per-instruction path")
+
+    if args.ledger:
+        from repro.obs.history import HistoryLedger
+
+        with HistoryLedger(args.ledger) as ledger:
+            result = ledger.ingest_bench(document, source=args.output)
+        print(f"ledger {args.ledger}: {result.summary()}")
 
     if args.gate:
         import validate_bench

@@ -3,351 +3,50 @@
 
 Usage: python scripts/check_report_schema.py results/run_report.jsonl [...]
 
-Checks, per file:
-
-* every line is a JSON object with a string ``event`` field;
-* the first event is ``run_start`` carrying the expected schema version,
-  and a ``run_end`` event is present;
-* every event type is known and carries its required fields;
-* common numeric fields have sane types and signs;
-* every ``timing``/``sweep_row`` event with a ``stalls`` payload obeys
-  the conservation law: the per-cause stall cycles plus ``issued_cycles``
-  reconstruct ``minor_cycles`` exactly, and the per-class roll-up sums
-  back to the per-cause totals;
-* every event with a ``replay`` payload (replay-memo counters) carries
-  non-negative integer counters and obeys its own conservation law:
-  ``memo_instructions + direct_instructions == instructions``;
-* every ``status`` field is one of ``ok/retried/degraded/failed``, and
-  each ``engine`` event obeys status conservation:
-  ``ok_cells + retried_cells + degraded_cells + failed_cells == cells``;
-* every ``span`` event carries non-negative microsecond times and a
-  well-formed span/parent ID pair;
-* every ``metrics`` event carries numeric counters/gauges and
-  well-formed histograms, each obeying bucket conservation (the bucket
-  counts, overflow included, sum exactly to the observation count) —
-  and when the cache counters are present, the cache conservation law
-  ``cache.gets == cache.hits + cache.misses + cache.corrupt``.
-
-Deliberately stdlib-only so CI can run it without installing the
-package; ``tests/test_obs_report.py`` pins this copy of the schema
-against ``repro.obs.recorder.EVENT_SCHEMA`` so the two cannot drift.
+All schema knowledge (event names, required fields, conservation laws)
+lives in ``src/repro/obs/schema.py`` — one shared stdlib-only module.
+This script loads it **by file path**, so CI can validate a report
+without installing the package, and ``tests/test_obs_report.py`` pins
+the re-exported schema against ``repro.obs.recorder.EVENT_SCHEMA`` so
+the emitters and the validator can never drift.
 """
 
 from __future__ import annotations
 
-import json
+import importlib.util
 import sys
+from pathlib import Path
 
-SCHEMA_VERSION = 1
-
-#: Mirror of repro.obs.recorder.EVENT_SCHEMA (kept in sync by a test).
-EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
-    "run_start": ("schema", "run_id"),
-    "compile_pass": ("benchmark", "pass", "seconds"),
-    "compile": ("benchmark", "seconds", "n_passes"),
-    "timing": ("benchmark", "machine", "instructions", "minor_cycles",
-               "base_cycles", "parallelism", "cpi"),
-    "sweep_row": ("benchmark", "machine", "options", "instructions",
-                  "base_cycles", "parallelism"),
-    "cell": ("benchmark", "machine", "options", "seconds", "cached",
-             "status"),
-    "engine": ("workers", "cells", "groups", "cache_hits",
-               "cache_misses", "seconds", "ok_cells", "retried_cells",
-               "degraded_cells", "failed_cells"),
-    "span": ("name", "cat", "track", "start_us", "dur_us", "span_id",
-             "parent_id"),
-    "metrics": ("counters", "gauges", "histograms"),
-    "exhibit": ("ident", "title", "seconds"),
-    "run_end": ("seconds", "counters"),
-}
-
-STALL_CAUSES = ("control", "raw_dep", "memory_order", "unit_conflict",
-                "issue_width")
-
-#: field -> (allowed types, may the value be negative?)
-_NUMERIC_FIELDS: dict[str, tuple[tuple[type, ...], bool]] = {
-    "seconds": ((int, float), False),
-    "instructions": ((int,), False),
-    "minor_cycles": ((int,), False),
-    "base_cycles": ((int, float), False),
-    "parallelism": ((int, float), False),
-    "cpi": ((int, float), False),
-    "n_passes": ((int,), False),
-    # engine-summary counts
-    "workers": ((int,), False),
-    "cells": ((int,), False),
-    "groups": ((int,), False),
-    "cache_hits": ((int,), False),
-    "cache_misses": ((int,), False),
-    # engine replay-memo roll-ups
-    "memo_hits": ((int,), False),
-    "memo_misses": ((int,), False),
-    "memo_fallbacks": ((int,), False),
-    "memo_instructions": ((int,), False),
-    "direct_instructions": ((int,), False),
-    # supervision status counts and retry accounting
-    "ok_cells": ((int,), False),
-    "retried_cells": ((int,), False),
-    "degraded_cells": ((int,), False),
-    "failed_cells": ((int,), False),
-    "group_retries": ((int,), False),
-    "pool_restarts": ((int,), False),
-    "attempts": ((int,), False),
-    # span events (microsecond times relative to the run's first span)
-    "start_us": ((int, float), False),
-    "dur_us": ((int, float), False),
-    "span_id": ((int,), False),
-    # compile_pass size fields use -1 for "not applicable"
-    "instrs_before": ((int,), True),
-    "instrs_after": ((int,), True),
-    "blocks_before": ((int,), True),
-    "blocks_after": ((int,), True),
-}
-
-#: replay payload counters (all required, all non-negative ints)
-_REPLAY_FIELDS = ("blocks", "memo_hits", "memo_misses", "fallbacks",
-                  "memo_instructions", "direct_instructions")
-
-#: legal values of a cell/sweep_row supervision status
-CELL_STATUSES = ("ok", "retried", "degraded", "failed")
+_SCHEMA_PATH = (Path(__file__).resolve().parent.parent
+                / "src" / "repro" / "obs" / "schema.py")
 
 
-def check_replay(replay: object, record: dict) -> list[str]:
-    """Validate one replay-memo payload; returns error strings."""
-    if not isinstance(replay, dict):
-        return [f"replay must be an object, got {type(replay).__name__}"]
-    errors = []
-    for name in _REPLAY_FIELDS:
-        value = replay.get(name)
-        if isinstance(value, bool) or not isinstance(value, int) \
-                or value < 0:
-            errors.append(f"replay.{name} must be a non-negative int")
-    if errors:
-        return errors
-    instructions = record.get("instructions")
-    if isinstance(instructions, int):
-        total = replay["memo_instructions"] + replay["direct_instructions"]
-        if total != instructions:
-            errors.append(
-                f"replay conservation violated: memoized+direct == "
-                f"{total}, instructions == {instructions}"
-            )
-    return errors
+def _load_schema():
+    spec = importlib.util.spec_from_file_location("_repro_obs_schema",
+                                                  _SCHEMA_PATH)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
-def check_stalls(stalls: object, record: dict) -> list[str]:
-    """Validate one stall-breakdown payload; returns error strings."""
-    errors = []
-    if not isinstance(stalls, dict):
-        return [f"stalls must be an object, got {type(stalls).__name__}"]
-    for cause in STALL_CAUSES + ("issued_cycles",):
-        value = stalls.get(cause)
-        if not isinstance(value, int) or value < 0:
-            errors.append(f"stalls.{cause} must be a non-negative int")
-    if errors:
-        return errors
-    total = sum(stalls[c] for c in STALL_CAUSES) + stalls["issued_cycles"]
-    minor = record.get("minor_cycles")
-    if isinstance(minor, int) and total != minor:
-        errors.append(
-            f"conservation violated: stalls+issued == {total}, "
-            f"minor_cycles == {minor}"
-        )
-    by_class = stalls.get("by_class", {})
-    if not isinstance(by_class, dict):
-        errors.append("stalls.by_class must be an object")
-        return errors
-    for cause in STALL_CAUSES:
-        rolled = 0
-        for klass, row in by_class.items():
-            if not isinstance(row, dict):
-                errors.append(f"by_class[{klass!r}] must be an object")
-                return errors
-            rolled += row.get(cause, 0)
-        if rolled != stalls[cause]:
-            errors.append(
-                f"by_class roll-up of {cause} is {rolled}, "
-                f"expected {stalls[cause]}"
-            )
-    return errors
+_schema = _load_schema()
 
-
-def check_span(record: dict) -> list[str]:
-    """Validate one span event's ID fields; returns error strings."""
-    errors = []
-    parent = record.get("parent_id")
-    if parent is not None and (isinstance(parent, bool)
-                               or not isinstance(parent, int)
-                               or parent < 0):
-        errors.append("span: parent_id must be null or a non-negative int")
-    for name in ("name", "cat", "track"):
-        if name in record and not isinstance(record[name], str):
-            errors.append(f"span: field {name!r} must be a string")
-    return errors
-
-
-def check_histogram(name: str, hist: object) -> list[str]:
-    """Validate one histogram payload; returns error strings."""
-    if not isinstance(hist, dict):
-        return [f"metrics: histogram {name!r} must be an object"]
-    errors = []
-    bounds = hist.get("bounds")
-    counts = hist.get("counts")
-    count = hist.get("count")
-    total = hist.get("sum")
-    if (not isinstance(bounds, list) or not bounds
-            or any(isinstance(b, bool) or not isinstance(b, (int, float))
-                   for b in bounds)
-            or bounds != sorted(bounds)):
-        errors.append(
-            f"metrics: histogram {name!r} bounds must be a sorted "
-            "non-empty numeric list")
-    if (not isinstance(counts, list)
-            or any(isinstance(c, bool) or not isinstance(c, int) or c < 0
-                   for c in counts)):
-        errors.append(
-            f"metrics: histogram {name!r} counts must be "
-            "non-negative ints")
-    elif isinstance(bounds, list) and len(counts) != len(bounds) + 1:
-        errors.append(
-            f"metrics: histogram {name!r} needs len(bounds)+1 buckets "
-            f"(overflow included), got {len(counts)}")
-    if isinstance(count, bool) or not isinstance(count, int) or count < 0:
-        errors.append(
-            f"metrics: histogram {name!r} count must be a "
-            "non-negative int")
-    elif isinstance(counts, list) and all(
-            isinstance(c, int) and not isinstance(c, bool) for c in counts
-    ) and sum(counts) != count:
-        errors.append(
-            f"metrics: histogram {name!r} bucket conservation violated: "
-            f"sum(counts) == {sum(counts)}, count == {count}")
-    if isinstance(total, bool) or not isinstance(total, (int, float)):
-        errors.append(f"metrics: histogram {name!r} sum must be numeric")
-    return errors
-
-
-def check_metrics(record: dict) -> list[str]:
-    """Validate one metrics snapshot event; returns error strings."""
-    errors = []
-    for section in ("counters", "gauges"):
-        values = record.get(section)
-        if not isinstance(values, dict):
-            errors.append(f"metrics: {section} must be an object")
-            continue
-        for name, value in values.items():
-            if isinstance(value, bool) \
-                    or not isinstance(value, (int, float)):
-                errors.append(
-                    f"metrics: {section}[{name!r}] must be numeric")
-    histograms = record.get("histograms")
-    if not isinstance(histograms, dict):
-        errors.append("metrics: histograms must be an object")
-    else:
-        for name, hist in histograms.items():
-            errors.extend(check_histogram(name, hist))
-    counters = record.get("counters")
-    if isinstance(counters, dict) and "cache.gets" in counters:
-        # Cache conservation: every lookup ends as exactly one of
-        # hit / miss / corrupt-drop.
-        parts = (counters.get("cache.hits", 0)
-                 + counters.get("cache.misses", 0)
-                 + counters.get("cache.corrupt", 0))
-        if parts != counters["cache.gets"]:
-            errors.append(
-                f"metrics: cache conservation violated: "
-                f"hits+misses+corrupt == {parts}, "
-                f"gets == {counters['cache.gets']}")
-    return errors
-
-
-def check_event(record: dict) -> list[str]:
-    """Validate one event object; returns error strings."""
-    event = record.get("event")
-    if not isinstance(event, str):
-        return ["missing or non-string 'event' field"]
-    required = EVENT_SCHEMA.get(event)
-    if required is None:
-        return [f"unknown event type {event!r}"]
-    errors = [f"{event}: missing field {name!r}"
-              for name in required if name not in record]
-    for name, (types, allow_negative) in _NUMERIC_FIELDS.items():
-        if name not in record:
-            continue
-        value = record[name]
-        if isinstance(value, bool) or not isinstance(value, types):
-            errors.append(f"{event}: field {name!r} has bad type "
-                          f"{type(value).__name__}")
-        elif not allow_negative and value < 0:
-            errors.append(f"{event}: field {name!r} is negative ({value})")
-    if event == "run_start" and record.get("schema") != SCHEMA_VERSION:
-        errors.append(
-            f"run_start: schema {record.get('schema')!r}, "
-            f"expected {SCHEMA_VERSION}"
-        )
-    if "status" in record and record["status"] not in CELL_STATUSES:
-        errors.append(
-            f"{event}: status {record['status']!r} not in "
-            f"{'/'.join(CELL_STATUSES)}"
-        )
-    if event == "engine" and all(
-        isinstance(record.get(name), int)
-        for name in ("cells", "ok_cells", "retried_cells",
-                     "degraded_cells", "failed_cells")
-    ):
-        # Status conservation: every cell ends in exactly one state.
-        total = (record["ok_cells"] + record["retried_cells"]
-                 + record["degraded_cells"] + record["failed_cells"])
-        if total != record["cells"]:
-            errors.append(
-                f"engine: status conservation violated: "
-                f"ok+retried+degraded+failed == {total}, "
-                f"cells == {record['cells']}"
-            )
-    if event == "span":
-        errors.extend(check_span(record))
-    if event == "metrics":
-        errors.extend(check_metrics(record))
-    if "stalls" in record:
-        errors.extend(check_stalls(record["stalls"], record))
-    if "replay" in record and record["replay"] is not None:
-        errors.extend(check_replay(record["replay"], record))
-    return errors
-
-
-def check_file(path: str) -> list[str]:
-    """Validate one JSONL report; returns 'line: message' error strings."""
-    errors: list[str] = []
-    events: list[tuple[int, dict]] = []
-    try:
-        with open(path, encoding="utf-8") as handle:
-            for lineno, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    errors.append(f"line {lineno}: invalid JSON ({exc})")
-                    continue
-                if not isinstance(record, dict):
-                    errors.append(f"line {lineno}: not a JSON object")
-                    continue
-                events.append((lineno, record))
-                errors.extend(
-                    f"line {lineno}: {msg}" for msg in check_event(record)
-                )
-    except OSError as exc:
-        return [str(exc)]
-    if not events:
-        errors.append("report contains no events")
-    else:
-        if events[0][1].get("event") != "run_start":
-            errors.append("first event must be 'run_start'")
-        names = [record.get("event") for _, record in events]
-        if "run_end" not in names:
-            errors.append("no 'run_end' event found")
-    return errors
+# Re-exports: everything callers and tests historically imported from
+# this script resolves to the shared module's single copy.
+SCHEMA_VERSION = _schema.SCHEMA_VERSION
+EVENT_SCHEMA = _schema.EVENT_SCHEMA
+STALL_CAUSES = _schema.STALL_CAUSES
+CELL_STATUSES = _schema.CELL_STATUSES
+check_replay = _schema.check_replay
+check_stalls = _schema.check_stalls
+check_history = _schema.check_history
+check_span = _schema.check_span
+check_resource = _schema.check_resource
+check_histogram = _schema.check_histogram
+check_metrics = _schema.check_metrics
+check_event = _schema.check_event
+check_file = _schema.check_file
 
 
 def main(argv: list[str]) -> int:

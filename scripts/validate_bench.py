@@ -17,66 +17,39 @@ exit status 1 — when warm-replay throughput (``modes.warm.instr_per_sec``)
 regresses by more than ``--max-regression`` (default 10%).  Other modes
 are reported informationally but do not gate, since only the warm path
 is the steady-state cost every later replay pays.
+
+The gate logic itself lives in ``src/repro/obs/schema.py`` (one shared
+module with the report-schema validators), loaded here by file path so
+the script still runs without the package installed; ``repro diff``
+applies the same policy to ledger entries and whole run reports.
 """
 
 import argparse
+import importlib.util
 import json
 import sys
 import time
+from pathlib import Path
 
-#: The mode whose throughput gates; others are informational only.
-GATED_MODE = "warm"
-
-#: Default allowed fractional drop in warm instr/s before failing.
-DEFAULT_MAX_REGRESSION = 0.10
+_SCHEMA_PATH = (Path(__file__).resolve().parent.parent
+                / "src" / "repro" / "obs" / "schema.py")
 
 
-def check_throughput(
-    candidate: dict, baseline: dict,
-    max_regression: float = DEFAULT_MAX_REGRESSION,
-) -> tuple[list[str], list[str]]:
-    """Compare two ``BENCH_sim.json`` documents mode by mode.
+def _load_schema():
+    spec = importlib.util.spec_from_file_location("_repro_obs_schema",
+                                                  _SCHEMA_PATH)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
-    Returns ``(failures, lines)``: the failure messages (empty when the
-    gated mode holds) and human-readable report lines for every mode in
-    the baseline.  Only :data:`GATED_MODE` can fail; a missing or
-    malformed gated mode in either document is itself a failure so a
-    truncated candidate can't pass silently.
-    """
-    failures: list[str] = []
-    lines: list[str] = []
-    cand_modes = candidate.get("modes") or {}
-    base_modes = baseline.get("modes") or {}
-    for label in base_modes:
-        base = (base_modes.get(label) or {}).get("instr_per_sec")
-        cand = (cand_modes.get(label) or {}).get("instr_per_sec")
-        if not isinstance(base, (int, float)) or base <= 0 \
-                or not isinstance(cand, (int, float)) or cand <= 0:
-            if label == GATED_MODE:
-                failures.append(
-                    f"{label}: instr_per_sec missing or non-positive "
-                    f"(baseline={base!r}, candidate={cand!r})"
-                )
-            continue
-        ratio = cand / base
-        gated = label == GATED_MODE
-        verdict = "ok"
-        if ratio < 1.0 - max_regression:
-            verdict = "REGRESSED" if gated else "slower (not gated)"
-            if gated:
-                failures.append(
-                    f"{label}: {cand:,.0f} instr/s is "
-                    f"{(1.0 - ratio):.1%} below baseline {base:,.0f} "
-                    f"(allowed {max_regression:.0%})"
-                )
-        lines.append(
-            f"  {label:7s} baseline {base / 1e6:8.2f} M/s  "
-            f"candidate {cand / 1e6:8.2f} M/s  "
-            f"({ratio:6.1%}) {verdict}"
-        )
-    if GATED_MODE not in base_modes:
-        failures.append(f"baseline has no '{GATED_MODE}' mode")
-    return failures, lines
+
+_schema = _load_schema()
+
+# Re-exports (scripts/bench_sim.py imports these from here).
+GATED_MODE = _schema.GATED_MODE
+DEFAULT_MAX_REGRESSION = _schema.DEFAULT_MAX_REGRESSION
+check_throughput = _schema.check_throughput
 
 
 def _cmd_throughput(args) -> int:

@@ -20,11 +20,24 @@ Commands
     Self-profile a JSONL run report's span events: an aggregated
     time-per-phase tree, cache/memo hit rates and retry counts, plus
     optional Chrome trace-event export (``--chrome``) for Perfetto.
+``ingest <report.jsonl | BENCH_sim.json> [...]``
+    Ingest run reports / bench documents into the run-history ledger
+    (``results/history.sqlite`` by default; content-addressed, so
+    re-ingesting the same run is a no-op).
+``diff <A> <B>``
+    Per-cell, per-metric regression diff between two reports, bench
+    documents, or ledger entries (``latest``, ``latest~1``, an id, or a
+    fingerprint prefix).  Exits nonzero iff a gated metric regressed.
+``dash``
+    Render the whole ledger as one self-contained static HTML
+    dashboard (no network, no external assets).
 
 Engine commands also take ``--trace-out PATH`` (write the run's merged
-span timeline straight to a Perfetto-loadable Chrome trace JSON) and
+span timeline straight to a Perfetto-loadable Chrome trace JSON),
 ``--live`` (a single self-updating progress line on stderr:
-cells done, ok/retried/degraded/failed counts, instantaneous instr/s).
+cells done, ok/retried/degraded/failed counts, instantaneous instr/s)
+and ``--sample-resources`` (per-process RSS/CPU telemetry recorded as
+gauges and ``resource`` report events).
 
 The ``measure``/``suite``/``report``/``exhibit`` commands submit their
 work through :mod:`repro.engine`: ``--workers N`` fans compilation
@@ -90,6 +103,22 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         "--live", action="store_true",
         help="show a live progress line (cells done, status counts, "
              "instantaneous instr/s) on stderr",
+    )
+    parser.add_argument(
+        "--sample-resources", action="store_true",
+        help="record per-process RSS/CPU telemetry (metrics gauges plus "
+             "'resource' report events; off by default because gauge "
+             "values are wall-clock-dependent)",
+    )
+
+
+def _add_ledger_flag(parser: argparse.ArgumentParser) -> None:
+    from .obs.history import DEFAULT_LEDGER_PATH, LEDGER_ENV
+
+    parser.add_argument(
+        "--ledger", metavar="PATH", default=None,
+        help="run-history ledger database (default: "
+             f"${LEDGER_ENV} or {DEFAULT_LEDGER_PATH!r})",
     )
 
 
@@ -176,6 +205,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="write the JSONL report without rendering tables",
     )
+    p_report.add_argument(
+        "--format", choices=("text", "json", "markdown"), default="text",
+        help="stdout rendering: human tables (text, the default), one "
+             "JSON document, or GitHub-flavored markdown",
+    )
     _add_machines_flag(p_report, "the paper's seven machines")
     _add_engine_flags(p_report)
 
@@ -199,6 +233,61 @@ def _build_parser() -> argparse.ArgumentParser:
         "--chrome", metavar="PATH", default=None,
         help="also export the spans as Chrome trace-event JSON "
              "(load at ui.perfetto.dev)",
+    )
+
+    p_ingest = sub.add_parser(
+        "ingest",
+        help="ingest run reports / bench documents into the ledger",
+    )
+    p_ingest.add_argument(
+        "inputs", nargs="+", metavar="PATH",
+        help="JSONL run reports (.jsonl) and/or BENCH_sim documents "
+             "(.json)",
+    )
+    _add_ledger_flag(p_ingest)
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="regression-diff two runs (files or ledger references)",
+    )
+    p_diff.add_argument(
+        "a", help="baseline: a .jsonl report, a .json bench document, "
+                  "or a ledger reference (id, 'latest', 'latest~N', "
+                  "fingerprint prefix)")
+    p_diff.add_argument("b", help="candidate (same forms as the baseline)")
+    _add_ledger_flag(p_diff)
+    p_diff.add_argument(
+        "--max-regression", type=float, default=None, metavar="FRAC",
+        help="allowed fractional throughput drop for bench modes "
+             "(default 0.10)",
+    )
+    p_diff.add_argument(
+        "--seconds-tolerance", type=float, default=None, metavar="FRAC",
+        help="relative band inside which wall-clock changes are ignored "
+             "(default 0.25)",
+    )
+    p_diff.add_argument(
+        "--warn-only", action="store_true",
+        help="report every finding but always exit 0 (CI cold-cache "
+             "configurations)",
+    )
+    p_diff.add_argument(
+        "--json", action="store_true",
+        help="emit the findings as one JSON document instead of text",
+    )
+
+    p_dash = sub.add_parser(
+        "dash",
+        help="render the ledger as a self-contained HTML dashboard",
+    )
+    _add_ledger_flag(p_dash)
+    p_dash.add_argument(
+        "--out", metavar="PATH", default="results/dash.html",
+        help="output HTML file (default: results/dash.html)",
+    )
+    p_dash.add_argument(
+        "--title", default="repro run history",
+        help="dashboard page title",
     )
     return parser
 
@@ -327,6 +416,12 @@ def _write_trace(args, tracer) -> None:
     print(f"Chrome trace written to {path} (load at ui.perfetto.dev)")
 
 
+def _nullcontext():
+    from contextlib import nullcontext
+
+    return nullcontext()
+
+
 def _progress_line(args, total_cells: int):
     """(ProgressLine, engine progress callback), or (None, None)."""
     if not getattr(args, "live", False):
@@ -379,15 +474,18 @@ def _measure_benchmarks(args) -> int:
             recorder.emit("run_start", schema=SCHEMA_VERSION,
                           run_id=f"measure:{','.join(benchmarks)}",
                           machines=[c.name for c in machines])
-        rows = sweep(
-            benchmarks, machines, options=options, observe=observe,
-            recorder=recorder, workers=args.workers,
-            cache=_engine_cache(args),
-            policy=_engine_policy(args), faults=_engine_faults(args),
-            tracer=tracer, progress=progress,
-        )
-        if line is not None:
-            line.finish()
+        # The progress line's context manager clears a painted line on
+        # exception (so tracebacks don't land mid-line) and paints the
+        # final summary on clean exit.
+        with line if line is not None else _nullcontext():
+            rows = sweep(
+                benchmarks, machines, options=options, observe=observe,
+                recorder=recorder, workers=args.workers,
+                cache=_engine_cache(args),
+                policy=_engine_policy(args), faults=_engine_faults(args),
+                tracer=tracer, progress=progress,
+                sample_resources=args.sample_resources,
+            )
         print(summarize(rows))
         if observe:
             by_bench: dict[str, list] = {}
@@ -512,18 +610,18 @@ def _cmd_suite(args) -> int:
         tracer = _engine_tracer(args)
         line, progress = _progress_line(args,
                                         total_cells=len(plan.cells))
-        result = execute(
-            plan,
-            workers=getattr(args, "workers", 1),
-            cache=_engine_cache(args),
-            recorder=recorder,
-            policy=_engine_policy(args),
-            faults=_engine_faults(args),
-            tracer=tracer,
-            progress=progress,
-        )
-        if line is not None:
-            line.finish()
+        with line if line is not None else _nullcontext():
+            result = execute(
+                plan,
+                workers=getattr(args, "workers", 1),
+                cache=_engine_cache(args),
+                recorder=recorder,
+                policy=_engine_policy(args),
+                faults=_engine_faults(args),
+                tracer=tracer,
+                progress=progress,
+                sample_resources=getattr(args, "sample_resources", False),
+            )
         if recorder.enabled:
             for cell in result.cells:
                 if cell.status != "failed":
@@ -609,12 +707,22 @@ def _cmd_report(args) -> int:
             tracer=tracer,
         )
     _write_trace(args, tracer)
-    if not args.quiet:
+    fmt = getattr(args, "format", "text")
+    if fmt == "json":
+        import json
+
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True,
+                         default=str))
+    elif fmt == "markdown":
+        print(report.render_markdown())
+    elif not args.quiet:
         print(report.render())
         print()
     ok = report.conservation_holds()
-    print(f"JSONL report written to {args.output} "
-          f"(conservation law: {'holds' if ok else 'VIOLATED'})")
+    status = (f"JSONL report written to {args.output} "
+              f"(conservation law: {'holds' if ok else 'VIOLATED'})")
+    # JSON mode keeps stdout machine-parseable; the status goes to stderr.
+    print(status, file=sys.stderr if fmt == "json" else sys.stdout)
     return 0 if ok else 1
 
 
@@ -760,6 +868,101 @@ def _cmd_exhibit(args) -> int:
     return 0
 
 
+def _open_ledger(args):
+    """A HistoryLedger at --ledger / $REPRO_LEDGER / the default path."""
+    from .obs.history import HistoryLedger
+
+    return HistoryLedger(getattr(args, "ledger", None))
+
+
+def _cmd_ingest(args) -> int:
+    """``repro ingest``: file(s) -> the run-history ledger."""
+    from .obs.history import LedgerError
+
+    status = 0
+    with _open_ledger(args) as ledger:
+        for path in args.inputs:
+            if not os.path.exists(path):
+                print(f"ingest: {path}: no such file", file=sys.stderr)
+                status = 1
+                continue
+            try:
+                if path.endswith(".jsonl"):
+                    result = ledger.ingest_report(path)
+                elif path.endswith(".json"):
+                    result = ledger.ingest_bench(path)
+                else:
+                    print(f"ingest: {path}: expected a .jsonl run report"
+                          " or a .json bench document", file=sys.stderr)
+                    status = 1
+                    continue
+            except (LedgerError, ValueError, OSError) as exc:
+                print(f"ingest: {path}: {exc}", file=sys.stderr)
+                status = 1
+                continue
+            print(f"{path}: {result.summary()}")
+        print(f"ledger: {ledger.path}")
+    return status
+
+
+def _cmd_diff(args) -> int:
+    """``repro diff A B``: per-metric regression verdicts, gated exit."""
+    import dataclasses
+
+    from .obs.diff import DiffPolicy, diff_payloads, load_diff_side
+    from .obs.history import LedgerError
+
+    policy = DiffPolicy(warn_only=args.warn_only)
+    overrides = {}
+    if args.max_regression is not None:
+        overrides["max_regression"] = args.max_regression
+    if args.seconds_tolerance is not None:
+        overrides["seconds_tolerance"] = args.seconds_tolerance
+    if overrides:
+        policy = dataclasses.replace(policy, **overrides)
+
+    needs_ledger = not (os.path.exists(args.a) and os.path.exists(args.b))
+    try:
+        if needs_ledger:
+            with _open_ledger(args) as ledger:
+                a = load_diff_side(args.a, ledger)
+                b = load_diff_side(args.b, ledger)
+        else:
+            a = load_diff_side(args.a)
+            b = load_diff_side(args.b)
+    except (LedgerError, ValueError, OSError) as exc:
+        print(f"diff: {exc}", file=sys.stderr)
+        return 2
+    result = diff_payloads(a, b, policy)
+    if args.json:
+        import json
+
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"diff: {args.a} (baseline) vs {args.b} (candidate)")
+        print(result.render())
+    return 0 if result.ok or args.warn_only else 1
+
+
+def _cmd_dash(args) -> int:
+    """``repro dash``: ledger -> one self-contained HTML file."""
+    from .obs.dash import write_dashboard
+    from .obs.history import LedgerError
+
+    try:
+        with _open_ledger(args) as ledger:
+            data = ledger.export()
+    except LedgerError as exc:
+        print(f"dash: {exc}", file=sys.stderr)
+        return 2
+    write_dashboard(args.out, data, title=args.title)
+    n_runs = len(data["runs"])
+    print(f"dashboard written to {args.out} "
+          f"({n_runs} run{'s' if n_runs != 1 else ''}, "
+          f"{len(data['flaky'])} flaky cell(s))")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -769,6 +972,9 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "exhibit": _cmd_exhibit,
         "trace": _cmd_trace,
+        "ingest": _cmd_ingest,
+        "diff": _cmd_diff,
+        "dash": _cmd_dash,
     }
     return handlers[args.command](args)
 

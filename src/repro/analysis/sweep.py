@@ -64,6 +64,7 @@ def sweep(
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     progress=None,
+    sample_resources: bool = False,
 ) -> list[SweepRow]:
     """Measure every benchmark on every machine.
 
@@ -91,7 +92,9 @@ def sweep(
     (plan build included) for Perfetto export, a
     :class:`~repro.obs.metrics.MetricsRegistry` for the merged
     counters/histograms, and a ``progress(group_key, outcome,
-    n_cells)`` callback for live display.
+    n_cells)`` callback for live display.  ``sample_resources=True``
+    additionally records per-process RSS/CPU telemetry (see
+    :func:`~repro.engine.executor.execute`).
     """
     rec = active_recorder(recorder)
     tr = active_tracer(tracer)
@@ -106,7 +109,8 @@ def sweep(
         )
     result = execute(plan, workers=workers, cache=cache, recorder=rec,
                      policy=policy, faults=faults, tracer=tracer,
-                     metrics=metrics, progress=progress)
+                     metrics=metrics, progress=progress,
+                     sample_resources=sample_resources)
     rows: list[SweepRow] = []
     for cell in result.cells:
         rows.append(SweepRow(

@@ -13,7 +13,11 @@ importing internal packages:
   machine;
 * :func:`plan` / :func:`sweep` — build and execute a whole
   benchmark x machine grid, optionally across worker processes with a
-  content-addressed trace cache.
+  content-addressed trace cache;
+* :func:`ledger` / :func:`ingest` / :func:`diff` / :func:`dashboard` —
+  the run-history side: store run reports in the content-addressed
+  ledger, regression-diff any two runs, render the history as one
+  self-contained HTML dashboard.
 
 All parameters beyond the essential positionals are keyword-only, and
 every result is a dataclass, so the surface is easy to keep stable (the
@@ -61,6 +65,10 @@ __all__ = [
     "RetryPolicy",
     "SweepResult",
     "compile",
+    "dashboard",
+    "diff",
+    "ingest",
+    "ledger",
     "measure",
     "plan",
     "run",
@@ -211,3 +219,67 @@ def sweep(plan: Plan, *, workers: int = 1, cache_dir: str | None = None,
     )
     assert result.report is not None
     return SweepResult(rows=rows, engine=result.report)
+
+
+def ledger(path: str | None = None):
+    """Open (creating if needed) the run-history ledger.
+
+    ``path`` defaults to ``$REPRO_LEDGER`` or
+    ``results/history.sqlite``.  Returns a
+    :class:`~repro.obs.history.HistoryLedger`; use it as a context
+    manager to release the database handle.
+    """
+    from .obs.history import HistoryLedger
+
+    return HistoryLedger(path)
+
+
+def ingest(source: str, *, ledger_path: str | None = None):
+    """Ingest one run report (``.jsonl``) or bench document (``.json``)
+    into the ledger; returns the
+    :class:`~repro.obs.history.IngestResult`.
+
+    Ingestion is content-addressed: re-ingesting the same run (or an
+    identical rerun of the same configuration) is a no-op.
+    """
+    with ledger(ledger_path) as db:
+        if source.endswith(".json"):
+            return db.ingest_bench(source)
+        return db.ingest_report(source)
+
+
+def diff(a: str, b: str, *, ledger_path: str | None = None,
+         policy=None):
+    """Regression-diff two runs; returns a
+    :class:`~repro.obs.diff.DiffResult` (check ``.ok`` / ``.render()``).
+
+    ``a`` (baseline) and ``b`` (candidate) are report/bench file paths
+    or ledger references (``latest``, ``latest~N``, a numeric id, or a
+    fingerprint prefix); ``policy`` is an optional
+    :class:`~repro.obs.diff.DiffPolicy`.
+    """
+    import os as _os
+
+    from .obs.diff import diff_payloads, load_diff_side
+
+    if _os.path.exists(a) and _os.path.exists(b):
+        return diff_payloads(load_diff_side(a), load_diff_side(b),
+                             policy)
+    with ledger(ledger_path) as db:
+        return diff_payloads(load_diff_side(a, db),
+                             load_diff_side(b, db), policy)
+
+
+def dashboard(out: str, *, ledger_path: str | None = None,
+              title: str = "repro run history") -> str:
+    """Render the ledger as one self-contained HTML file at ``out``.
+
+    No network, no external assets: the page embeds the full ledger
+    export as JSON plus inline CSS/JS.  Returns ``out``.
+    """
+    from .obs.dash import write_dashboard
+
+    with ledger(ledger_path) as db:
+        data = db.export()
+    write_dashboard(out, data, title=title)
+    return out

@@ -31,8 +31,15 @@ from ..benchmarks import suite
 from ..machine.config import MachineConfig
 from ..obs.metrics import COUNT_BUCKETS, NULL_METRICS, MetricsRegistry
 from ..obs.recorder import Recorder, active_recorder
+from ..obs.resource import ResourceSampler
 from ..obs.stalls import StallBreakdown
-from ..obs.trace import NULL_TRACER, Tracer, emit_span_events, worker_track
+from ..obs.trace import (
+    MAIN_TRACK,
+    NULL_TRACER,
+    Tracer,
+    emit_span_events,
+    worker_track,
+)
 from ..opt.options import CompilerOptions
 from ..sim.timing import simulate
 from .cache import NULL_TRACE_CACHE, TraceCache, trace_key
@@ -181,6 +188,9 @@ class EngineResult:
 
     cells: list[CellResult] = field(default_factory=list)
     report: EngineReport | None = None
+    #: per-track resource telemetry summaries (``sample_resources`` runs
+    #: only): one dict per track, parent first, workers in merge order
+    resources: list[dict] = field(default_factory=list)
 
     def failed_cells(self) -> list[CellResult]:
         """Cells that exhausted the whole degradation ladder."""
@@ -303,10 +313,15 @@ def _run_group_task(payload: tuple):
 
     With ``traced`` set, the worker buffers spans/metrics into local
     collectors and ships them back as a third payload element — the
-    existing result round-trip is the only IPC.
+    existing result round-trip is the only IPC.  With ``sample`` set a
+    :class:`~repro.obs.resource.ResourceSampler` additionally records
+    this worker's RSS/CPU gauges for the duration of the group and its
+    summary rides home on the same element.  (Older 9-tuple payloads
+    without the flag are accepted for compatibility.)
     """
     (benchmark, options, machine_cells, observe,
-     cache_root, attempt, faults, limits, traced) = payload
+     cache_root, attempt, faults, limits, traced) = payload[:9]
+    sample = payload[9] if len(payload) > 9 else False
     cache = TraceCache(cache_root) if cache_root else NULL_TRACE_CACHE
     if not traced:
         return _run_group(
@@ -315,12 +330,20 @@ def _run_group_task(payload: tuple):
         )
     tracer = Tracer(track=worker_track())
     metrics = MetricsRegistry()
-    results, cached = _run_group(
-        benchmark, options, machine_cells, observe, cache,
-        faults=faults, attempt=attempt, limits=limits, in_worker=True,
-        tracer=tracer, metrics=metrics,
-    )
+    sampler = None
+    if sample:
+        sampler = ResourceSampler(metrics, track=worker_track()).start()
+    try:
+        results, cached = _run_group(
+            benchmark, options, machine_cells, observe, cache,
+            faults=faults, attempt=attempt, limits=limits, in_worker=True,
+            tracer=tracer, metrics=metrics,
+        )
+    finally:
+        resource = sampler.stop() if sampler is not None else None
     obs = {"spans": tracer.export(), "metrics": metrics.as_dict()}
+    if resource is not None:
+        obs["resource"] = resource
     return results, cached, obs
 
 
@@ -434,6 +457,25 @@ def _failed_group_cells(
     return out
 
 
+def _merge_resource(acc: dict[str, dict], summary: dict) -> None:
+    """Fold one worker's resource summary into the per-track aggregate.
+
+    A pool worker runs many groups over its lifetime, each shipping one
+    summary under the same track name: peaks and CPU time are
+    monotonically non-decreasing per process, so keep the max; sample
+    counts accumulate; the latest ``rss_mb`` wins.
+    """
+    track = summary["track"]
+    prev = acc.get(track)
+    if prev is None:
+        acc[track] = dict(summary)
+        return
+    prev["rss_mb"] = summary["rss_mb"]
+    prev["rss_peak_mb"] = max(prev["rss_peak_mb"], summary["rss_peak_mb"])
+    prev["cpu_seconds"] = max(prev["cpu_seconds"], summary["cpu_seconds"])
+    prev["samples"] += summary["samples"]
+
+
 def execute(
     plan: Plan,
     *,
@@ -445,6 +487,7 @@ def execute(
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     progress=None,
+    sample_resources: bool = False,
 ) -> EngineResult:
     """Execute every cell of ``plan`` and return results in plan order.
 
@@ -475,6 +518,14 @@ def execute(
     payload; the parent merges them in plan order, which keeps merged
     metric values deterministic.  ``progress(group_key, outcome,
     n_cells)`` is called as each group settles (the ``--live`` hook).
+
+    ``sample_resources=True`` additionally runs a
+    :class:`~repro.obs.resource.ResourceSampler` thread in the parent
+    and in every worker, recording per-track RSS/CPU gauges into the
+    metrics registry and per-track summaries onto the result (and as
+    ``resource`` report events).  Strictly opt-in: the gauges are
+    wall-clock-dependent, so the default path keeps its bit-identical
+    merged-metrics guarantee.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -482,7 +533,8 @@ def execute(
     tr = tracer if tracer is not None else (
         Tracer() if rec.enabled else NULL_TRACER)
     mx = metrics if metrics is not None else (
-        MetricsRegistry() if rec.enabled else NULL_METRICS)
+        MetricsRegistry() if rec.enabled or sample_resources
+        else NULL_METRICS)
     retry_policy = policy if policy is not None else RetryPolicy()
     fault_plan = faults if faults is not None else FaultPlan.from_env()
     disk_cache = cache if cache is not None else NULL_TRACE_CACHE
@@ -505,6 +557,11 @@ def execute(
         for indices in group_indices
     ]
     group_keys = plan.group_labels()
+
+    sampler = (ResourceSampler(mx, track=MAIN_TRACK).start()
+               if sample_resources else None)
+    #: per-track worker summaries, aggregated in merge (plan) order
+    worker_resources: dict[str, dict] = {}
 
     def serial_runner(base: tuple, attempt: int):
         benchmark, options, machine_cells, observe = base
@@ -539,7 +596,8 @@ def execute(
 
             def make_payload(base: tuple, attempt: int) -> tuple:
                 return base + (cache_root, attempt, fault_plan,
-                               retry_policy.limits, traced)
+                               retry_policy.limits, traced,
+                               sample_resources)
 
             outcomes = run_supervised(
                 [(key, base, set(indices))
@@ -563,6 +621,9 @@ def execute(
                 tr.merge(outcome.obs.get("spans") or [],
                          parent_id=root_id)
                 mx.merge(outcome.obs.get("metrics"))
+                summary = outcome.obs.get("resource")
+                if summary:
+                    _merge_resource(worker_resources, summary)
             if outcome.status == "failed":
                 installed = _failed_group_cells(plan, indices, outcome)
             else:
@@ -581,6 +642,11 @@ def execute(
                     misses += 1
             for index, cell_result in installed:
                 slots[index] = cell_result
+
+    resources: list[dict] = []
+    if sampler is not None:
+        resources.append(sampler.stop())
+    resources.extend(worker_resources.values())
 
     cells = [c for c in slots if c is not None]
     assert len(cells) == len(plan.cells), "engine lost cell results"
@@ -629,15 +695,25 @@ def execute(
                 "cached": c.compile_cached,
                 "status": c.status,
                 "attempts": c.attempts,
+                "instructions": c.instructions,
+                "minor_cycles": c.minor_cycles,
+                "base_cycles": c.base_cycles,
+                "parallelism": c.parallelism,
             }
+            if c.stalls is not None:
+                event["stalls"] = c.stalls.as_dict()
             if c.replay is not None:
                 event["replay"] = c.replay
             if c.error is not None:
                 event["error"] = c.error
+            if c.history:
+                event["history"] = list(c.history)
             rec.emit("cell", **event)
             rec.incr("engine.cells")
         rec.emit("engine", **report.as_dict())
+        for summary in resources:
+            rec.emit("resource", **summary)
         emit_span_events(rec, tr)
         if mx.enabled:
             rec.emit("metrics", **mx.as_dict())
-    return EngineResult(cells=cells, report=report)
+    return EngineResult(cells=cells, report=report, resources=resources)

@@ -47,6 +47,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from ..errors import InterpBudgetError, ReproError, ResourceLimitError
+from ..obs.resource import max_rss_mb
 from ..obs.trace import NULL_TRACER, Tracer
 from .faults import NO_FAULTS, FaultPlan, InjectedFaultError
 
@@ -72,15 +73,10 @@ class ResourceLimits:
 
     def check_rss(self) -> None:
         """Raise :class:`ResourceLimitError` if peak RSS exceeds the
-        ceiling (no-op when unset or the platform lacks ``resource``)."""
+        ceiling (no-op when unset or the platform can't report RSS)."""
         if self.max_rss_mb is None:
             return
-        try:
-            import resource
-        except ImportError:  # pragma: no cover - non-POSIX
-            return
-        used_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-        used_mb = used_kb / 1024.0
+        used_mb = max_rss_mb()
         if used_mb > self.max_rss_mb:
             raise ResourceLimitError("rss_mb", used_mb, self.max_rss_mb)
 

@@ -20,12 +20,35 @@ pipeline:
 * :mod:`repro.obs.live` — the ``--live`` terminal progress line
   (:class:`ProgressLine`);
 * :mod:`repro.obs.report` — machine-readable run reports over the
-  benchmark suite and their ASCII rendering.
+  benchmark suite and their ASCII rendering;
+* :mod:`repro.obs.schema` — the one shared home of the run-report
+  event schema and its validators (also loaded standalone by the CI
+  scripts);
+* :mod:`repro.obs.resource` — per-process RSS/CPU telemetry
+  (:class:`ResourceSampler`);
+* :mod:`repro.obs.history` — the content-addressed run-history ledger
+  (:class:`HistoryLedger`);
+* :mod:`repro.obs.diff` — cross-run regression diffing
+  (:func:`diff_payloads`, :class:`DiffPolicy`);
+* :mod:`repro.obs.dash` — the self-contained static HTML dashboard
+  (:func:`write_dashboard`).
 
 Everything here is opt-in: with no recorder/profile passed, the hot
 paths run the exact same code as before this layer existed.
 """
 
+from .dash import render_dashboard, write_dashboard
+from .diff import DiffEntry, DiffPolicy, DiffResult, diff_payloads
+from .history import (
+    DEFAULT_LEDGER_PATH,
+    HistoryLedger,
+    IngestResult,
+    LedgerError,
+    default_ledger_path,
+    fingerprint_payload,
+    payload_from_bench,
+    payload_from_events,
+)
 from .live import ProgressLine
 from .metrics import (
     NULL_METRICS,
@@ -52,6 +75,7 @@ from .recorder import (
     read_jsonl,
     read_jsonl_tolerant,
 )
+from .resource import ResourceSampler, cpu_seconds, max_rss_mb, rss_mb
 from .stalls import STALL_CAUSES, StallBreakdown
 from .trace import (
     NULL_TRACER,
@@ -67,6 +91,7 @@ from .trace import (
 )
 
 __all__ = [
+    "DEFAULT_LEDGER_PATH",
     "EVENT_SCHEMA",
     "NULL_METRICS",
     "NULL_PROFILE",
@@ -75,8 +100,14 @@ __all__ = [
     "SCHEMA_VERSION",
     "STALL_CAUSES",
     "CompileProfile",
+    "DiffEntry",
+    "DiffPolicy",
+    "DiffResult",
     "Histogram",
+    "HistoryLedger",
+    "IngestResult",
     "JsonlRecorder",
+    "LedgerError",
     "MetricsRegistry",
     "NullMetrics",
     "NullRecorder",
@@ -84,6 +115,7 @@ __all__ = [
     "PassStat",
     "ProgressLine",
     "Recorder",
+    "ResourceSampler",
     "SchedStats",
     "Span",
     "StallBreakdown",
@@ -92,11 +124,20 @@ __all__ = [
     "active_recorder",
     "active_tracer",
     "chrome_trace",
+    "cpu_seconds",
+    "default_ledger_path",
+    "diff_payloads",
     "emit_span_events",
+    "fingerprint_payload",
+    "max_rss_mb",
+    "payload_from_bench",
+    "payload_from_events",
     "profile_tree",
     "program_size",
     "read_jsonl",
     "read_jsonl_tolerant",
+    "render_dashboard",
+    "rss_mb",
     "spans_from_events",
     "write_chrome_trace",
 ]

@@ -12,6 +12,17 @@ a backoff storm) is visible as the rate collapsing rather than being
 averaged away.  Updates are throttled to one repaint per
 ``min_interval`` seconds; :meth:`finish` always paints the final state
 and terminates the line.
+
+Carriage-return animation only makes sense on a terminal: when the
+stream is **not a TTY** (CI logs, ``2>file`` redirection) the line is
+not animated at all — nothing is written until :meth:`finish`, which
+emits one plain newline-terminated summary, so logs stay greppable and
+free of control characters.
+
+On the error path the line must get out of the way: :meth:`clear`
+erases a painted line so a traceback is not spliced into it, and using
+the instance as a context manager does that automatically (clears on
+exception or :class:`KeyboardInterrupt`, finishes on clean exit).
 """
 
 from __future__ import annotations
@@ -27,14 +38,29 @@ class ProgressLine:
 
     Usable directly as the engine's ``progress`` callback: it is called
     with ``(cells_done, status_counts, instructions_done)`` deltas via
-    :meth:`update` each time a compile group completes.
+    :meth:`update` each time a compile group completes.  ``force_tty``
+    overrides stream detection (tests, or piping to something that
+    renders control characters).
     """
 
+    #: Width every repaint pads to, so shorter lines fully overwrite
+    #: longer earlier ones.
+    WIDTH = 79
+
     def __init__(self, total_cells: int, stream=None,
-                 min_interval: float = 0.1) -> None:
+                 min_interval: float = 0.1,
+                 force_tty: bool | None = None) -> None:
         self.total = total_cells
         self.stream = stream if stream is not None else sys.stderr
         self.min_interval = min_interval
+        if force_tty is not None:
+            self.animate = force_tty
+        else:
+            isatty = getattr(self.stream, "isatty", None)
+            try:
+                self.animate = bool(isatty()) if callable(isatty) else False
+            except (OSError, ValueError):
+                self.animate = False
         self.done = 0
         self.instructions = 0
         self.counts = {"ok": 0, "retried": 0, "degraded": 0, "failed": 0}
@@ -43,6 +69,7 @@ class ProgressLine:
         self._last_instr = 0
         self._rate = 0.0
         self._painted = False
+        self._finished = False
 
     def update(self, cells: int, status: str, instructions: int) -> None:
         """Record one finished compile group (``cells`` cells, all with
@@ -53,23 +80,33 @@ class ProgressLine:
             self.counts[status] += cells
         self._paint()
 
-    def _paint(self, force: bool = False) -> None:
+    def _render(self) -> str:
+        c = self.counts
+        return (
+            f"cells {self.done}/{self.total} | "
+            f"{c['ok']} ok {c['retried']} retried "
+            f"{c['degraded']} degraded {c['failed']} failed | "
+            f"{self._format_rate(self._rate)} instr/s"
+        )
+
+    def _update_rate(self) -> None:
         now = time.monotonic()
-        if not force and now - self._last_paint < self.min_interval:
-            return
         window = now - (self._last_paint or self._start)
         if window > 0:
             self._rate = (self.instructions - self._last_instr) / window
         self._last_paint = now
         self._last_instr = self.instructions
-        c = self.counts
-        line = (
-            f"\rcells {self.done}/{self.total} | "
-            f"{c['ok']} ok {c['retried']} retried "
-            f"{c['degraded']} degraded {c['failed']} failed | "
-            f"{self._format_rate(self._rate)} instr/s"
-        )
-        self.stream.write(f"{line:<79s}")
+
+    def _paint(self, force: bool = False) -> None:
+        if not self.animate:
+            # Non-TTY: stay silent; finish() emits the one summary line.
+            self._update_rate()
+            return
+        now = time.monotonic()
+        if not force and now - self._last_paint < self.min_interval:
+            return
+        self._update_rate()
+        self.stream.write(f"\r{self._render():<{self.WIDTH}s}")
         self.stream.flush()
         self._painted = True
 
@@ -81,9 +118,40 @@ class ProgressLine:
             return f"{rate / 1e3:.1f}k"
         return f"{rate:.0f}"
 
-    def finish(self) -> None:
-        """Paint the final state and terminate the line."""
-        self._paint(force=True)
+    def clear(self) -> None:
+        """Erase a painted line so following output starts on a clean
+        column (no-op when nothing was painted — non-TTY included)."""
         if self._painted:
-            self.stream.write("\n")
+            self.stream.write(f"\r{'':<{self.WIDTH}s}\r")
             self.stream.flush()
+            self._painted = False
+
+    def finish(self) -> None:
+        """Paint the final state and terminate the line (idempotent).
+
+        On a TTY this repaints in place and appends the newline; on a
+        non-TTY stream it writes the summary once, as one plain line.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        if self.animate:
+            self._paint(force=True)
+            if self._painted:
+                self.stream.write("\n")
+                self.stream.flush()
+            return
+        self._update_rate()
+        self.stream.write(self._render() + "\n")
+        self.stream.flush()
+
+    def __enter__(self) -> "ProgressLine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # A traceback about to print must not land mid-line; a clean
+        # exit gets the final summary instead.
+        if exc_type is not None:
+            self.clear()
+        else:
+            self.finish()

@@ -26,34 +26,22 @@ import time
 from contextlib import contextmanager
 from typing import IO, Iterator
 
-#: Version stamp carried by every ``run_start`` event.
-SCHEMA_VERSION = 1
+# The event schema lives in repro.obs.schema (one shared module for the
+# emitters here and the standalone validators in scripts/); re-exported
+# so existing imports keep working.
+from .schema import EVENT_SCHEMA, SCHEMA_VERSION
 
-#: event name -> fields that must be present (value may be any JSON type;
-#: the validator additionally type-checks the common numeric fields).
-#: ``timing`` and ``cell`` events may carry an optional ``replay``
-#: payload (replay-memo counters, see
-#: :class:`repro.sim.replay.ReplayStats`), and ``engine`` events the
-#: corresponding ``memo_*`` roll-ups; the validator checks both.
-EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
-    "run_start": ("schema", "run_id"),
-    "compile_pass": ("benchmark", "pass", "seconds"),
-    "compile": ("benchmark", "seconds", "n_passes"),
-    "timing": ("benchmark", "machine", "instructions", "minor_cycles",
-               "base_cycles", "parallelism", "cpi"),
-    "sweep_row": ("benchmark", "machine", "options", "instructions",
-                  "base_cycles", "parallelism"),
-    "cell": ("benchmark", "machine", "options", "seconds", "cached",
-             "status"),
-    "engine": ("workers", "cells", "groups", "cache_hits",
-               "cache_misses", "seconds", "ok_cells", "retried_cells",
-               "degraded_cells", "failed_cells"),
-    "span": ("name", "cat", "track", "start_us", "dur_us", "span_id",
-             "parent_id"),
-    "metrics": ("counters", "gauges", "histograms"),
-    "exhibit": ("ident", "title", "seconds"),
-    "run_end": ("seconds", "counters"),
-}
+__all__ = [
+    "EVENT_SCHEMA",
+    "SCHEMA_VERSION",
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "JsonlRecorder",
+    "active_recorder",
+    "read_jsonl",
+    "read_jsonl_tolerant",
+]
 
 
 class Recorder:

@@ -130,6 +130,20 @@ class BenchmarkReport:
         )
 
 
+def _markdown_table(headers: list[str], rows: list[list]) -> str:
+    """Render a GitHub-flavored markdown table."""
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join(" --- " for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
 @dataclass(slots=True)
 class RunReport:
     """A full observed run over the benchmark suite."""
@@ -144,6 +158,48 @@ class RunReport:
             f"run '{self.run_id}': {len(self.benchmarks)} benchmarks in "
             f"{self.seconds:.2f}s"
         )
+        return "\n\n".join(parts)
+
+    def as_dict(self) -> dict:
+        """The whole report as one JSON-serializable dict
+        (``repro report --format json``)."""
+        return {
+            "run_id": self.run_id,
+            "seconds": self.seconds,
+            "conservation_holds": self.conservation_holds(),
+            "benchmarks": [
+                {
+                    "benchmark": br.benchmark,
+                    "checksum_ok": br.checksum_ok,
+                    "instructions": br.instructions,
+                    "compile_seconds": br.profile.total_seconds(),
+                    "passes": [s.as_dict() for s in br.profile.passes],
+                    "timings": [t.as_dict() for t in br.timings],
+                }
+                for br in self.benchmarks
+            ],
+        }
+
+    def render_markdown(self) -> str:
+        """The report as GitHub-flavored markdown — pasteable into a PR
+        (``repro report --format markdown``)."""
+        parts = [f"## run `{self.run_id}` — "
+                 f"{len(self.benchmarks)} benchmarks, "
+                 f"{self.seconds:.2f}s"]
+        for br in self.benchmarks:
+            checksum = "ok" if br.checksum_ok else "**MISMATCH**"
+            parts.append(
+                f"### {br.benchmark}\n\n"
+                f"{br.instructions} dynamic instructions, "
+                f"checksum {checksum}, compiled in "
+                f"{br.profile.total_seconds() * 1e3:.1f} ms"
+            )
+            parts.append(_markdown_table(
+                _STALL_HEADERS, [stall_row(t) for t in br.timings]
+            ))
+            memo_line = br.replay_summary()
+            if memo_line:
+                parts.append(memo_line)
         return "\n\n".join(parts)
 
     def conservation_holds(self) -> bool:

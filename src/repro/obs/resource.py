@@ -1,0 +1,155 @@
+"""Per-process resource telemetry: RSS and CPU-time gauges.
+
+A :class:`ResourceSampler` is a daemon thread that periodically samples
+the current process's resident-set size and cumulative CPU time and
+records them as gauges in a :class:`~repro.obs.metrics.MetricsRegistry`
+under the process's trace track (``main`` for the parent,
+``worker-<pid>`` for pool workers).  The engine starts one in the parent
+and one inside each worker when ``sample_resources`` is requested; the
+worker's gauges ride home on the existing span/metrics side-channel, so
+no new IPC is introduced.
+
+Sampling is strictly opt-in: gauge values (and worker PIDs embedded in
+track names) are nondeterministic, and the default engine path promises
+bit-identical metrics across identical runs.
+
+Everything here is stdlib-only.  RSS comes from ``/proc/self/status``
+(``VmRSS``) where available, falling back to
+``resource.getrusage().ru_maxrss`` (which is a peak, not a current
+value — good enough for a ceiling check, and the only portable option).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Optional
+
+try:  # pragma: no cover - always present on POSIX
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    _resource = None
+
+__all__ = [
+    "rss_mb",
+    "max_rss_mb",
+    "cpu_seconds",
+    "ResourceSampler",
+]
+
+_PROC_STATUS = "/proc/self/status"
+
+
+def rss_mb() -> float:
+    """Current resident-set size in MiB (best effort, 0.0 if unknown)."""
+    try:
+        with open(_PROC_STATUS, encoding="ascii", errors="replace") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    parts = line.split()
+                    if len(parts) >= 2 and parts[1].isdigit():
+                        return int(parts[1]) / 1024.0
+    except OSError:
+        pass
+    return max_rss_mb()
+
+
+def max_rss_mb() -> float:
+    """Peak resident-set size in MiB (0.0 if the platform can't say)."""
+    if _resource is None:
+        return 0.0
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    if os.uname().sysname == "Darwin":  # pragma: no cover
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+def cpu_seconds() -> float:
+    """Cumulative user+system CPU seconds for this process."""
+    times = os.times()
+    return times.user + times.system
+
+
+class ResourceSampler:
+    """Background thread sampling RSS / CPU-time into a metrics registry.
+
+    Gauges recorded (``track`` interpolated, e.g. ``worker-1234``):
+
+    * ``resource.<track>.rss_mb`` — last sampled resident set (MiB)
+    * ``resource.<track>.rss_peak_mb`` — maximum sampled resident set
+    * ``resource.<track>.cpu_seconds`` — cumulative CPU time at the last
+      sample
+    * ``resource.<track>.samples`` — number of samples taken
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`.
+    :meth:`stop` takes one final sample so short-lived processes still
+    report, then returns a plain-dict summary suitable for a
+    ``resource`` report event.
+    """
+
+    def __init__(self, metrics, track: str, interval: float = 0.05) -> None:
+        self._metrics = metrics
+        self.track = track
+        self.interval = max(float(interval), 0.001)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._samples = 0
+        self._rss = 0.0
+        self._peak = 0.0
+        self._cpu = 0.0
+        self._lock = threading.Lock()
+
+    def _sample(self) -> None:
+        rss = rss_mb()
+        cpu = cpu_seconds()
+        with self._lock:
+            self._samples += 1
+            self._rss = rss
+            self._peak = max(self._peak, rss)
+            self._cpu = cpu
+            prefix = f"resource.{self.track}."
+            self._metrics.gauge(prefix + "rss_mb", rss)
+            self._metrics.gauge(prefix + "rss_peak_mb", self._peak)
+            self._metrics.gauge(prefix + "cpu_seconds", cpu)
+            self._metrics.gauge(prefix + "samples", self._samples)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._sample()
+
+    def start(self) -> "ResourceSampler":
+        if self._thread is None:
+            self._sample()
+            self._thread = threading.Thread(
+                target=self._run, name=f"resource-sampler-{self.track}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> dict:
+        """Stop sampling, take a final sample, return the summary dict."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        self._sample()
+        return self.summary()
+
+    def summary(self) -> dict:
+        """Snapshot summary shaped like a ``resource`` report event body."""
+        with self._lock:
+            return {
+                "track": self.track,
+                "rss_mb": round(self._rss, 3),
+                "rss_peak_mb": round(self._peak, 3),
+                "cpu_seconds": round(self._cpu, 6),
+                "samples": self._samples,
+            }
+
+    def __enter__(self) -> "ResourceSampler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

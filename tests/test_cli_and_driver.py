@@ -56,6 +56,42 @@ class TestCLI:
         assert "1.667" in out
 
 
+class TestReportFormats:
+    """``repro report --format json|markdown``."""
+
+    def _report(self, tmp_path, fmt):
+        return cli_main([
+            "report", "--benchmarks", "whet", "--machines", "base",
+            "-o", str(tmp_path / "run.jsonl"), "--format", fmt,
+        ])
+
+    def test_json_stdout_is_one_parseable_document(self, tmp_path,
+                                                   capsys):
+        import json
+
+        assert self._report(tmp_path, "json") == 0
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)
+        assert doc["run_id"] and doc["conservation_holds"] is True
+        entry = doc["benchmarks"][0]
+        assert entry["benchmark"] == "whet"
+        assert any(t["machine"] == "base" for t in entry["timings"])
+        # The status line must not corrupt the JSON stream.
+        assert "JSONL report written" in captured.err
+
+    def test_markdown_renders_tables(self, tmp_path, capsys):
+        assert self._report(tmp_path, "markdown") == 0
+        out = capsys.readouterr().out
+        assert "| " in out and " --- " in out.replace("|---", "| --- ")
+        assert "whet" in out and "base" in out
+
+    def test_text_remains_the_default(self, tmp_path, capsys):
+        assert self._report(tmp_path, "text") == 0
+        out = capsys.readouterr().out
+        assert "| " not in out.splitlines()[0]
+        assert "whet" in out
+
+
 class TestDriver:
     def test_opt_level_ordering_monotone_instruction_count(self):
         counts = []

@@ -1,0 +1,196 @@
+"""Direct unit tests for the ``--live`` progress line.
+
+:class:`repro.obs.live.ProgressLine` has three behavioral contracts:
+TTY detection (animate with ``\\r`` on a terminal, stay silent until
+one plain summary line otherwise), error-path cleanliness (a painted
+line is erased before a traceback prints), and idempotent completion.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.obs.live import ProgressLine
+
+
+class _Tty(io.StringIO):
+    def isatty(self):
+        return True
+
+
+class _BrokenIsatty(io.StringIO):
+    def isatty(self):
+        raise ValueError("stream closed")
+
+
+class TestTtyDetection:
+    def test_stringio_is_not_a_tty(self):
+        line = ProgressLine(4, stream=io.StringIO())
+        assert line.animate is False
+
+    def test_tty_stream_animates(self):
+        line = ProgressLine(4, stream=_Tty())
+        assert line.animate is True
+
+    def test_force_tty_overrides_detection(self):
+        assert ProgressLine(4, stream=io.StringIO(),
+                            force_tty=True).animate is True
+        assert ProgressLine(4, stream=_Tty(),
+                            force_tty=False).animate is False
+
+    def test_broken_isatty_means_no_animation(self):
+        line = ProgressLine(4, stream=_BrokenIsatty())
+        assert line.animate is False
+
+    def test_stream_without_isatty(self):
+        class Bare:
+            def write(self, text):
+                pass
+
+            def flush(self):
+                pass
+
+        assert ProgressLine(4, stream=Bare()).animate is False
+
+
+class TestNonTty:
+    def test_updates_write_nothing(self):
+        stream = io.StringIO()
+        line = ProgressLine(4, stream=stream)
+        line.update(2, "ok", 1000)
+        line.update(2, "ok", 1000)
+        assert stream.getvalue() == ""
+
+    def test_finish_writes_one_plain_line(self):
+        stream = io.StringIO()
+        line = ProgressLine(4, stream=stream)
+        line.update(3, "ok", 1000)
+        line.update(1, "retried", 500)
+        line.finish()
+        text = stream.getvalue()
+        assert "\r" not in text
+        assert text.endswith("\n") and text.count("\n") == 1
+        assert "cells 4/4" in text
+        assert "3 ok 1 retried 0 degraded 0 failed" in text
+
+    def test_clear_is_a_noop(self):
+        stream = io.StringIO()
+        line = ProgressLine(4, stream=stream)
+        line.update(4, "ok", 100)
+        line.clear()
+        assert stream.getvalue() == ""
+
+
+class TestTty:
+    def _line(self, **kwargs):
+        stream = io.StringIO()
+        kwargs.setdefault("min_interval", 0.0)
+        return ProgressLine(4, stream=stream, force_tty=True,
+                            **kwargs), stream
+
+    def test_update_repaints_in_place(self):
+        line, stream = self._line()
+        line.update(1, "ok", 100)
+        text = stream.getvalue()
+        assert text.startswith("\r")
+        assert "cells 1/4" in text
+        line.update(1, "ok", 100)
+        assert "cells 2/4" in stream.getvalue()
+        # Repaints rewrite the same padded-width line, never newline.
+        assert "\n" not in stream.getvalue()
+
+    def test_throttle_skips_rapid_repaints(self):
+        line, stream = self._line(min_interval=3600.0)
+        line.update(1, "ok", 100)
+        painted = stream.getvalue()
+        line.update(1, "ok", 100)
+        assert stream.getvalue() == painted
+
+    def test_finish_terminates_the_line(self):
+        line, stream = self._line()
+        line.update(4, "ok", 100)
+        line.finish()
+        assert stream.getvalue().endswith("\n")
+        assert "cells 4/4" in stream.getvalue()
+
+    def test_finish_is_idempotent(self):
+        line, stream = self._line()
+        line.update(4, "ok", 100)
+        line.finish()
+        once = stream.getvalue()
+        line.finish()
+        assert stream.getvalue() == once
+
+    def test_clear_erases_the_painted_line(self):
+        line, stream = self._line()
+        line.update(1, "ok", 100)
+        line.clear()
+        # The final write is blanks-and-return: the cursor sits at
+        # column 0 of an empty line, ready for a traceback.
+        assert stream.getvalue().endswith(
+            "\r" + " " * ProgressLine.WIDTH + "\r")
+
+    def test_counts_unknown_status_still_counts_cells(self):
+        line, stream = self._line()
+        line.update(2, "weird", 100)
+        assert line.done == 2
+        assert sum(line.counts.values()) == 0
+
+
+class TestContextManager:
+    def test_clean_exit_finishes(self):
+        stream = io.StringIO()
+        with ProgressLine(2, stream=stream) as line:
+            line.update(2, "ok", 100)
+        assert "cells 2/2" in stream.getvalue()
+        assert stream.getvalue().endswith("\n")
+
+    def test_exception_clears_instead_of_finishing(self):
+        stream = io.StringIO()
+        with pytest.raises(RuntimeError):
+            with ProgressLine(2, stream=stream,
+                              force_tty=True, min_interval=0.0) as line:
+                line.update(1, "ok", 100)
+                raise RuntimeError("boom")
+        # Painted line erased, no summary spliced before the traceback.
+        assert stream.getvalue().endswith(
+            "\r" + " " * ProgressLine.WIDTH + "\r")
+        assert not stream.getvalue().endswith("\n")
+
+    def test_keyboard_interrupt_clears(self):
+        stream = io.StringIO()
+        with pytest.raises(KeyboardInterrupt):
+            with ProgressLine(2, stream=stream,
+                              force_tty=True, min_interval=0.0) as line:
+                line.update(1, "ok", 100)
+                raise KeyboardInterrupt()
+        assert stream.getvalue().endswith("\r")
+
+    def test_exception_without_paint_writes_nothing(self):
+        stream = io.StringIO()
+        with pytest.raises(RuntimeError):
+            with ProgressLine(2, stream=stream):
+                raise RuntimeError("early")
+        assert stream.getvalue() == ""
+
+
+class TestRateFormatting:
+    @pytest.mark.parametrize("rate,expected", [
+        (0.0, "0"),
+        (999.4, "999"),
+        (1500.0, "1.5k"),
+        (999_999.0, "1000.0k"),
+        (2_500_000.0, "2.5M"),
+    ])
+    def test_format_rate(self, rate, expected):
+        assert ProgressLine._format_rate(rate) == expected
+
+    def test_render_mentions_every_status(self):
+        line = ProgressLine(8, stream=io.StringIO())
+        for status in ("ok", "retried", "degraded", "failed"):
+            line.update(1, status, 10)
+        text = line._render()
+        assert "1 ok 1 retried 1 degraded 1 failed" in text
+        assert text.startswith("cells 4/8")
