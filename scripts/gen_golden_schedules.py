@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Regenerate the golden schedule digests pinned by the test suite.
+
+For every suite benchmark compiled *scheduled for* each of the nine
+golden machines (the paper's seven plus the two underpipelined
+variants), this records a SHA-256 digest of the fully scheduled program
+text.  ``tests/test_sched_backends.py`` recomputes the digests with the
+``"list"`` scheduler backend and compares: the registry refactor must
+keep the default backend bit-identical to the historical scheduler.
+
+Only regenerate (``python scripts/gen_golden_schedules.py``) when a
+*deliberate* scheduler or code-generation change lands; the diff of
+``tests/golden/schedules.json`` is then part of the review.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    ),
+)
+
+OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tests", "golden", "schedules.json",
+)
+
+
+def golden_machines():
+    """The nine machines the golden grid pins (paper seven + the two
+    underpipelined variants)."""
+    from repro.machine.presets import (
+        paper_machines,
+        underpipelined_half_issue,
+        underpipelined_slow_cycle,
+    )
+
+    return paper_machines() + [
+        underpipelined_slow_cycle(),
+        underpipelined_half_issue(),
+    ]
+
+
+def schedule_digest(benchmark, config, scheduler: str | None = None) -> str:
+    """SHA-256 of the scheduled program text for one grid cell."""
+    from repro.benchmarks import suite
+    from repro.isa.printer import format_program
+    from repro.opt.driver import compile_source
+
+    kwargs = {"schedule_for": config}
+    if scheduler is not None:
+        kwargs["scheduler"] = scheduler
+    options = suite.default_options(benchmark, **kwargs)
+    program = compile_source(benchmark.source(), options)
+    text = format_program(program)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def main() -> int:
+    from repro.benchmarks import suite
+
+    digests: dict[str, str] = {}
+    machines = golden_machines()
+    for benchmark in suite.all_benchmarks():
+        for config in machines:
+            key = f"{benchmark.name}@{config.name}"
+            digests[key] = schedule_digest(benchmark, config)
+            print(f"{key:40s} {digests[key][:16]}")
+    os.makedirs(os.path.dirname(OUTPUT), exist_ok=True)
+    with open(OUTPUT, "w", encoding="utf-8") as handle:
+        json.dump(digests, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {OUTPUT}: {len(digests)} cells")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

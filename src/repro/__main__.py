@@ -16,6 +16,10 @@ Commands
     stall breakdown, and a machine-readable JSONL run report.
 ``exhibit <ident> [...]``
     Regenerate paper exhibits (``exhibit list`` to enumerate).
+``gap``
+    Measure the scheduling gap — ``cycles(list) - cycles(exact)`` per
+    grid cell — across scheduler backends (``--schedulers``), with the
+    fraction of cells where the heuristic is already optimal.
 ``trace <run.jsonl>``
     Self-profile a JSONL run report's span events: an aggregated
     time-per-phase tree, cache/memo hit rates and retry counts, plus
@@ -39,13 +43,16 @@ cells done, ok/retried/degraded/failed counts, instantaneous instr/s)
 and ``--sample-resources`` (per-process RSS/CPU telemetry recorded as
 gauges and ``resource`` report events).
 
-The ``measure``/``suite``/``report``/``exhibit`` commands submit their
-work through :mod:`repro.engine`: ``--workers N`` fans compilation
-across a process pool, and a content-addressed trace cache under
-``--cache-dir`` (default ``.repro-cache``; disable with ``--no-cache``)
-skips recompilation across runs and processes.  Machine sets are preset
-names resolved by :func:`repro.machine.presets.resolve`, with ``paper``
-expanding to the paper's seven standard machines.
+The ``measure``/``suite``/``report``/``exhibit``/``gap`` commands
+submit their work through :mod:`repro.engine`: ``--workers N`` fans
+compilation across a process pool, and a content-addressed trace cache
+under ``--cache-dir`` (default ``.repro-cache``; disable with
+``--no-cache``) skips recompilation across runs and processes.  They
+also take ``--scheduler NAME`` to compile everything through one
+scheduler backend (see :mod:`repro.sched.registry`; default ``list``).
+Machine sets are preset names resolved by
+:func:`repro.machine.presets.resolve`, with ``paper`` expanding to the
+paper's seven standard machines.
 """
 
 from __future__ import annotations
@@ -109,6 +116,12 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         help="record per-process RSS/CPU telemetry (metrics gauges plus "
              "'resource' report events; off by default because gauge "
              "values are wall-clock-dependent)",
+    )
+    parser.add_argument(
+        "--scheduler", metavar="NAME", default=None,
+        help="scheduler backend for every compilation this run "
+             "(list, swp, exact, ...; 'repro gap' compares them; "
+             "default: list)",
     )
 
 
@@ -223,6 +236,28 @@ def _build_parser() -> argparse.ArgumentParser:
     p_ex.add_argument("idents", nargs="+",
                       help="exhibit ids, or 'list' / 'all'")
     _add_engine_flags(p_ex)
+
+    p_gap = sub.add_parser(
+        "gap",
+        help="measure the list-vs-exact scheduling gap over the grid",
+    )
+    p_gap.add_argument(
+        "--benchmarks", nargs="+", metavar="NAME", default=None,
+        help="subset of benchmarks, space- or comma-separated "
+             "(default: the whole suite)",
+    )
+    p_gap.add_argument(
+        "--schedulers", nargs="+", metavar="NAME",
+        default=None,
+        help="backends to compare, baseline first "
+             "(default: list swp exact)",
+    )
+    p_gap.add_argument(
+        "--json", action="store_true",
+        help="emit the gap report as one JSON document",
+    )
+    _add_machines_flag(p_gap, "the paper's seven machines")
+    _add_engine_flags(p_gap)
 
     p_trace = sub.add_parser(
         "trace",
@@ -814,6 +849,43 @@ def _render_metrics_summary(events: list[dict]) -> str:
     return "\n".join(lines)
 
 
+def _cmd_gap(args) -> int:
+    """``repro gap``: heuristic-vs-optimal scheduling gap per cell."""
+    from .analysis.gap import DEFAULT_SCHEDULERS, compute_gap
+    from .sched import registry as sched_registry
+
+    benchmarks = _parse_benchmarks(getattr(args, "benchmarks", None))
+    machines = _resolve_machines(args.machines, paper_machines())
+    schedulers = [
+        name for spec in (args.schedulers or list(DEFAULT_SCHEDULERS))
+        for name in spec.replace(",", " ").split()
+    ]
+    unknown = [s for s in schedulers if s not in sched_registry.names()]
+    if unknown:
+        print(f"gap: unknown scheduler backend(s) "
+              f"{', '.join(unknown)} (registered: "
+              f"{', '.join(sched_registry.names())})", file=sys.stderr)
+        return 2
+    report = compute_gap(
+        benchmarks, machines,
+        schedulers=schedulers, baseline=schedulers[0],
+        workers=args.workers, cache=_engine_cache(args),
+        policy=_engine_policy(args),
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    if not report.ok:
+        print("gap: FAIL: 'exact' exceeded the baseline on some cell "
+              "(should be impossible; scheduling model bug?)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_trace(args) -> int:
     """``repro trace``: self-profile a run report's span timeline."""
     from .obs.trace import profile_tree, spans_from_events
@@ -971,12 +1043,30 @@ def main(argv: list[str] | None = None) -> int:
         "suite": _cmd_suite,
         "report": _cmd_report,
         "exhibit": _cmd_exhibit,
+        "gap": _cmd_gap,
         "trace": _cmd_trace,
         "ingest": _cmd_ingest,
         "diff": _cmd_diff,
         "dash": _cmd_dash,
     }
-    return handlers[args.command](args)
+    scheduler = getattr(args, "scheduler", None)
+    if scheduler is None:
+        return handlers[args.command](args)
+    # --scheduler: pin the process-wide default backend so every
+    # CompilerOptions built for this run (benchmark defaults included)
+    # compiles through it; restored afterwards for in-process callers.
+    from .errors import SchedulingError
+    from .sched import registry as sched_registry
+
+    try:
+        previous = sched_registry.set_default(scheduler)
+    except SchedulingError as exc:
+        print(f"--scheduler: {exc}", file=sys.stderr)
+        return 2
+    try:
+        return handlers[args.command](args)
+    finally:
+        sched_registry.set_default(previous)
 
 
 if __name__ == "__main__":

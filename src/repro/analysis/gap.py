@@ -1,0 +1,183 @@
+"""The scheduling gap study: how far is the heuristic from optimal?
+
+Runs the benchmark x machine grid once per scheduler backend (each cell
+recompiled and scheduled for the machine it is measured on, the paper's
+methodology) and reports, per cell, the cycle gap between the ``"list"``
+heuristic and the ``"exact"`` branch-and-bound backend —
+``cycles(list) - cycles(exact)`` — plus the fraction of cells where the
+heuristic already achieves the optimum.  Because ``"exact"`` seeds its
+search with the list order and only ever improves on it, a negative gap
+is impossible by construction wherever the search completes; the
+:attr:`GapReport.ok` flag checks exactly that invariant and gates the CI
+comparison (see ``scripts/bench_gap.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..engine.executor import execute
+from ..engine.plan import plan_sweep
+from ..machine.config import MachineConfig
+from ..machine.presets import paper_machines
+from .tables import format_table
+
+#: Backends the gap study compares by default (baseline first).
+DEFAULT_SCHEDULERS = ("list", "swp", "exact")
+
+
+@dataclass(frozen=True, slots=True)
+class GapCell:
+    """One grid cell's minor-cycle counts under every backend measured."""
+
+    benchmark: str
+    machine: str
+    #: scheduler backend name -> minor cycles; a backend is absent when
+    #: its cell failed (exhausted the engine's degradation ladder)
+    cycles: dict
+
+    def gap(self, baseline: str = "list",
+            candidate: str = "exact") -> int | None:
+        """``cycles(baseline) - cycles(candidate)``; ``None`` when
+        either side failed to measure."""
+        a = self.cycles.get(baseline)
+        b = self.cycles.get(candidate)
+        if a is None or b is None:
+            return None
+        return a - b
+
+
+@dataclass(frozen=True, slots=True)
+class GapReport:
+    """Outcome of :func:`compute_gap` over one grid."""
+
+    baseline: str
+    schedulers: tuple
+    cells: tuple
+
+    @property
+    def ok(self) -> bool:
+        """True when no measured cell has ``exact`` above the baseline
+        (the seeded search can only improve; > 0 means a model bug)."""
+        if "exact" not in self.schedulers:
+            return True
+        return all(
+            g is None or g >= 0
+            for g in (c.gap(self.baseline, "exact") for c in self.cells)
+        )
+
+    def optimal_fraction(self, candidate: str = "exact") -> float:
+        """Fraction of measured cells where the baseline heuristic
+        already matches ``candidate`` (gap == 0)."""
+        gaps = [c.gap(self.baseline, candidate) for c in self.cells]
+        gaps = [g for g in gaps if g is not None]
+        if not gaps:
+            return float("nan")
+        return sum(1 for g in gaps if g == 0) / len(gaps)
+
+    def render(self) -> str:
+        """Cells-by-backends cycle table with a trailing gap column."""
+        candidate = ("exact" if "exact" in self.schedulers
+                     else self.schedulers[-1])
+        headers = (["benchmark", "machine"]
+                   + [f"{s} cycles" for s in self.schedulers]
+                   + [f"gap ({self.baseline}-{candidate})"])
+        rows = []
+        for cell in self.cells:
+            row = [cell.benchmark, cell.machine]
+            for s in self.schedulers:
+                row.append(cell.cycles.get(s, "FAILED"))
+            g = cell.gap(self.baseline, candidate)
+            row.append("-" if g is None else g)
+            rows.append(row)
+        lines = [format_table(headers, rows)]
+        frac = self.optimal_fraction(candidate)
+        if frac == frac:  # not NaN
+            lines.append(
+                f"heuristic optimal in {frac:.1%} of cells "
+                f"({self.baseline} == {candidate})"
+            )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (the payload of ``BENCH_gap.json``)."""
+        candidate = ("exact" if "exact" in self.schedulers
+                     else self.schedulers[-1])
+        frac = self.optimal_fraction(candidate)
+        return {
+            "baseline": self.baseline,
+            "schedulers": list(self.schedulers),
+            "cells": [
+                {
+                    "benchmark": c.benchmark,
+                    "machine": c.machine,
+                    "cycles": dict(c.cycles),
+                    "gap": c.gap(self.baseline, candidate),
+                }
+                for c in self.cells
+            ],
+            "optimal_fraction": None if frac != frac else frac,
+            "ok": self.ok,
+        }
+
+
+def compute_gap(
+    benchmarks: Iterable | None = None,
+    machines: Sequence[MachineConfig | str] | None = None,
+    *,
+    schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
+    baseline: str = "list",
+    workers: int = 1,
+    cache=None,
+    recorder=None,
+    policy=None,
+    tracer=None,
+    progress=None,
+) -> GapReport:
+    """Measure the grid once per scheduler backend and collect gaps.
+
+    ``benchmarks`` defaults to the whole suite and ``machines`` to the
+    paper's seven; every cell is recompiled scheduled for its target
+    machine (``schedule_for_target``).  ``workers``/``cache``/
+    ``policy``/``recorder``/``tracer``/``progress`` thread through to
+    the engine per backend run; the trace cache keys on the options
+    fingerprint, so per-backend results never collide in it.
+    """
+    if benchmarks is None:
+        from ..benchmarks import suite
+
+        benchmarks = [b.name for b in suite.all_benchmarks()]
+    else:
+        benchmarks = list(benchmarks)
+    if machines is None:
+        machines = paper_machines()
+    if baseline not in schedulers:
+        raise ValueError(
+            f"baseline {baseline!r} not among schedulers {schedulers}"
+        )
+
+    cycles: dict[tuple, dict] = {}
+    order: list[tuple] = []
+    for sched in schedulers:
+        plan = plan_sweep(benchmarks, machines,
+                          schedule_for_target=True, scheduler=sched)
+        result = execute(plan, workers=workers, cache=cache,
+                         recorder=recorder, policy=policy, tracer=tracer,
+                         progress=progress)
+        for cell in result.cells:
+            key = (cell.benchmark, cell.machine)
+            if key not in cycles:
+                cycles[key] = {}
+                order.append(key)
+            if cell.status != "failed":
+                cycles[key][sched] = cell.minor_cycles
+
+    return GapReport(
+        baseline=baseline,
+        schedulers=tuple(schedulers),
+        cells=tuple(
+            GapCell(benchmark=b, machine=m, cycles=cycles[(b, m)])
+            for b, m in order
+        ),
+    )

@@ -65,6 +65,7 @@ def sweep(
     metrics: MetricsRegistry | None = None,
     progress=None,
     sample_resources: bool = False,
+    scheduler: str | None = None,
 ) -> list[SweepRow]:
     """Measure every benchmark on every machine.
 
@@ -95,6 +96,12 @@ def sweep(
     n_cells)`` callback for live display.  ``sample_resources=True``
     additionally records per-process RSS/CPU telemetry (see
     :func:`~repro.engine.executor.execute`).
+
+    ``scheduler`` pins every cell's scheduler backend by registry name
+    (``"list"``, ``"swp"``, ``"exact"``, ...); see
+    :func:`repro.api.schedulers`.  The choice participates in each
+    cell's option fingerprint, so per-backend results never share cache
+    entries.
     """
     rec = active_recorder(recorder)
     tr = active_tracer(tracer)
@@ -106,6 +113,7 @@ def sweep(
             options_label=options_label,
             schedule_for_target=schedule_for_target,
             observe=observe,
+            scheduler=scheduler,
         )
     result = execute(plan, workers=workers, cache=cache, recorder=rec,
                      policy=policy, faults=faults, tracer=tracer,

@@ -14,6 +14,10 @@ importing internal packages:
 * :func:`plan` / :func:`sweep` — build and execute a whole
   benchmark x machine grid, optionally across worker processes with a
   content-addressed trace cache;
+* :func:`schedulers` — the registered scheduler backends;
+  :func:`compile`, :func:`measure`, :func:`plan` and :func:`sweep` all
+  take a keyword-only ``scheduler=`` naming one of them (``"list"``,
+  ``"swp"``, ``"exact"``; see :mod:`repro.sched.registry`);
 * :func:`ledger` / :func:`ingest` / :func:`diff` / :func:`dashboard` —
   the run-history side: store run reports in the content-addressed
   ledger, regression-diff any two runs, render the history as one
@@ -37,6 +41,7 @@ taken.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from .analysis.sweep import SweepRow, summarize as _summarize_rows
@@ -72,6 +77,7 @@ __all__ = [
     "measure",
     "plan",
     "run",
+    "schedulers",
     "simulate",
     "sweep",
 ]
@@ -80,17 +86,45 @@ __all__ = [
 MachineLike = "MachineConfig | str"
 
 
+def schedulers() -> dict[str, str]:
+    """The registered scheduler backends, name to one-line description.
+
+    Any of these names is valid for the ``scheduler=`` keyword taken by
+    :func:`compile`, :func:`measure`, :func:`plan` and :func:`sweep`,
+    for :attr:`CompilerOptions.scheduler`, and for the CLI's
+    ``--scheduler`` flag.
+    """
+    from .sched import registry as _registry
+
+    return _registry.descriptions()
+
+
+def _with_scheduler(options: CompilerOptions | None,
+                    scheduler: str | None) -> CompilerOptions | None:
+    """Apply a ``scheduler=`` keyword to (possibly default) options."""
+    if scheduler is None:
+        return options
+    if options is None:
+        return CompilerOptions(scheduler=scheduler)
+    if options.scheduler == scheduler:
+        return options
+    return dataclasses.replace(options, scheduler=scheduler)
+
+
 def compile(source: str, *, options: CompilerOptions | None = None,
-            profile=None) -> Program:
+            profile=None, scheduler: str | None = None) -> Program:
     """Compile Tin source text into a scheduled :class:`Program`.
 
     ``options`` defaults to the full optimization pipeline; ``profile``
     (a :class:`~repro.obs.profile.CompileProfile`) collects pass-level
-    timing and size statistics when given.
+    timing and size statistics when given.  ``scheduler`` selects the
+    scheduler backend by name (see :func:`schedulers`), overriding
+    ``options.scheduler`` when both are given.
     """
     from .opt.driver import compile_source
 
-    return compile_source(source, options, profile)
+    return compile_source(source, _with_scheduler(options, scheduler),
+                          profile)
 
 
 def run(program: Program | str, *,
@@ -117,12 +151,22 @@ def simulate(trace: Trace, machine: MachineConfig | str, *,
 
 def measure(benchmark: Benchmark | str, machine: MachineConfig | str,
             *, options: CompilerOptions | None = None,
-            observe: bool = False) -> TimingResult:
+            observe: bool = False,
+            scheduler: str | None = None) -> TimingResult:
     """Compile, run, and time one suite benchmark on one machine.
 
     Compilation and functional execution are memoized per
     (benchmark, options), so measuring many machines is cheap.
+    ``scheduler`` selects the scheduler backend by name (see
+    :func:`schedulers`); with no explicit ``options`` it composes with
+    the benchmark's default overrides.
     """
+    if scheduler is not None and options is None:
+        bench = _suite.get(benchmark) if isinstance(benchmark, str) \
+            else benchmark
+        options = _suite.default_options(bench, scheduler=scheduler)
+    else:
+        options = _with_scheduler(options, scheduler)
     return _suite.measure(
         benchmark, _resolve_machine(machine), options, observe=observe
     )
@@ -130,16 +174,20 @@ def measure(benchmark: Benchmark | str, machine: MachineConfig | str,
 
 def plan(benchmarks, machines, *, options: CompilerOptions | None = None,
          options_label: str = "default", schedule_for_target: bool = False,
-         observe: bool = False) -> Plan:
+         observe: bool = False, scheduler: str | None = None) -> Plan:
     """Build the work plan for a benchmarks-by-machines sweep.
 
     Accepts benchmark names/objects and machine presets/configs; see
     :func:`repro.engine.plan.plan_sweep` for the semantics of
     ``schedule_for_target`` (the paper's per-target recompilation).
+    ``scheduler`` pins every cell's scheduler backend by name (see
+    :func:`schedulers`), composing with per-benchmark defaults and
+    ``schedule_for_target``.
     """
     return plan_sweep(
         benchmarks, machines, options=options, options_label=options_label,
         schedule_for_target=schedule_for_target, observe=observe,
+        scheduler=scheduler,
     )
 
 
@@ -174,7 +222,7 @@ def sweep(plan: Plan, *, workers: int = 1, cache_dir: str | None = None,
           faults: FaultPlan | None = None,
           tracer: Tracer | None = None,
           metrics: MetricsRegistry | None = None,
-          progress=None) -> SweepResult:
+          progress=None, scheduler: str | None = None) -> SweepResult:
     """Execute a :class:`Plan` and return every cell's measurement.
 
     ``workers`` fans compile groups across a supervised process pool
@@ -198,7 +246,19 @@ def sweep(plan: Plan, *, workers: int = 1, cache_dir: str | None = None,
     counters/gauges/histograms; ``progress(group_key, outcome,
     n_cells)`` is invoked as each compile group settles (live
     dashboards).
+
+    ``scheduler`` re-pins every cell of ``plan`` to the named scheduler
+    backend (see :func:`schedulers`) before executing — convenient for
+    running one plan under several backends without rebuilding it.
     """
+    if scheduler is not None:
+        plan = dataclasses.replace(plan, cells=tuple(
+            c if c.options.scheduler == scheduler
+            else dataclasses.replace(
+                c, options=dataclasses.replace(c.options,
+                                               scheduler=scheduler))
+            for c in plan.cells
+        ))
     cache = open_cache(cache_dir, no_cache)
     result = _execute(plan, workers=workers, cache=cache,
                       recorder=recorder, policy=policy, faults=faults,

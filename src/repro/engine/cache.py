@@ -7,7 +7,9 @@ model replays.  The key is a SHA-256 over
 * the benchmark's **source text**,
 * the full :meth:`~repro.opt.options.CompilerOptions.fingerprint` (which
   itself embeds the target machine's
-  :meth:`~repro.machine.config.MachineConfig.fingerprint`), and
+  :meth:`~repro.machine.config.MachineConfig.fingerprint` and the
+  scheduler backend name, so e.g. ``"list"`` and ``"exact"``
+  compilations never share an entry), and
 * the package version plus a cache format tag,
 
 so a hit is only possible when the compilation would be bit-identical.

@@ -686,11 +686,14 @@ def execute(
         mx.incr("engine.group_retries", report.group_retries)
         mx.incr("engine.pool_restarts", report.pool_restarts)
     if rec.enabled:
-        for c in cells:
+        # `cells` is plan-ordered (slots are filled by plan index), so
+        # each result's scheduler comes from the matching plan cell.
+        for plan_cell, c in zip(plan.cells, cells):
             event = {
                 "benchmark": c.benchmark,
                 "machine": c.machine,
                 "options": c.options_label,
+                "scheduler": plan_cell.options.scheduler,
                 "seconds": c.seconds,
                 "cached": c.compile_cached,
                 "status": c.status,

@@ -10,6 +10,7 @@ them onto one compilation.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -82,6 +83,7 @@ def plan_sweep(
     options_label: str = "default",
     schedule_for_target: bool = False,
     observe: bool = False,
+    scheduler: str | None = None,
 ) -> Plan:
     """Build the plan for a benchmarks-by-machines sweep.
 
@@ -91,6 +93,13 @@ def plan_sweep(
     ``options``); otherwise one trace per benchmark is shared across
     machines.  Machines may be given as preset names
     (see :func:`repro.machine.presets.resolve`).
+
+    ``scheduler`` pins every cell's scheduler backend (a
+    :mod:`repro.sched.registry` name).  It is applied *after* the
+    per-benchmark default options are resolved, so selecting a backend
+    composes with benchmark overrides like linpack's unrolling; backend
+    choice flows into each cell's option fingerprint and therefore the
+    engine's compile groups and trace-cache keys.
     """
     if schedule_for_target and options is not None:
         raise ValueError("options and schedule_for_target are exclusive")
@@ -104,6 +113,8 @@ def plan_sweep(
                 opts = suite.default_options(bench, schedule_for=config)
             else:
                 opts = options or suite.default_options(bench)
+            if scheduler is not None and opts.scheduler != scheduler:
+                opts = dataclasses.replace(opts, scheduler=scheduler)
             cells.append(Cell(
                 benchmark=bench.name,
                 options=opts,

@@ -99,3 +99,26 @@ class RegisterAllocationError(ReproError):
 
 class SchedulingError(ReproError):
     """Raised when the scheduler produces or detects an invalid ordering."""
+
+
+class ScheduleBudgetError(SchedulingError):
+    """Raised when the exact scheduler's search exceeds its budget.
+
+    Carries what the backend needs for its automatic fallback (and the
+    engine's resilience ladder, should it escape): the ``block`` label,
+    how many search ``nodes`` were expanded, and which ``limit`` tripped
+    (``"nodes"``, ``"seconds"`` or ``"block-size"``).  Picklable across
+    process boundaries like every engine-facing typed error.
+    """
+
+    def __init__(self, block: str, nodes: int, limit: str) -> None:
+        super().__init__(
+            f"exact-schedule budget exceeded in block {block!r}: "
+            f"{limit} limit hit after {nodes} search nodes"
+        )
+        self.block = block
+        self.nodes = nodes
+        self.limit = limit
+
+    def __reduce__(self):  # keep picklable across process boundaries
+        return (ScheduleBudgetError, (self.block, self.nodes, self.limit))

@@ -257,6 +257,16 @@ def diff_payloads(a: dict, b: dict,
 
 def _diff_cell(differ: _Differ, label: str, ca: dict, cb: dict,
                policy: DiffPolicy) -> None:
+    # The scheduler backend is deliberately NOT part of the cell key:
+    # comparing the same grid under two backends (the `repro gap` CI
+    # check) must line cells up.  A change is surfaced informationally
+    # so per-backend diffs are self-describing, never gated — the cycle
+    # metrics below carry the actual verdict.
+    scheduler_a, scheduler_b = ca.get("scheduler"), cb.get("scheduler")
+    if (scheduler_a != scheduler_b
+            and scheduler_a is not None and scheduler_b is not None):
+        differ.add("cell", label, "scheduler", scheduler_a, scheduler_b,
+                   gated=False, note="scheduler backend changed")
     sa, sb = ca.get("status", "ok"), cb.get("status", "ok")
     if sa != sb:
         worse = (_STATUS_ORDER.index(sb) > _STATUS_ORDER.index(sa)

@@ -43,7 +43,9 @@ LEDGER_ENV = "REPRO_LEDGER"
 
 #: Bump when the table layout changes (old ledgers are rejected,
 #: not migrated — the source reports are the durable artifact).
-LEDGER_VERSION = 1
+#: v2: per-cell ``scheduler`` column (the scheduler backend the cell
+#: compiled through; NULL for pre-backend reports).
+LEDGER_VERSION = 2
 
 #: Per-cell replay-memo counter columns (match ReplayStats.as_dict()).
 _REPLAY_KEYS = ("blocks", "memo_hits", "memo_misses", "fallbacks",
@@ -85,6 +87,7 @@ CREATE TABLE IF NOT EXISTS cells (
     benchmark TEXT NOT NULL,
     machine TEXT NOT NULL,
     options TEXT NOT NULL,
+    scheduler TEXT,
     status TEXT NOT NULL,
     attempts INTEGER NOT NULL,
     cached INTEGER,
@@ -156,6 +159,7 @@ def _cell_template(benchmark: str, machine: str, options: str) -> dict:
         "benchmark": benchmark,
         "machine": machine,
         "options": options,
+        "scheduler": None,
         "status": "ok",
         "attempts": 1,
         "cached": None,
@@ -274,6 +278,7 @@ def payload_from_events(events: list[dict], source: str | None = None) -> dict:
             cell = _cell_template(event.get("benchmark"),
                                   event.get("machine"),
                                   event.get("options", "default"))
+            cell["scheduler"] = event.get("scheduler")
             cell["status"] = event.get("status", "ok")
             cell["attempts"] = event.get("attempts", 1)
             cell["cached"] = event.get("cached")
@@ -364,6 +369,7 @@ def _deterministic_cell(cell: dict) -> dict:
         "benchmark": cell.get("benchmark"),
         "machine": cell.get("machine"),
         "options": cell.get("options"),
+        "scheduler": cell.get("scheduler"),
         "status": cell.get("status"),
         "attempts": cell.get("attempts"),
         "instructions": cell.get("instructions"),
@@ -567,13 +573,13 @@ class HistoryLedger:
         replay = cell.get("replay") or {}
         by_class = stalls.get("by_class")
         columns = [
-            "run_ref", "benchmark", "machine", "options", "status",
-            "attempts", "cached", "seconds", "instructions",
+            "run_ref", "benchmark", "machine", "options", "scheduler",
+            "status", "attempts", "cached", "seconds", "instructions",
             "minor_cycles", "base_cycles", "parallelism", "cpi",
         ]
         values: list = [
             run_ref, cell["benchmark"], cell["machine"], cell["options"],
-            cell["status"], cell["attempts"],
+            cell.get("scheduler"), cell["status"], cell["attempts"],
             (None if cell.get("cached") is None
              else int(bool(cell["cached"]))),
             cell.get("seconds"), cell.get("instructions"),
@@ -687,6 +693,7 @@ class HistoryLedger:
             "benchmark": row["benchmark"],
             "machine": row["machine"],
             "options": row["options"],
+            "scheduler": row["scheduler"],
             "status": row["status"],
             "attempts": row["attempts"],
             "cached": (None if row["cached"] is None

@@ -59,7 +59,10 @@ SCHEMA_VERSION = 1
 #: payload (replay-memo counters) and ``cell`` events an optional
 #: ``history`` payload (per-attempt supervision records); ``engine``
 #: events carry the corresponding ``memo_*`` roll-ups.  The validator
-#: checks all three.
+#: checks all three.  ``cell`` events may additionally carry an
+#: optional ``scheduler`` string (the scheduler backend the cell
+#: compiled through; absent in pre-backend reports, which implies the
+#: historical ``"list"`` scheduler).
 EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "run_start": ("schema", "run_id"),
     "compile_pass": ("benchmark", "pass", "seconds"),
@@ -361,6 +364,11 @@ def check_event(record: dict) -> list[str]:
         errors.append(
             f"run_start: schema {record.get('schema')!r}, "
             f"expected {SCHEMA_VERSION}"
+        )
+    if "scheduler" in record and not isinstance(record["scheduler"], str):
+        errors.append(
+            f"{event}: field 'scheduler' has bad type "
+            f"{type(record['scheduler']).__name__}"
         )
     if "status" in record and record["status"] not in CELL_STATUSES:
         errors.append(

@@ -26,7 +26,7 @@ from ..lang.codegen import generate
 from ..lang.parser import parse
 from ..lang.semantics import check
 from ..obs.profile import NULL_PROFILE, CompileProfile, SchedStats
-from ..sched.list_scheduler import schedule_function
+from ..sched import registry as sched_registry
 from .alias import bind_array_parameters
 from .cleanup import cleanup_control_flow
 from .globalopt import loop_invariant_code_motion
@@ -100,9 +100,10 @@ def compile_module(
 
     if opts.do_schedule:
         stats = SchedStats() if prof.enabled else None
+        backend = sched_registry.get(opts.scheduler)
         with prof.measure("schedule", program):
             for fn in program.functions.values():
-                schedule_function(
+                backend.schedule_function(
                     fn, opts.schedule_for, opts.alias_level,
                     opts.sched_heuristic, stats,
                 )

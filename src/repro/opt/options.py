@@ -24,6 +24,20 @@ from ..machine.config import MachineConfig
 from ..machine.presets import ideal_superscalar
 
 
+def _default_scheduler() -> str:
+    """The scheduler registry's current default backend name (lazy
+    import: the registry's backends compile against these options)."""
+    from ..sched.registry import get_default
+
+    return get_default()
+
+
+def _scheduler_names() -> list[str]:
+    from ..sched.registry import names
+
+    return names()
+
+
 class OptLevel(enum.IntEnum):
     """Cumulative optimization levels (Figure 4-8's x-axis)."""
 
@@ -75,6 +89,10 @@ class CompilerOptions:
     )
     #: list-scheduling priority: "critical-path" or "source-order"
     sched_heuristic: str = "critical-path"
+    #: scheduler backend name (see :mod:`repro.sched.registry`); the
+    #: default tracks the registry's process-wide default ("list"
+    #: unless the CLI's --scheduler overrode it)
+    scheduler: str = field(default_factory=lambda: _default_scheduler())
 
     def __post_init__(self) -> None:
         if self.unroll < 1:
@@ -82,6 +100,12 @@ class CompilerOptions:
         if self.sched_heuristic not in ("critical-path", "source-order"):
             raise ValueError(
                 f"unknown scheduling heuristic {self.sched_heuristic!r}"
+            )
+        names = _scheduler_names()
+        if self.scheduler not in names:
+            raise ValueError(
+                f"unknown scheduler backend {self.scheduler!r} "
+                f"(registered: {', '.join(names)})"
             )
 
     def fingerprint(self) -> tuple:
@@ -93,7 +117,10 @@ class CompilerOptions:
         text), so the two caches can never disagree: any option field
         that affects compilation must be added *here* and nowhere else.
         ``alias`` folds to :attr:`alias_level` because that is the
-        effective setting the scheduler sees.
+        effective setting the scheduler sees.  The ``scheduler``
+        backend name participates too, so two compilations differing
+        only in backend can never share a memo entry, a trace-cache
+        entry, or a ledger fingerprint.
         """
         return (
             int(self.opt_level),
@@ -103,6 +130,7 @@ class CompilerOptions:
             self.careful,
             int(self.alias_level),
             self.sched_heuristic,
+            self.scheduler,
             self.schedule_for.fingerprint(),
         )
 

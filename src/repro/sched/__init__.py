@@ -1,6 +1,27 @@
-"""Pipeline instruction scheduling (dependence DAG + list scheduling)."""
+"""Pipeline instruction scheduling: dependence DAG + pluggable backends.
 
+The subsystem is organized around a backend registry
+(:mod:`repro.sched.registry`): ``"list"`` (the paper's greedy
+critical-path heuristic, the default), ``"swp"`` (modulo scheduling for
+straight-line loop bodies), and ``"exact"`` (budgeted branch-and-bound
+optimal block schedules).  Select a backend via
+``CompilerOptions(scheduler=...)``, ``api.compile(..., scheduler=...)``
+or the CLI's ``--scheduler``; every backend's output is checked by
+:mod:`repro.sched.validate`.  ``schedule_function``/``schedule_block``
+remain the historical list-scheduler entry points.
+"""
+
+from . import registry, validate
 from .dag import DepDAG, build_dag
-from .list_scheduler import schedule_block, schedule_function
+from .listsched import schedule_block, schedule_function
+from .registry import SchedulerBackend
 
-__all__ = ["DepDAG", "build_dag", "schedule_block", "schedule_function"]
+__all__ = [
+    "DepDAG",
+    "SchedulerBackend",
+    "build_dag",
+    "registry",
+    "schedule_block",
+    "schedule_function",
+    "validate",
+]

@@ -306,8 +306,8 @@ class TestApiSurface:
 
     EXPECTED = {
         "compile": "(source: 'str', *, options: "
-                   "'CompilerOptions | None' = None, profile=None) "
-                   "-> 'Program'",
+                   "'CompilerOptions | None' = None, profile=None, "
+                   "scheduler: 'str | None' = None) -> 'Program'",
         "run": "(program: 'Program | str', *, options: "
                "'CompilerOptions | None' = None) -> 'RunResult'",
         "simulate": "(trace: 'Trace', machine: 'MachineConfig | str', "
@@ -315,19 +315,22 @@ class TestApiSurface:
         "measure": "(benchmark: 'Benchmark | str', machine: "
                    "'MachineConfig | str', *, options: "
                    "'CompilerOptions | None' = None, observe: 'bool' "
-                   "= False) -> 'TimingResult'",
+                   "= False, scheduler: 'str | None' = None) "
+                   "-> 'TimingResult'",
         "plan": "(benchmarks, machines, *, options: "
                 "'CompilerOptions | None' = None, options_label: 'str' "
                 "= 'default', schedule_for_target: 'bool' = False, "
-                "observe: 'bool' = False) -> 'Plan'",
+                "observe: 'bool' = False, scheduler: 'str | None' "
+                "= None) -> 'Plan'",
         "sweep": "(plan: 'Plan', *, workers: 'int' = 1, cache_dir: "
                  "'str | None' = None, no_cache: 'bool' = False, "
                  "recorder: 'Recorder | None' = None, policy: "
                  "'RetryPolicy | None' = None, faults: "
                  "'FaultPlan | None' = None, tracer: "
                  "'Tracer | None' = None, metrics: "
-                 "'MetricsRegistry | None' = None, progress=None) "
-                 "-> 'SweepResult'",
+                 "'MetricsRegistry | None' = None, progress=None, "
+                 "scheduler: 'str | None' = None) -> 'SweepResult'",
+        "schedulers": "() -> 'dict[str, str]'",
     }
 
     @pytest.mark.parametrize("name", sorted(EXPECTED))
