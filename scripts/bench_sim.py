@@ -12,13 +12,23 @@ Measures, on a benchmarks x machines grid:
    plans reset beforehand), i.e. what a first ``simulate()`` costs,
 4. ``warm``    — memoized replay in the steady state: a second
    ``ReplayCore.run()`` on already-populated memo tables, i.e. what
-   every later replay of the same trace costs.
+   every later replay of the same trace costs (under the NumPy backend
+   this is the vectorized block-replay kernel),
+5. ``vectorized`` (NumPy backend only) — the raw structure-of-arrays
+   kernel rerun on resolved cores, without the ``run()`` dispatch,
+6. ``warm_persistent`` — a fresh ``ReplayCore`` per cell per pass that
+   adopts its memo tables from the persistent on-disk store
+   (pickle load + validation + adoption + replay): what a brand-new
+   process pays when the cache directory is already warm.
 
 Each mode reports dynamic instructions per second; the headline number
-is ``speedup.cold_vs_direct`` — the end-to-end grid speedup of the
-memoized path over the per-instruction path.  With ``--check`` the
-memoized grid is additionally verified bit-identical (minor cycles and
-full stall breakdowns) against the direct path before timing.
+is ``speedup.warm_vs_direct`` — the steady-state grid speedup of the
+memoized path over the per-instruction path (``warm`` is also the
+mode the regression gate watches).  With ``--check`` the memoized,
+steady-state/vectorized, and persistent-memo-adopted grids are all
+verified bit-identical (minor cycles and full stall breakdowns)
+against the direct path before timing.  The document also carries a
+per-benchmark warm-throughput breakdown and the active replay backend.
 
 Results go to ``BENCH_sim.json`` (see ``--output``).  CI runs a
 reduced grid and archives the JSON as an artifact.
@@ -43,6 +53,7 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 
 sys.path.insert(
@@ -90,7 +101,9 @@ def main(argv=None) -> int:
     from repro.machine.presets import resolve
     from repro.opt.driver import compile_source
     from repro.sim import interp
-    from repro.sim.replay import ReplayCore
+    from repro.sim import replay as replay_mod
+    from repro.sim.memo import MemoStore, clear_registry, replay_with_memo
+    from repro.sim.replay import BACKEND, ReplayCore
     from repro.sim.timing import simulate
 
     names = [b for b in args.benchmarks.replace(",", " ").split() if b]
@@ -115,17 +128,39 @@ def main(argv=None) -> int:
     grid_instr = total_instr * len(machines)
 
     if args.check:
-        for name, trace in zip(names, traces):
-            for machine in machines:
-                memo = simulate(trace, machine, observe=True)
-                ref = simulate(trace, machine, observe=True, memoize=False)
-                if (memo.minor_cycles != ref.minor_cycles
-                        or memo.stalls != ref.stalls):
-                    print(f"FAIL: {name} on {machine.name}: memoized "
-                          f"replay differs from direct", file=sys.stderr)
-                    return 1
-        print(f"check: memoized == direct on all "
-              f"{len(names) * len(machines)} cells")
+        with tempfile.TemporaryDirectory() as check_root:
+            store = MemoStore(os.path.join(check_root, "memo"))
+            for name, trace in zip(names, traces):
+                for machine in machines:
+                    ref = simulate(trace, machine, observe=True,
+                                   memoize=False)
+                    memo = simulate(trace, machine, observe=True)
+                    # Steady-state rerun: the vectorized kernel under
+                    # the NumPy backend, the memo-table loop otherwise.
+                    core = ReplayCore(trace, machine, observe=True)
+                    core.run()
+                    steady = core.run()
+                    # Fresh core warm-started from the persistent store
+                    # (second call adopts what the first one wrote).
+                    replay_with_memo(store, trace, machine, observe=True)
+                    clear_registry()
+                    adopted = replay_with_memo(store, trace, machine,
+                                               observe=True)
+                    for label, got in (
+                        ("memoized", (memo.minor_cycles, memo.stalls)),
+                        ("steady-state",
+                         (steady.minor_cycles, steady.stalls)),
+                        ("persistent-memo",
+                         (adopted.minor_cycles, adopted.stalls)),
+                    ):
+                        if got != (ref.minor_cycles, ref.stalls):
+                            print(f"FAIL: {name} on {machine.name}: "
+                                  f"{label} replay differs from direct",
+                                  file=sys.stderr)
+                            return 1
+        print(f"check: memoized == steady-state == persistent-memo == "
+              f"direct on all {len(names) * len(machines)} cells "
+              f"({BACKEND} backend)")
 
     # --- direct (per-instruction) timing replay: the pre-memo reference
     def direct_pass() -> float:
@@ -159,6 +194,10 @@ def main(argv=None) -> int:
     ]
     for _, machine_cores in cores:
         for core in machine_cores:
+            # Twice: the first run resolves, the second builds (and
+            # caches) the vectorized view, so warm passes measure the
+            # steady state even with --repeat 1.
+            core.run()
             core.run()
 
     def warm_pass() -> float:
@@ -170,12 +209,79 @@ def main(argv=None) -> int:
 
     warm_seconds = _best(warm_pass, args.repeat)
 
+    # --- per-benchmark warm breakdown (which traces dominate the grid)
+    per_benchmark = {}
+    for (name, run), (_, machine_cores) in zip(zip(names, runs), cores):
+        def bench_pass(machine_cores=machine_cores):
+            start = time.perf_counter()
+            for core in machine_cores:
+                core.run()
+            return time.perf_counter() - start
+
+        seconds = max(_best(bench_pass, args.repeat), 1e-9)
+        instructions = run.instructions * len(machines)
+        per_benchmark[name] = {
+            "instructions": instructions,
+            "warm_seconds": round(seconds, 4),
+            "warm_instr_per_sec": round(instructions / seconds),
+        }
+
+    # --- raw vectorized kernel (NumPy backend only): resolved-core
+    # rerun without the run() dispatch, i.e. the kernel's ceiling
+    vectorized_seconds = None
+    if BACKEND == "numpy":
+        kernels = []
+        for _, machine_cores in cores:
+            if kernels is None:
+                break
+            for core in machine_cores:
+                pv = core._plan_vec()
+                cv = core._vec
+                if cv is None and core._resolved is not None:
+                    cv = replay_mod._replay_vec.build_core_vec(core, pv)
+                    core._vec = cv
+                if pv is None or cv is None or cv is False:
+                    kernels = None
+                    break
+                kernels.append((core, pv, cv))
+        if kernels:
+            run_vectorized = replay_mod._replay_vec.run_vectorized
+
+            def vectorized_pass() -> float:
+                start = time.perf_counter()
+                for core, pv, cv in kernels:
+                    run_vectorized(core, pv, cv)
+                return time.perf_counter() - start
+
+            vectorized_seconds = _best(vectorized_pass, args.repeat)
+
+    # --- persistent-memo adoption: fresh core per cell per pass, memo
+    # tables pickled from disk (what a warm-cache cold process pays)
+    with tempfile.TemporaryDirectory() as memo_root:
+        store = MemoStore(os.path.join(memo_root, "memo"))
+        for trace in traces:
+            for machine in machines:
+                replay_with_memo(store, trace, machine)
+
+        def warm_persistent_pass() -> float:
+            clear_registry()
+            start = time.perf_counter()
+            for trace in traces:
+                for machine in machines:
+                    replay_with_memo(store, trace, machine)
+            return time.perf_counter() - start
+
+        warm_persistent_seconds = _best(warm_persistent_pass, args.repeat)
+
     modes = {
         "interp": (interp_seconds, total_instr),
         "direct": (direct_seconds, grid_instr),
         "cold": (cold_seconds, grid_instr),
         "warm": (warm_seconds, grid_instr),
+        "warm_persistent": (warm_persistent_seconds, grid_instr),
     }
+    if vectorized_seconds is not None:
+        modes["vectorized"] = (vectorized_seconds, grid_instr)
     for label, (seconds, instructions) in modes.items():
         print(f"{label:7s} {seconds:7.3f}s  "
               f"{instructions / seconds / 1e6:8.2f} M instr/s")
@@ -188,6 +294,8 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
         "repeat": args.repeat,
+        "backend": BACKEND,
+        "benchmarks": per_benchmark,
         "modes": {
             label: {
                 "seconds": round(seconds, 4),
@@ -199,6 +307,8 @@ def main(argv=None) -> int:
         "speedup": {
             "cold_vs_direct": round(direct_seconds / cold_seconds, 3),
             "warm_vs_direct": round(direct_seconds / warm_seconds, 3),
+            "warm_persistent_vs_direct": round(
+                direct_seconds / warm_persistent_seconds, 3),
         },
     }
     parent = os.path.dirname(args.output)

@@ -825,6 +825,18 @@ def _render_metrics_summary(events: list[dict]) -> str:
                 f"{counters.get('cache.corrupt', 0):.0f} corrupt-drops "
                 f"({rate(counters.get('cache.hits', 0), gets)} hit rate)"
             )
+        memo_gets = counters.get("cache.memo_gets", 0)
+        if memo_gets:
+            lines.append(
+                f"memo store: {memo_gets:.0f} gets, "
+                f"{counters.get('cache.memo_hits', 0):.0f} hits / "
+                f"{counters.get('cache.memo_misses', 0):.0f} misses / "
+                f"{counters.get('cache.memo_corrupt', 0):.0f} "
+                f"corrupt-drops, "
+                f"{counters.get('cache.memo_stores', 0):.0f} stores "
+                f"({rate(counters.get('cache.memo_hits', 0), memo_gets)} "
+                "hit rate)"
+            )
         memo = (counters.get("replay.memo_hits", 0)
                 + counters.get("replay.memo_misses", 0))
         if memo:
@@ -836,6 +848,22 @@ def _render_metrics_summary(events: list[dict]) -> str:
                 f"({rate(counters.get('replay.memo_hits', 0), memo)} "
                 "hit rate)"
             )
+            persisted = counters.get("replay.memo_persisted_hits", 0)
+            if persisted:
+                lines[-1] += f", {persisted:.0f} hits from persisted tables"
+        blocks = counters.get("replay.blocks", 0)
+        vec = counters.get("replay.vectorized_blocks", 0)
+        fallback = counters.get("replay.scalar_fallback_blocks", 0)
+        if vec or fallback:
+            lines.append(
+                f"vectorized replay: {vec:.0f}/{blocks:.0f} blocks "
+                f"({rate(vec, blocks)}), "
+                f"{fallback:.0f} scalar-fallback blocks"
+            )
+    engine = next((e for e in reversed(events)
+                   if e.get("event") == "engine"), None)
+    if engine is not None and engine.get("replay_backend"):
+        lines.append(f"replay backend: {engine['replay_backend']}")
         retries = counters.get("engine.group_retries", 0)
         restarts = counters.get("engine.pool_restarts", 0)
         degraded = counters.get("engine.cells.degraded", 0)

@@ -41,6 +41,8 @@ from ..obs.trace import (
     worker_track,
 )
 from ..opt.options import CompilerOptions
+from ..sim.memo import open_memo_store
+from ..sim.replay import BACKEND
 from ..sim.timing import simulate
 from .cache import NULL_TRACE_CACHE, TraceCache, trace_key
 from .faults import NO_FAULTS, FaultPlan
@@ -121,6 +123,15 @@ class EngineReport:
     #: dynamic instructions advanced via memo hits vs replayed directly
     memo_instructions: int = 0
     direct_instructions: int = 0
+    #: block events replayed by the vectorized kernel / forced back to
+    #: the scalar engine after a failed verification (see
+    #: :class:`repro.sim.replay.ReplayStats`)
+    vectorized_blocks: int = 0
+    scalar_fallback_blocks: int = 0
+    #: memo hits served from persisted payloads (disk or registry)
+    memo_persisted_hits: int = 0
+    #: active replay backend (:data:`repro.sim.replay.BACKEND`)
+    replay_backend: str = ""
     #: supervision outcome counts (ok + retried + degraded + failed == cells)
     ok_cells: int = 0
     retried_cells: int = 0
@@ -146,6 +157,10 @@ class EngineReport:
             "memo_fallbacks": self.memo_fallbacks,
             "memo_instructions": self.memo_instructions,
             "direct_instructions": self.direct_instructions,
+            "vectorized_blocks": self.vectorized_blocks,
+            "scalar_fallback_blocks": self.scalar_fallback_blocks,
+            "memo_persisted_hits": self.memo_persisted_hits,
+            "replay_backend": self.replay_backend,
             "ok_cells": self.ok_cells,
             "retried_cells": self.retried_cells,
             "degraded_cells": self.degraded_cells,
@@ -273,12 +288,19 @@ def _run_group(
         checksum_ok = (abs(result.value - bench.reference())
                        <= bench.fp_tolerance)
 
+        # Persistent replay-memo store inside the trace cache's
+        # directory: warm-starts every cell's replay from previously
+        # learned memo tables (disabled alongside the cache, keeping
+        # cacheless runs byte-for-byte deterministic).
+        memo = open_memo_store(cache)
+
         out: list[tuple[int, CellResult]] = []
         for index, machine, label in machine_cells:
             t0 = time.perf_counter()
             with tracer.span("simulate", cat="sim", benchmark=benchmark,
                              machine=machine.name):
-                timing = simulate(result.trace, machine, observe=observe)
+                timing = simulate(result.trace, machine, observe=observe,
+                                  memo=memo)
             cell = CellResult(
                 benchmark=benchmark,
                 options_label=label,
@@ -305,6 +327,7 @@ def _run_group(
             if faults:
                 cell = faults.maybe_corrupt_cell(cell, attempt)
             out.append((index, cell))
+        memo.stats.record_to(metrics)
     return out, cached
 
 
@@ -667,6 +690,7 @@ def execute(
         group_retries=sum(len(o.history) for o in outcomes),
         pool_restarts=stats.pool_restarts,
     )
+    report.replay_backend = BACKEND
     for c in cells:
         if c.replay:
             report.memo_hits += c.replay.get("memo_hits", 0)
@@ -676,6 +700,12 @@ def execute(
                 "memo_instructions", 0)
             report.direct_instructions += c.replay.get(
                 "direct_instructions", 0)
+            report.vectorized_blocks += c.replay.get(
+                "vectorized_blocks", 0)
+            report.scalar_fallback_blocks += c.replay.get(
+                "scalar_fallback_blocks", 0)
+            report.memo_persisted_hits += c.replay.get(
+                "memo_persisted_hits", 0)
     if mx.enabled:
         mx.gauge("engine.workers", workers)
         mx.incr("engine.groups", len(groups))

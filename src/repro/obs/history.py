@@ -45,19 +45,26 @@ LEDGER_ENV = "REPRO_LEDGER"
 #: not migrated — the source reports are the durable artifact).
 #: v2: per-cell ``scheduler`` column (the scheduler backend the cell
 #: compiled through; NULL for pre-backend reports).
-LEDGER_VERSION = 2
+#: v3: vectorized-replay counter columns (``replay_vectorized_blocks``,
+#: ``replay_scalar_fallback_blocks``, ``replay_memo_persisted_hits``)
+#: and the matching engine-event roll-ups.
+LEDGER_VERSION = 3
 
 #: Per-cell replay-memo counter columns (match ReplayStats.as_dict()).
 _REPLAY_KEYS = ("blocks", "memo_hits", "memo_misses", "fallbacks",
-                "memo_instructions", "direct_instructions")
+                "memo_instructions", "direct_instructions",
+                "vectorized_blocks", "scalar_fallback_blocks",
+                "memo_persisted_hits")
 
-#: Run-level engine-report numeric columns copied straight from the
-#: ``engine`` event.
+#: Run-level engine-report fields copied straight from the ``engine``
+#: event (numeric roll-ups plus the replay backend name).
 _ENGINE_KEYS = (
     "workers", "cells", "groups", "cache_hits", "cache_misses",
     "seconds", "compile_seconds", "sim_seconds",
     "memo_hits", "memo_misses", "memo_fallbacks",
     "memo_instructions", "direct_instructions",
+    "vectorized_blocks", "scalar_fallback_blocks", "memo_persisted_hits",
+    "replay_backend",
     "ok_cells", "retried_cells", "degraded_cells", "failed_cells",
     "group_retries", "pool_restarts",
 )

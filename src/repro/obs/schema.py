@@ -25,7 +25,9 @@ Checks, per report file (:func:`check_file`):
   reconstruct ``minor_cycles`` exactly, and the per-class roll-up sums
   back to the per-cause totals;
 * every event with a ``replay`` payload obeys
-  ``memo_instructions + direct_instructions == instructions``;
+  ``memo_instructions + direct_instructions == instructions``,
+  ``vectorized_blocks + scalar_fallback_blocks <= blocks`` and
+  ``memo_persisted_hits <= memo_hits``;
 * every ``status`` is one of ``ok/retried/degraded/failed``; ``engine``
   events obey status conservation
   (``ok + retried + degraded + failed == cells``);
@@ -35,7 +37,9 @@ Checks, per report file (:func:`check_file`):
   span/parent IDs;
 * ``metrics`` events carry numeric counters/gauges and histograms
   obeying bucket conservation, plus the cache conservation law
-  ``cache.gets == cache.hits + cache.misses + cache.corrupt``;
+  ``cache.gets == cache.hits + cache.misses + cache.corrupt`` (and the
+  same law for the persistent replay-memo store's ``cache.memo_*``
+  family);
 * ``resource`` events (per-track RSS/CPU telemetry from the sampling
   thread, see :mod:`repro.obs.resource`) carry a track name and
   non-negative gauges.
@@ -108,6 +112,10 @@ _NUMERIC_FIELDS: dict[str, tuple[tuple[type, ...], bool]] = {
     "memo_fallbacks": ((int,), False),
     "memo_instructions": ((int,), False),
     "direct_instructions": ((int,), False),
+    # vectorized-replay roll-ups (engine events and replay payloads)
+    "vectorized_blocks": ((int,), False),
+    "scalar_fallback_blocks": ((int,), False),
+    "memo_persisted_hits": ((int,), False),
     # supervision status counts and retry accounting
     "ok_cells": ((int,), False),
     "retried_cells": ((int,), False),
@@ -136,6 +144,11 @@ _NUMERIC_FIELDS: dict[str, tuple[tuple[type, ...], bool]] = {
 _REPLAY_FIELDS = ("blocks", "memo_hits", "memo_misses", "fallbacks",
                   "memo_instructions", "direct_instructions")
 
+#: vectorized-replay payload counters: optional (absent in pre-kernel
+#: reports) but non-negative ints when present.
+_REPLAY_VEC_FIELDS = ("vectorized_blocks", "scalar_fallback_blocks",
+                      "memo_persisted_hits")
+
 #: legal values of a cell/sweep_row supervision status
 CELL_STATUSES = ("ok", "retried", "degraded", "failed")
 
@@ -153,6 +166,13 @@ def check_replay(replay: object, record: dict) -> list[str]:
         if isinstance(value, bool) or not isinstance(value, int) \
                 or value < 0:
             errors.append(f"replay.{name} must be a non-negative int")
+    for name in _REPLAY_VEC_FIELDS:
+        if name not in replay:
+            continue
+        value = replay[name]
+        if isinstance(value, bool) or not isinstance(value, int) \
+                or value < 0:
+            errors.append(f"replay.{name} must be a non-negative int")
     if errors:
         return errors
     instructions = record.get("instructions")
@@ -163,6 +183,22 @@ def check_replay(replay: object, record: dict) -> list[str]:
                 f"replay conservation violated: memoized+direct == "
                 f"{total}, instructions == {instructions}"
             )
+    # Vectorized-kernel conservation: every block is replayed by at
+    # most one of the vectorized kernel / the scalar fallback pass, and
+    # a persisted memo hit is in particular a memo hit.
+    vec = replay.get("vectorized_blocks", 0)
+    fallback = replay.get("scalar_fallback_blocks", 0)
+    if vec + fallback > replay["blocks"]:
+        errors.append(
+            f"replay conservation violated: vectorized+fallback == "
+            f"{vec + fallback} exceeds blocks == {replay['blocks']}"
+        )
+    persisted = replay.get("memo_persisted_hits", 0)
+    if persisted > replay["memo_hits"]:
+        errors.append(
+            f"replay conservation violated: memo_persisted_hits == "
+            f"{persisted} exceeds memo_hits == {replay['memo_hits']}"
+        )
     return errors
 
 
@@ -327,17 +363,21 @@ def check_metrics(record: dict) -> list[str]:
         for name, hist in histograms.items():
             errors.extend(check_histogram(name, hist))
     counters = record.get("counters")
-    if isinstance(counters, dict) and "cache.gets" in counters:
+    if isinstance(counters, dict):
         # Cache conservation: every lookup ends as exactly one of
-        # hit / miss / corrupt-drop.
-        parts = (counters.get("cache.hits", 0)
-                 + counters.get("cache.misses", 0)
-                 + counters.get("cache.corrupt", 0))
-        if parts != counters["cache.gets"]:
-            errors.append(
-                f"metrics: cache conservation violated: "
-                f"hits+misses+corrupt == {parts}, "
-                f"gets == {counters['cache.gets']}")
+        # hit / miss / corrupt-drop.  The persistent replay-memo store
+        # (cache.memo_*) obeys the same law as the trace cache.
+        for family in ("cache.", "cache.memo_"):
+            if f"{family}gets" not in counters:
+                continue
+            parts = (counters.get(f"{family}hits", 0)
+                     + counters.get(f"{family}misses", 0)
+                     + counters.get(f"{family}corrupt", 0))
+            if parts != counters[f"{family}gets"]:
+                errors.append(
+                    f"metrics: {family}* conservation violated: "
+                    f"hits+misses+corrupt == {parts}, "
+                    f"gets == {counters[f'{family}gets']}")
     return errors
 
 
@@ -365,11 +405,12 @@ def check_event(record: dict) -> list[str]:
             f"run_start: schema {record.get('schema')!r}, "
             f"expected {SCHEMA_VERSION}"
         )
-    if "scheduler" in record and not isinstance(record["scheduler"], str):
-        errors.append(
-            f"{event}: field 'scheduler' has bad type "
-            f"{type(record['scheduler']).__name__}"
-        )
+    for name in ("scheduler", "replay_backend"):
+        if name in record and not isinstance(record[name], str):
+            errors.append(
+                f"{event}: field {name!r} has bad type "
+                f"{type(record[name]).__name__}"
+            )
     if "status" in record and record["status"] not in CELL_STATUSES:
         errors.append(
             f"{event}: status {record['status']!r} not in "

@@ -1,0 +1,531 @@
+"""Vectorized (NumPy) replay kernel over the resolved block schedule.
+
+The scalar replay in :mod:`repro.sim.replay` spends its steady-state
+time on per-event memo-key construction and dictionary lookups — the
+per-instruction loops are already amortized away by block memoization.
+This module removes the per-event Python work too, by replaying the
+whole schedule with array arithmetic.
+
+The kernel operates on a **structure-of-arrays** view of the replay
+plan, materialized once per trace (:func:`build_plan_vec`):
+
+* per-event arrays: block id, instruction/memory-op counts, memory
+  chunk offsets, and a precomputed *alias id* — an integer standing in
+  for the block's store→load aliasing structure (the scalar path's
+  ``mem_key``), computed for every schedule event in one pass over the
+  address stream;
+* dependence-chain structure: for every (event, live-in register) pair
+  the producing event and the slot of its written-register delta; for
+  every (event, functional unit, copy) the previous event using that
+  unit; for every load the last store to the same word from an earlier
+  block (computed with a segmented prefix-maximum over the
+  lexicographically sorted address stream);
+* cumulative issue-width state: the intra-cycle issue count entering
+  and leaving every event.
+
+A first, scalar *resolving* run records per event the memo key it used
+and the relative-effect entry it applied (capturing equivalent records
+for blocks replayed directly).  :func:`build_core_vec` flattens those
+records into per-machine arrays, and :func:`run_vectorized` then
+replays the schedule without touching a Python loop:
+
+1. entry cycles ``T`` are the prefix sum of the recorded per-event
+   cycle advances;
+2. every component of every event's memo key is *recomputed* from the
+   chains — ``clamp(T[src] + delta[slot] - T[event])`` per register /
+   unit-copy / aliased-load pair, plus the branch-floor and issue-count
+   chains — and compared against the recorded key;
+3. if every comparison holds, the recorded entries are exactly what the
+   scalar replay would have looked up (memo entries are pure functions
+   of their key), so the outcome is assembled from the arrays.
+
+Any mismatch — a diverged table, an adopted memo from a stale file, an
+inexpressible event — returns ``None`` and the caller falls back to the
+scalar path, which re-resolves.  Results are therefore bit-identical by
+construction: the vectorized path only ever *returns* an outcome whose
+every step it has verified against the scalar model's own records.
+
+This module must only be imported when NumPy is available
+(``repro.sim.replay.BACKEND == "numpy"``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Sentinel delta for "no recorded value": guaranteed to clamp to zero
+#: after any ``T[src] + NEG - T[event]`` (cycle counts are < 2**40).
+_NEG = -(1 << 40)
+
+
+class PlanVec:
+    """Machine-independent SoA view of one replay plan (shared per trace)."""
+
+    __slots__ = (
+        "n_events", "ev_bid", "ev_ninstr", "ev_nmem", "ev_mem_start",
+        "alias_ids", "do_off", "so_off", "uo_blocks",
+        "rp_ev", "rp_src", "rp_slot", "n_reg_slots",
+        "mp_g", "mp_ev", "mp_src", "mp_srcslot", "n_store_slots",
+    )
+
+
+class CoreVec:
+    """Per-(machine, mode) arrays flattened from one resolving run."""
+
+    __slots__ = (
+        "d_cyc", "entry_count", "exit_count", "d_floor", "floor_key",
+        "d_fin", "regs_exp", "regs_out", "units_exp", "units_out",
+        "up_ev", "up_src", "up_slot", "ext_exp", "stores_out",
+        "memo_hits", "fallbacks", "memo_instructions",
+        "direct_instructions", "persisted_hits", "charges", "times_flat",
+    )
+
+
+def _segmented_prev_store(addr, is_store):
+    """For every memory position, the latest *earlier* store position to
+    the same word (``-1`` for none): a segmented exclusive running
+    maximum over the address-sorted position stream."""
+    m = addr.size
+    order = np.lexsort((np.arange(m), addr))
+    sa = addr[order]
+    store_pos = np.where(is_store[order], order, -1)
+    grp_start = np.empty(m, dtype=bool)
+    grp_start[0] = True
+    grp_start[1:] = sa[1:] != sa[:-1]
+    prev = np.empty(m, dtype=np.int64)
+    prev[0] = -1
+    prev[1:] = store_pos[:-1]
+    prev[grp_start] = -1
+    # Reset-at-group-start running max: offset each group into a
+    # disjoint value range so maxima never leak across groups.
+    seg = np.cumsum(grp_start) - 1
+    big = np.int64(m + 2)
+    run = np.maximum.accumulate(prev + seg * big) - seg * big
+    out = np.empty(m, dtype=np.int64)
+    out[order] = run
+    return out
+
+
+def build_plan_vec(trace, plan, entries, ensure_dataflow):
+    """Build the machine-independent SoA arrays for ``plan``.
+
+    ``entries`` is the static skeleton, ``ensure_dataflow`` a callable
+    filling in a block's live-in/def/load/store summaries (needed for
+    blocks the scalar path replays directly and never summarizes).
+    """
+    blocks = plan.blocks
+    schedule = plan.schedule
+    n_events = len(schedule)
+    pv = PlanVec()
+    pv.n_events = n_events
+    if n_events == 0:
+        pv.alias_ids = None
+        return pv
+
+    for bid in set(schedule):
+        ensure_dataflow(blocks[bid])
+
+    ev_bid = np.fromiter(schedule, dtype=np.int32, count=n_events)
+    n_instrs = np.fromiter((b.n_instrs for b in blocks), dtype=np.int64)
+    n_mems = np.fromiter((b.n_mem for b in blocks), dtype=np.int64)
+    pv.ev_bid = ev_bid
+    pv.ev_ninstr = n_instrs[ev_bid]
+    pv.ev_nmem = n_mems[ev_bid]
+    ev_mem_start = np.empty(n_events, dtype=np.int64)
+    ev_mem_start[0] = 0
+    np.cumsum(pv.ev_nmem[:-1], out=ev_mem_start[1:])
+    pv.ev_mem_start = ev_mem_start
+
+    # ---- memory structure: alias ids + cross-block store→load pairs
+    addr = np.asarray(trace.mem_addrs, dtype=np.int64)
+    m_total = int(addr.size)
+    if m_total:
+        store_pat = {}
+        parts = []
+        for bid in schedule:
+            pat = store_pat.get(bid)
+            if pat is None:
+                block = blocks[bid]
+                pat = np.zeros(block.n_mem, dtype=bool)
+                if block.store_sel:
+                    pat[list(block.store_sel)] = True
+                store_pat[bid] = pat
+            parts.append(pat)
+        is_store_g = np.concatenate(parts) if parts else \
+            np.zeros(0, dtype=bool)
+        prev_store = _segmented_prev_store(addr, is_store_g)
+        ev_of = np.searchsorted(ev_mem_start,
+                                np.arange(m_total, dtype=np.int64),
+                                side="right") - 1
+        ev_start_of = ev_mem_start[ev_of]
+
+        # Alias id per event: the store→load matching inside the chunk,
+        # interned to one int (first-appearance order — deterministic,
+        # so persisted memo keys agree across processes).
+        intra = np.where(prev_store >= ev_start_of, prev_store
+                         - ev_start_of, -1)
+        intern: dict[tuple, int] = {}
+        alias_ids = [0] * n_events
+        for p, bid in enumerate(schedule):
+            block = blocks[bid]
+            if not block.needs_mem_key:
+                continue
+            base = int(ev_mem_start[p])
+            key = tuple(int(intra[base + j]) for j in block.load_sel)
+            aid = intern.get(key)
+            if aid is None:
+                aid = len(intern) + 1
+                intern[key] = aid
+            alias_ids[p] = aid
+        pv.alias_ids = alias_ids
+
+        # Per load, the last store to the same word *before its block*:
+        # follow the in-block chain out of the block (store finishes are
+        # position-monotone, so only the latest pre-block store can ever
+        # impose a wait).
+        is_load_g = np.zeros(m_total, dtype=bool)
+        load_pat = {}
+        pos = 0
+        for bid in schedule:
+            pat = load_pat.get(bid)
+            if pat is None:
+                block = blocks[bid]
+                pat = np.zeros(block.n_mem, dtype=bool)
+                if block.load_sel:
+                    pat[list(block.load_sel)] = True
+                load_pat[bid] = pat
+            is_load_g[pos:pos + pat.size] = pat
+            pos += pat.size
+        ls_pre = prev_store.copy()
+        mask = (ls_pre >= 0) & (ls_pre >= ev_start_of)
+        while mask.any():
+            ls_pre[mask] = prev_store[ls_pre[mask]]
+            mask = (ls_pre >= 0) & (ls_pre >= ev_start_of)
+        pair_mask = is_load_g & (ls_pre >= 0)
+        mp_g = np.nonzero(pair_mask)[0].astype(np.int64)
+        src_g = ls_pre[mp_g]
+        # store ordinal within its event = stores before it in the event
+        s_excl = np.zeros(m_total, dtype=np.int64)
+        np.cumsum(is_store_g[:-1], out=s_excl[1:])
+        so_counts = np.fromiter(
+            (len(blocks[b].store_sel) for b in schedule),
+            dtype=np.int64, count=n_events)
+        so_off = np.zeros(n_events + 1, dtype=np.int64)
+        np.cumsum(so_counts, out=so_off[1:])
+        mp_src = ev_of[src_g]
+        pv.mp_g = mp_g
+        pv.mp_ev = ev_of[mp_g].astype(np.int32)
+        pv.mp_src = mp_src.astype(np.int32)
+        pv.mp_srcslot = (so_off[mp_src]
+                         + (s_excl[src_g] - s_excl[ev_mem_start[mp_src]])
+                         ).astype(np.int64)
+        pv.so_off = so_off
+        pv.n_store_slots = int(so_off[-1])
+    else:
+        pv.alias_ids = None
+        pv.mp_g = np.zeros(0, dtype=np.int64)
+        pv.mp_ev = np.zeros(0, dtype=np.int32)
+        pv.mp_src = np.zeros(0, dtype=np.int32)
+        pv.mp_srcslot = np.zeros(0, dtype=np.int64)
+        pv.so_off = np.zeros(n_events + 1, dtype=np.int64)
+        pv.n_store_slots = 0
+
+    # ---- register dependence chains (last definition wins)
+    do_off = np.zeros(n_events + 1, dtype=np.int64)
+    np.cumsum(
+        np.fromiter((len(blocks[b].defs) for b in schedule),
+                    dtype=np.int64, count=n_events),
+        out=do_off[1:])
+    pv.do_off = do_off
+    n_def_slots = int(do_off[-1])
+    max_reg = 0
+    for b in set(schedule):
+        block = blocks[b]
+        for r in block.live_ins:
+            if r > max_reg:
+                max_reg = r
+        for r in block.defs:
+            if r > max_reg:
+                max_reg = r
+    last_def: list = [None] * (max_reg + 1)
+    rp_ev: list[int] = []
+    rp_src: list[int] = []
+    rp_slot: list[int] = []
+    for p, bid in enumerate(schedule):
+        block = blocks[bid]
+        for r in block.live_ins:
+            src = last_def[r]
+            rp_ev.append(p)
+            if src is None:
+                rp_src.append(0)
+                rp_slot.append(n_def_slots)  # sentinel: clamps to zero
+            else:
+                rp_src.append(src[0])
+                rp_slot.append(src[1])
+        base = int(do_off[p])
+        for k, r in enumerate(block.defs):
+            last_def[r] = (p, base + k)
+    pv.rp_ev = np.asarray(rp_ev, dtype=np.int32)
+    pv.rp_src = np.asarray(rp_src, dtype=np.int32)
+    pv.rp_slot = np.asarray(rp_slot, dtype=np.int64)
+    pv.n_reg_slots = n_def_slots
+    pv.uo_blocks = None  # functional units are machine-dependent
+    return pv
+
+
+def build_core_vec(core, pv):
+    """Flatten one core's resolving-run records into replay arrays.
+
+    Returns a :class:`CoreVec`, or ``None`` when the records cannot be
+    expressed (structurally inconsistent — e.g. an adopted memo from a
+    stale or corrupt file): the caller then stays on the scalar path.
+    """
+    records = core._resolved
+    n_events = pv.n_events
+    if records is None or n_events == 0 or len(records) != n_events:
+        return None
+    blocks = core.plan.blocks
+    schedule = core.plan.schedule
+    tables = core._tables
+    adopted = core._adopted_keys
+    cv = CoreVec()
+    try:
+        d_cyc = np.empty(n_events, dtype=np.int64)
+        entry_count = np.empty(n_events, dtype=np.int64)
+        exit_count = np.empty(n_events, dtype=np.int64)
+        d_floor = np.empty(n_events, dtype=np.int64)
+        floor_key = np.empty(n_events, dtype=np.int64)
+        d_fin = np.empty(n_events, dtype=np.int64)
+        regs_exp: list[int] = []
+        regs_out = np.full(pv.n_reg_slots + 1, _NEG, dtype=np.int64)
+        stores_out = np.full(pv.n_store_slots + 1, _NEG, dtype=np.int64)
+        ext_sparse: list[tuple[int, int, int]] = []  # (event, loadj, d)
+        want_units = core._has_units
+        up_ev: list[int] = []
+        up_src: list[int] = []
+        up_slot: list[int] = []
+        units_exp: list[int] = []
+        units_out: list[int] = []
+        last_use: dict[int, tuple[int, int]] = {}
+        unit_ids: dict[int, int] = {}
+        memo_hits = fallbacks = 0
+        memo_instr = direct_instr = persisted = 0
+        merged_charges: dict[tuple, int] = {}
+        times_flat: list[int] | None = [] if core.want_times else None
+
+        for p, rec in enumerate(records):
+            bid, key, entry, kind = rec
+            if bid != schedule[p]:
+                return None
+            block = blocks[bid]
+            (dc, xc, dfl, r_out, s_out, u_out, dfin, charges,
+             time_deltas) = entry
+            d_cyc[p] = dc
+            exit_count[p] = xc
+            d_floor[p] = dfl
+            d_fin[p] = dfin
+            entry_count[p] = key[0]
+            floor_key[p] = key[1]
+            regs_key = key[2]
+            if len(regs_key) != len(block.live_ins):
+                return None
+            regs_exp.extend(regs_key)
+            if len(r_out) != len(block.defs):
+                return None
+            base = int(pv.do_off[p])
+            for k, (_, dv) in enumerate(r_out):
+                regs_out[base + k] = dv
+            base = int(pv.so_off[p])
+            for j, dv in s_out:
+                # chunk position -> store ordinal within the block
+                stores_out[base + block.store_sel.index(j)] = dv
+            for j, dv in key[5]:
+                ext_sparse.append((p, j, dv))
+            if want_units:
+                ustates = core._block_units(bid)
+                unit_key = key[3]
+                if len(unit_key) != len(ustates) \
+                        or len(u_out) != len(ustates):
+                    return None
+                for s, exp_frees, out_frees in zip(ustates, unit_key,
+                                                   u_out):
+                    mult = len(s.free)
+                    if len(exp_frees) != mult or len(out_frees) != mult:
+                        return None
+                    gi = unit_ids.setdefault(id(s), len(unit_ids))
+                    src = last_use.get(gi)
+                    slot = len(units_out)
+                    for c in range(mult):
+                        up_ev.append(p)
+                        if src is None:
+                            up_src.append(0)
+                            up_slot.append(-1)  # patched to sentinel below
+                        else:
+                            up_src.append(src[0])
+                            up_slot.append(src[1] + c)
+                    units_exp.extend(exp_frees)
+                    units_out.extend(out_frees)
+                    last_use[gi] = (p, slot)
+            if charges is not None:
+                for kl, ci, cyc in charges:
+                    ck = (kl, ci)
+                    merged_charges[ck] = merged_charges.get(ck, 0) + cyc
+            if times_flat is not None:
+                if time_deltas is None \
+                        or len(time_deltas) != block.n_instrs:
+                    return None
+                times_flat.extend(time_deltas)
+
+            n = block.n_instrs
+            if tables[bid] is None:
+                direct_instr += n
+            elif kind:
+                fallbacks += 1
+                direct_instr += n
+            else:
+                memo_hits += 1
+                memo_instr += n
+                if adopted is not None and adopted[bid] is not None \
+                        and key in adopted[bid]:
+                    persisted += 1
+
+        cv.d_cyc = d_cyc
+        cv.entry_count = entry_count
+        cv.exit_count = exit_count
+        cv.d_floor = d_floor
+        cv.floor_key = floor_key
+        cv.d_fin = d_fin
+        cv.regs_exp = np.asarray(regs_exp, dtype=np.int64)
+        if cv.regs_exp.size != pv.rp_ev.size:
+            return None
+        cv.regs_out = regs_out
+        cv.stores_out = stores_out
+        ext_exp = np.zeros(pv.mp_g.size, dtype=np.int64)
+        for p, j, dv in ext_sparse:
+            g = int(pv.ev_mem_start[p]) + j
+            idx = int(np.searchsorted(pv.mp_g, g))
+            if idx >= pv.mp_g.size or pv.mp_g[idx] != g:
+                return None  # external wait with no recorded producer
+            ext_exp[idx] = dv
+        cv.ext_exp = ext_exp
+        if want_units and up_ev:
+            n_unit_slots = len(units_out)
+            out = np.full(n_unit_slots + 1, _NEG, dtype=np.int64)
+            out[:n_unit_slots] = units_out
+            slot = np.asarray(up_slot, dtype=np.int64)
+            slot[slot < 0] = n_unit_slots
+            cv.up_ev = np.asarray(up_ev, dtype=np.int32)
+            cv.up_src = np.asarray(up_src, dtype=np.int32)
+            cv.up_slot = slot
+            cv.units_exp = np.asarray(units_exp, dtype=np.int64)
+            cv.units_out = out
+        else:
+            cv.up_ev = None
+            cv.up_src = None
+            cv.up_slot = None
+            cv.units_exp = None
+            cv.units_out = None
+        cv.memo_hits = memo_hits
+        cv.fallbacks = fallbacks
+        cv.memo_instructions = memo_instr
+        cv.direct_instructions = direct_instr
+        cv.persisted_hits = persisted
+        cv.charges = (
+            [(kl, ci, cyc) for (kl, ci), cyc in merged_charges.items()]
+            if core.observe else None
+        )
+        cv.times_flat = (
+            np.asarray(times_flat, dtype=np.int64)
+            if times_flat is not None else None
+        )
+    except (TypeError, ValueError, IndexError, KeyError, AttributeError):
+        # Structurally inconsistent records (stale/corrupt adoption):
+        # stay on the scalar path, which re-resolves from scratch.
+        return None
+    return cv
+
+
+def run_vectorized(core, pv, cv):
+    """One full replay over the resolved schedule, in array arithmetic.
+
+    Recomputes entry cycles and every memo-key component from the
+    dependence chains and compares them with the resolving run's
+    records; returns the assembled outcome on success, ``None`` on any
+    mismatch (the caller falls back to — and re-resolves on — the
+    scalar path).
+    """
+    from ..obs.stalls import StallBreakdown
+    from .replay import ReplayOutcome, ReplayStats
+
+    n_events = pv.n_events
+    d_cyc = cv.d_cyc
+    t = np.empty(n_events, dtype=np.int64)
+    t[0] = 0
+    np.cumsum(d_cyc[:-1], out=t[1:])
+
+    # Cumulative issue-width counters: each event must start exactly
+    # where its predecessor left off.
+    if cv.entry_count[0] != 0 \
+            or not np.array_equal(cv.entry_count[1:], cv.exit_count[:-1]):
+        return None
+    # Branch-floor chain.
+    if cv.floor_key[0] != 0:
+        return None
+    if n_events > 1:
+        comp = t[:-1] + cv.d_floor[:-1]
+        comp -= t[1:]
+        np.maximum(comp, 0, out=comp)
+        if not np.array_equal(comp, cv.floor_key[1:]):
+            return None
+    # Register dependence chains (prefix-max over producers is encoded
+    # in the last-definition structure: only the latest producer can
+    # still gate a live-in).
+    if pv.rp_ev.size:
+        comp = t[pv.rp_src] + cv.regs_out[pv.rp_slot]
+        comp -= t[pv.rp_ev]
+        np.maximum(comp, 0, out=comp)
+        if not np.array_equal(comp, cv.regs_exp):
+            return None
+    # Functional-unit occupancy chains (per copy, multisets sorted).
+    if cv.up_ev is not None:
+        comp = t[cv.up_src] + cv.units_out[cv.up_slot]
+        comp -= t[cv.up_ev]
+        np.maximum(comp, 0, out=comp)
+        if not np.array_equal(comp, cv.units_exp):
+            return None
+    # Cross-block store→load waits.
+    if pv.mp_g.size:
+        comp = t[pv.mp_src] + cv.stores_out[pv.mp_srcslot]
+        comp -= t[pv.mp_ev]
+        np.maximum(comp, 0, out=comp)
+        if not np.array_equal(comp, cv.ext_exp):
+            return None
+
+    final_issue = int(t[n_events - 1] + d_cyc[n_events - 1])
+    minor = int((t + cv.d_fin).max()) if n_events else 0
+    if minor < 0:
+        minor = 0
+    stats = ReplayStats(
+        blocks=n_events,
+        memo_hits=cv.memo_hits,
+        memo_misses=0,
+        fallbacks=cv.fallbacks,
+        memo_instructions=cv.memo_instructions,
+        direct_instructions=cv.direct_instructions,
+        vectorized_blocks=n_events,
+        memo_persisted_hits=cv.persisted_hits,
+    )
+    breakdown = None
+    if core.observe:
+        breakdown = StallBreakdown()
+        charge = breakdown.charge
+        for kl, ci, cyc in cv.charges:
+            charge(kl, ci, cyc)
+        breakdown.issued_cycles = minor - final_issue
+    times = None
+    if cv.times_flat is not None:
+        times = (np.repeat(t, pv.ev_ninstr) + cv.times_flat).tolist()
+    return ReplayOutcome(
+        minor_cycles=minor, final_issue=final_issue,
+        stalls=breakdown, times=times, stats=stats,
+    )

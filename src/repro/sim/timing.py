@@ -120,6 +120,7 @@ class TimingResult:
 def simulate(
     trace: Trace, config: MachineConfig, *,
     observe: bool = False, memoize: bool = True,
+    memo=None,
 ) -> TimingResult:
     """Replay ``trace`` on ``config`` and return cycle counts.
 
@@ -134,8 +135,18 @@ def simulate(
     ``memoize=False`` disables block memoization and replays every
     dynamic instruction directly (the reference path; results are
     identical either way).
+
+    ``memo`` optionally names a persistent memo store
+    (:class:`repro.sim.memo.MemoStore`): the replay warm-starts from a
+    previously persisted payload and shares learned entries back.
+    Results are bit-identical with or without it.
     """
-    outcome = replay(trace, config, observe=observe, memoize=memoize)
+    if memo is not None and memoize and memo.enabled:
+        from .memo import replay_with_memo
+
+        outcome = replay_with_memo(memo, trace, config, observe=observe)
+    else:
+        outcome = replay(trace, config, observe=observe, memoize=memoize)
     return TimingResult(
         config_name=config.name,
         instructions=len(trace),

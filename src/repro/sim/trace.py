@@ -29,6 +29,7 @@ one entry per dynamic instruction.
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
@@ -36,6 +37,7 @@ from typing import Iterable, Iterator, Sequence
 from ..errors import TraceError
 from ..isa.instruction import Instruction
 from ..isa.opcodes import InstrClass
+from ..isa.registers import flat_index
 
 
 @dataclass(slots=True)
@@ -62,6 +64,9 @@ class Trace:
     #: Lazily decoded static-table skeleton (see
     #: :func:`repro.sim.replay._static_skeleton`); same rules as ``_plan``.
     _skel: object = field(default=None, repr=False, compare=False)
+    #: Cached timing-semantics fingerprint (see :meth:`fingerprint`);
+    #: derived data — never compared, never pickled.
+    _fp: object = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return self.n
@@ -95,6 +100,7 @@ class Trace:
                 f"static index {static_index} out of range "
                 f"(table has {len(self.static)} instructions)"
             )
+        self._fp = None
         if self.static[static_index].op.info.is_mem:
             if addr < 0:
                 raise TraceError(
@@ -162,6 +168,39 @@ class Trace:
         for start, length in zip(self.run_starts, self.run_lengths):
             for si in range(start, start + length):
                 yield static[si]
+
+    def fingerprint(self) -> str:
+        """Content hash of everything the timing model can observe.
+
+        Covers the static skeleton (opcode name and class, flattened
+        source/dest registers, load/store/conditional-branch flags), the
+        run-length encoded execution, and the effective-address stream —
+        and nothing else (immediates, labels, and comments are invisible
+        to replay).  Two traces with equal fingerprints are
+        timing-identical on every machine, so the hash keys the
+        persistent replay-memo store (:mod:`repro.sim.memo`).  Computed
+        once and cached; any :meth:`append` invalidates it.
+        """
+        fp = self._fp
+        if fp is None:
+            h = hashlib.sha256()
+            for ins in self.static:
+                info = ins.op.info
+                h.update(repr((
+                    ins.op.name,
+                    ins.op.klass.name,
+                    tuple(flat_index(r) for r in ins.srcs),
+                    flat_index(ins.dest) if ins.dest is not None else -1,
+                    info.is_load, info.is_store, info.is_cond_branch,
+                )).encode("utf-8"))
+            h.update(b"|runs|")
+            h.update(repr(self.run_starts).encode("utf-8"))
+            h.update(repr(self.run_lengths).encode("utf-8"))
+            h.update(b"|mem|")
+            h.update(repr(self.mem_addrs).encode("utf-8"))
+            fp = h.hexdigest()
+            self._fp = fp
+        return fp
 
     def validate(self) -> None:
         """Check the v2 structural invariants; raise :class:`TraceError`.
@@ -265,3 +304,4 @@ class Trace:
          self.mem_addrs, self.n) = state
         self._plan = None
         self._skel = None
+        self._fp = None

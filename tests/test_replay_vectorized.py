@@ -1,0 +1,375 @@
+"""Tests for the vectorized replay kernel and the persistent memo store.
+
+Three guarantees, layered:
+
+* **Bit-identity** — the vectorized structure-of-arrays kernel
+  (:mod:`repro.sim.replay_vec`, NumPy backend) and the persistent-memo
+  warm-start path (:mod:`repro.sim.memo`) produce exactly the results
+  of the scalar memoized loop and of forced direct per-instruction
+  replay: minor cycles, stall breakdowns, and issue schedules.
+  Hypothesis drives this over random Tin programs on every edge
+  machine shape.
+* **Persistence hygiene** — memo payloads round-trip through the
+  on-disk store (a cold handle starts fully warm with zero misses),
+  and corrupt or stale entries are dropped and rewritten, never
+  trusted and never fatal.
+* **Degradation** — with NumPy unavailable (``REPRO_NO_NUMPY=1``) the
+  pure-stdlib scalar backend is selected and produces the same cycle
+  counts, checked in a subprocess.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.benchmarks import suite
+from repro.engine.cache import TraceCache
+from repro.engine.executor import execute
+from repro.engine.plan import plan_sweep
+from repro.machine.presets import resolve
+from repro.obs.schema import check_replay
+from repro.sim import replay as replay_mod
+from repro.sim.memo import (
+    MemoStore,
+    NULL_MEMO_STORE,
+    clear_registry,
+    memo_key,
+    open_memo_store,
+    replay_with_memo,
+)
+from repro.sim.replay import ReplayCore
+from repro.sim.timing import simulate
+from tests.test_fuzz_differential import _block, _program
+from tests.test_replay import _edge_machines, _trace_for
+
+requires_numpy = pytest.mark.skipif(
+    replay_mod.BACKEND != "numpy",
+    reason="vectorized kernel needs the NumPy backend",
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_memo_registry():
+    """Keep the process-wide memo payload registry out of every test."""
+    clear_registry()
+    yield
+    clear_registry()
+
+
+def _whet_trace():
+    bench = suite.get("whet")
+    return suite.run_benchmark(bench, suite.default_options(bench)).trace
+
+
+class TestVectorizedEqualsScalar:
+    """The kernel's verify-and-advance path never changes results."""
+
+    @settings(
+        max_examples=15, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow,
+                               HealthCheck.data_too_large],
+    )
+    @given(body=_block(2, 0))
+    def test_random_programs_all_machines(self, body):
+        trace = _trace_for(_program(body))
+        for config in _edge_machines():
+            ref = simulate(trace, config, observe=True, memoize=False)
+            core = ReplayCore(trace, config, observe=True)
+            first = core.run()      # resolves (scalar)
+            steady = core.run()     # vectorized under the NumPy backend
+            label = config.name
+            assert first.minor_cycles == ref.minor_cycles, label
+            assert steady.minor_cycles == ref.minor_cycles, label
+            assert first.stalls == ref.stalls, label
+            assert steady.stalls == ref.stalls, label
+            stats = steady.stats
+            assert (stats.vectorized_blocks + stats.scalar_fallback_blocks
+                    <= stats.blocks), label
+
+    @settings(
+        max_examples=10, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow,
+                               HealthCheck.data_too_large],
+    )
+    @given(body=_block(2, 0))
+    def test_issue_schedules_match(self, body):
+        trace = _trace_for(_program(body))
+        for config in _edge_machines():
+            core = ReplayCore(trace, config, want_times=True)
+            ref = ReplayCore(trace, config, want_times=True).run(
+                memoize=False)
+            core.run()
+            steady = core.run()
+            assert steady.times == ref.times, config.name
+
+    @requires_numpy
+    def test_real_benchmark_fully_vectorized(self):
+        """On a real trace the steady-state rerun goes entirely through
+        the kernel — no scalar fallback."""
+        trace = _whet_trace()
+        for config in _edge_machines():
+            core = ReplayCore(trace, config, observe=True)
+            core.run()
+            steady = core.run()
+            stats = steady.stats
+            assert stats.vectorized_blocks == stats.blocks, config.name
+            assert stats.scalar_fallback_blocks == 0, config.name
+
+    @requires_numpy
+    def test_tampered_resolution_falls_back_to_scalar(self):
+        """A recorded schedule that no longer verifies is re-resolved
+        on the scalar path — bit-identically, with the fallback
+        counted."""
+        trace = _whet_trace()
+        config = resolve("superscalar:4")
+        ref = simulate(trace, config, observe=True, memoize=False)
+        core = ReplayCore(trace, config, observe=True)
+        core.run()
+        # Corrupt one recorded memo key's issue-count component so
+        # verification of the recorded schedule cannot succeed.
+        bid, key, entry, kind = core._resolved[0]
+        core._resolved[0] = (bid, (key[0] + 1,) + key[1:], entry, kind)
+        core._vec = None
+        out = core.run()
+        assert out.minor_cycles == ref.minor_cycles
+        assert out.stalls == ref.stalls
+        assert out.stats.scalar_fallback_blocks == out.stats.blocks
+        assert out.stats.vectorized_blocks == 0
+        # ... and the re-resolution repaired the schedule for good.
+        repaired = core.run()
+        assert repaired.minor_cycles == ref.minor_cycles
+        assert repaired.stats.vectorized_blocks == repaired.stats.blocks
+
+
+class TestMemoPersistence:
+    """Round-trip, hygiene, and accounting of the on-disk memo store."""
+
+    def test_round_trip_is_bit_identical_and_warm(self, tmp_path):
+        trace = _whet_trace()
+        config = resolve("superscalar:4")
+        ref = simulate(trace, config, observe=True, memoize=False)
+        first_store = MemoStore(str(tmp_path / "memo"))
+        warmup = replay_with_memo(first_store, trace, config, observe=True)
+        assert warmup.minor_cycles == ref.minor_cycles
+        assert first_store.stats.misses == 1
+        assert first_store.stats.stores >= 1
+
+        clear_registry()  # force the second handle to hit the disk
+        store = MemoStore(str(tmp_path / "memo"))
+        out = replay_with_memo(store, trace, config, observe=True)
+        assert out.minor_cycles == ref.minor_cycles
+        assert out.stalls == ref.stalls
+        assert store.stats.hits == 1
+        assert store.stats.misses == 0
+        assert out.stats.memo_misses == 0
+        assert out.stats.memo_persisted_hits > 0
+        assert (out.stats.memo_persisted_hits
+                <= out.stats.memo_hits)
+        # Steady state: nothing new was learned, nothing is rewritten.
+        assert store.stats.stores == 0
+        if replay_mod.BACKEND == "numpy":
+            assert out.stats.vectorized_blocks == out.stats.blocks
+
+    def test_corrupt_entry_is_dropped_and_rewritten(self, tmp_path):
+        trace = _whet_trace()
+        config = resolve("base")
+        ref = simulate(trace, config, memoize=False)
+        prime = MemoStore(str(tmp_path / "memo"))
+        replay_with_memo(prime, trace, config)
+        key = memo_key(trace, config)
+        path = prime.path_for(key)
+        assert os.path.exists(path)
+        with open(path, "wb") as handle:
+            handle.write(b"\x00not a pickle")
+
+        clear_registry()
+        store = MemoStore(str(tmp_path / "memo"))
+        out = replay_with_memo(store, trace, config)
+        assert out.minor_cycles == ref.minor_cycles
+        assert store.stats.corrupt == 1
+        assert store.stats.hits == 0
+        assert store.stats.stores == 1      # rewritten from this run
+        assert store.stats.gets == (store.stats.hits
+                                    + store.stats.misses
+                                    + store.stats.corrupt)
+        # The rewritten entry is healthy again.
+        clear_registry()
+        fresh = MemoStore(str(tmp_path / "memo"))
+        again = replay_with_memo(fresh, trace, config)
+        assert again.minor_cycles == ref.minor_cycles
+        assert fresh.stats.hits == 1
+
+    def test_stale_payload_is_rejected_not_trusted(self, tmp_path):
+        """A structurally valid file whose payload fails deep
+        validation (here: recorded for the wrong replay mode) is
+        reclassified hit -> corrupt and replaced."""
+        trace = _whet_trace()
+        config = resolve("base")
+        ref = simulate(trace, config, memoize=False)
+        prime = MemoStore(str(tmp_path / "memo"))
+        replay_with_memo(prime, trace, config)
+        key = memo_key(trace, config)
+        path = prime.path_for(key)
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        payload["mode"] = (not payload["mode"][0], payload["mode"][1])
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+
+        clear_registry()
+        store = MemoStore(str(tmp_path / "memo"))
+        out = replay_with_memo(store, trace, config)
+        assert out.minor_cycles == ref.minor_cycles
+        assert store.stats.corrupt == 1
+        assert store.stats.hits == 0
+        assert store.stats.stores == 1
+
+    def test_wrong_format_tag_is_corrupt(self, tmp_path):
+        trace = _whet_trace()
+        config = resolve("base")
+        prime = MemoStore(str(tmp_path / "memo"))
+        replay_with_memo(prime, trace, config)
+        path = prime.path_for(memo_key(trace, config))
+        with open(path, "wb") as handle:
+            pickle.dump({"format": "replay-memo-v0"}, handle)
+        clear_registry()
+        store = MemoStore(str(tmp_path / "memo"))
+        replay_with_memo(store, trace, config)
+        assert store.stats.corrupt == 1
+
+    def test_null_store_runs_plain(self):
+        trace = _whet_trace()
+        config = resolve("base")
+        out = replay_with_memo(NULL_MEMO_STORE, trace, config)
+        ref = simulate(trace, config, memoize=False)
+        assert out.minor_cycles == ref.minor_cycles
+        assert NULL_MEMO_STORE.stats.gets == 0
+
+    def test_open_memo_store_follows_cache(self, tmp_path):
+        assert open_memo_store(None) is not None
+        assert open_memo_store(None).enabled is False
+        cache = TraceCache(str(tmp_path))
+        store = open_memo_store(cache)
+        assert store.enabled
+        assert store.root == os.path.join(cache.root, "memo")
+
+    def test_memo_key_separates_modes(self):
+        trace = _whet_trace()
+        config = resolve("base")
+        keys = {
+            memo_key(trace, config),
+            memo_key(trace, config, observe=True),
+            memo_key(trace, config, want_times=True),
+            memo_key(trace, resolve("superscalar:4")),
+        }
+        assert len(keys) == 4
+
+
+class TestEngineIntegration:
+    """The engine persists and re-adopts memo tables via its cache."""
+
+    def test_cache_dir_grows_memo_store(self, tmp_path):
+        suite.clear_cache()
+        plan = plan_sweep(["whet"], ["base", "superscalar:4"],
+                          observe=True)
+        result = execute(plan, cache=TraceCache(str(tmp_path)))
+        assert result.report.replay_backend == replay_mod.BACKEND
+        memo_root = tmp_path / "memo"
+        assert memo_root.is_dir()
+        assert any(memo_root.rglob("*.pkl"))
+
+        clear_registry()
+        suite.clear_cache()
+        again = execute(plan_sweep(["whet"], ["base", "superscalar:4"],
+                                   observe=True),
+                        cache=TraceCache(str(tmp_path)))
+        assert again.report.memo_persisted_hits > 0
+        for mine, theirs in zip(result.cells, again.cells):
+            assert mine.minor_cycles == theirs.minor_cycles
+            assert mine.stalls == theirs.stalls
+
+
+class TestSchemaConservation:
+    """The validator enforces the new vectorized-counter laws."""
+
+    def _payload(self, **overrides):
+        payload = {
+            "blocks": 10, "memo_hits": 6, "memo_misses": 4,
+            "fallbacks": 0, "memo_instructions": 90,
+            "direct_instructions": 10,
+            "vectorized_blocks": 10, "scalar_fallback_blocks": 0,
+            "memo_persisted_hits": 5,
+        }
+        payload.update(overrides)
+        return payload
+
+    def test_valid_payload_passes(self):
+        record = {"instructions": 100}
+        assert check_replay(self._payload(), record) == []
+
+    def test_vectorized_exceeding_blocks_fails(self):
+        record = {"instructions": 100}
+        errors = check_replay(
+            self._payload(vectorized_blocks=8, scalar_fallback_blocks=3),
+            record)
+        assert any("vectorized+fallback" in e for e in errors)
+
+    def test_persisted_exceeding_hits_fails(self):
+        record = {"instructions": 100}
+        errors = check_replay(self._payload(memo_persisted_hits=7), record)
+        assert any("memo_persisted_hits" in e for e in errors)
+
+    def test_pre_kernel_payload_still_valid(self):
+        payload = self._payload()
+        for name in ("vectorized_blocks", "scalar_fallback_blocks",
+                     "memo_persisted_hits"):
+            del payload[name]
+        assert check_replay(payload, {"instructions": 100}) == []
+
+
+_SCALAR_SNIPPET = """
+import repro.sim.replay as replay_mod
+assert replay_mod.BACKEND == "scalar", replay_mod.BACKEND
+from repro.benchmarks import suite
+from repro.machine.presets import resolve
+from repro.sim.timing import simulate
+
+bench = suite.get("whet")
+trace = suite.run_benchmark(bench, suite.default_options(bench)).trace
+for spec in ("base", "superscalar:4", "superpipelined:4"):
+    config = resolve(spec)
+    memo = simulate(trace, config, observe=True)
+    ref = simulate(trace, config, observe=True, memoize=False)
+    assert memo.minor_cycles == ref.minor_cycles
+    assert memo.stalls == ref.stalls
+    assert memo.replay.vectorized_blocks == 0
+    print(spec, memo.minor_cycles)
+"""
+
+
+class TestScalarBackendFallback:
+    """REPRO_NO_NUMPY selects the stdlib path with identical results."""
+
+    def test_subprocess_scalar_backend_matches(self):
+        env = dict(os.environ, REPRO_NO_NUMPY="1")
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", _SCALAR_SNIPPET],
+            capture_output=True, text=True, env=env, check=False,
+        )
+        assert proc.returncode == 0, proc.stderr
+        reported = {}
+        for line in proc.stdout.splitlines():
+            spec, cycles = line.split()
+            reported[spec] = int(cycles)
+        trace = _whet_trace()
+        for spec, cycles in reported.items():
+            assert simulate(trace, resolve(spec)).minor_cycles == cycles
