@@ -10,7 +10,14 @@ Commands
     Given suite benchmark names instead of a file, the grid runs through
     the execution engine (``--workers``, ``--machines``).
 ``suite``
-    Run the eight-benchmark suite and print the ILP summary.
+    Run the eight-benchmark suite and print the ILP summary.  With
+    ``--flow`` the run executes as a checkpointed workflow DAG: every
+    compile and simulation cell is journaled under a run id (printed at
+    the end) so a killed run can be continued with ``resume``.
+``resume <run-id>``
+    Resume a killed ``suite --flow`` run from its journal: nodes with a
+    valid checkpoint are restored, everything else re-executes, and the
+    final report is bit-identical to an uninterrupted run.
 ``report``
     Observe the suite end to end: per-pass compile profile, per-machine
     stall breakdown, and a machine-readable JSONL run report.
@@ -197,8 +204,42 @@ def _build_parser() -> argparse.ArgumentParser:
         help="subset of benchmarks, space- or comma-separated "
              "(default: the whole suite)",
     )
+    p_suite.add_argument(
+        "--flow", action="store_true",
+        help="run as a checkpointed workflow DAG: every compile and "
+             "cell is journaled under a run id and 'repro resume' can "
+             "continue a killed run bit-identically (requires the "
+             "trace cache)",
+    )
+    p_suite.add_argument(
+        "--run-id", metavar="ID", default=None,
+        help="flow run id to journal under (default: generated; "
+             "reusing an existing id resumes it)",
+    )
     _add_machines_flag(p_suite, "the ideal 64-wide superscalar")
     _add_engine_flags(p_suite)
+
+    p_resume = sub.add_parser(
+        "resume",
+        help="resume a killed 'suite --flow' run from its journal",
+    )
+    p_resume.add_argument(
+        "run_id",
+        help="flow run id to resume (see <cache-dir>/flow/runs/)",
+    )
+    p_resume.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="also write the resumed run as a JSONL report",
+    )
+    p_resume.add_argument(
+        "--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
+        help="cache directory holding the flow state and journal "
+             f"(default: {DEFAULT_CACHE_DIR!r})",
+    )
+    p_resume.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the re-executed nodes (default 1)",
+    )
 
     p_report = sub.add_parser(
         "report",
@@ -618,10 +659,6 @@ def _cmd_measure(args) -> int:
 
 def _cmd_suite(args) -> int:
     from .benchmarks import suite as bench_suite
-    from .engine.executor import execute
-    from .engine.plan import plan_sweep
-    from .analysis.sweep import summarize
-    from .obs.report import render_stall_table
 
     profile = getattr(args, "profile", False)
     benchmarks = _parse_benchmarks(getattr(args, "benchmarks", None))
@@ -631,6 +668,66 @@ def _cmd_suite(args) -> int:
     machines = _resolve_machines(
         getattr(args, "machines", None), [ideal_superscalar(64)]
     )
+    return _run_suite(args, bench_names, machines, profile=profile,
+                      use_flow=getattr(args, "flow", False),
+                      run_id=getattr(args, "run_id", None))
+
+
+def _cmd_resume(args) -> int:
+    """Resume a killed ``suite --flow`` run from its journal."""
+    from .flow import FlowError, JournalError, journal_path, read_journal
+
+    cache_root = args.cache_dir
+    try:
+        events = read_journal(journal_path(cache_root, args.run_id))
+    except JournalError as exc:
+        print(f"resume: {exc}", file=sys.stderr)
+        return 2
+    start = events[0]
+    flow_info = start.get("flow") or {}
+    spec = flow_info.get("spec") or {}
+    if flow_info.get("kind") != "sweep" or spec.get("driver") != "suite":
+        print(f"resume: run {args.run_id!r} was not started by "
+              "'repro suite --flow'; only suite runs are resumable",
+              file=sys.stderr)
+        return 2
+    try:
+        bench_names = list(spec["benchmarks"])
+        machines = [resolve(name) for name in spec["machines"]]
+        profile = bool(spec.get("profile", False))
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"resume: malformed flow spec in journal: {exc}",
+              file=sys.stderr)
+        return 2
+    scheduler = spec.get("scheduler")
+    from .sched import registry as sched_registry
+
+    previous = None
+    if scheduler is not None:
+        try:
+            previous = sched_registry.set_default(scheduler)
+        except Exception as exc:
+            print(f"resume: {exc}", file=sys.stderr)
+            return 2
+    try:
+        return _run_suite(args, bench_names, machines, profile=profile,
+                          use_flow=True, run_id=args.run_id,
+                          observe=spec.get("observe"))
+    except FlowError as exc:
+        print(f"resume: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if previous is not None:
+            sched_registry.set_default(previous)
+
+
+def _run_suite(args, bench_names, machines, *, profile, use_flow,
+               run_id, observe=None) -> int:
+    from .engine.executor import execute
+    from .engine.plan import plan_sweep
+    from .analysis.sweep import summarize
+    from .obs.report import render_stall_table
+
     single_machine = len(machines) == 1
 
     with _open_recorder(getattr(args, "report", None)) as recorder:
@@ -640,23 +737,59 @@ def _cmd_suite(args) -> int:
             recorder.emit("run_start", schema=SCHEMA_VERSION,
                           run_id="suite",
                           machines=[c.name for c in machines])
-        plan = plan_sweep(bench_names, machines,
-                          observe=profile or recorder.enabled)
+        if observe is None:
+            observe = profile or recorder.enabled
+        plan = plan_sweep(bench_names, machines, observe=observe)
         tracer = _engine_tracer(args)
-        line, progress = _progress_line(args,
-                                        total_cells=len(plan.cells))
-        with line if line is not None else _nullcontext():
-            result = execute(
-                plan,
-                workers=getattr(args, "workers", 1),
-                cache=_engine_cache(args),
-                recorder=recorder,
+        flow_ctx = None
+        if use_flow:
+            from .flow import FlowContext, FlowError
+            from .flow.flows import run_sweep_flow
+
+            cache = _engine_cache(args)
+            if not cache.enabled:
+                print("suite: --flow requires the trace cache "
+                      "(drop --no-cache)", file=sys.stderr)
+                return 2
+            flow_ctx = FlowContext(
+                cache=cache,
+                run_id=run_id,
+                flow_spec={
+                    "driver": "suite",
+                    "benchmarks": list(bench_names),
+                    "machines": [c.name for c in machines],
+                    "observe": bool(observe),
+                    "profile": bool(profile),
+                    "scheduler": getattr(args, "scheduler", None),
+                },
                 policy=_engine_policy(args),
                 faults=_engine_faults(args),
-                tracer=tracer,
-                progress=progress,
-                sample_resources=getattr(args, "sample_resources", False),
             )
+            try:
+                result = run_sweep_flow(
+                    plan, flow=flow_ctx,
+                    workers=getattr(args, "workers", 1),
+                    recorder=recorder, tracer=tracer,
+                )
+            except FlowError as exc:
+                print(f"suite: {exc}", file=sys.stderr)
+                return 2
+        else:
+            line, progress = _progress_line(args,
+                                            total_cells=len(plan.cells))
+            with line if line is not None else _nullcontext():
+                result = execute(
+                    plan,
+                    workers=getattr(args, "workers", 1),
+                    cache=_engine_cache(args),
+                    recorder=recorder,
+                    policy=_engine_policy(args),
+                    faults=_engine_faults(args),
+                    tracer=tracer,
+                    progress=progress,
+                    sample_resources=getattr(args, "sample_resources",
+                                             False),
+                )
         if recorder.enabled:
             for cell in result.cells:
                 if cell.status != "failed":
@@ -717,6 +850,8 @@ def _cmd_suite(args) -> int:
                     ))
         assert result.report is not None
         print(result.report.summary())
+        if flow_ctx is not None and flow_ctx.result is not None:
+            print(flow_ctx.result.summary())
         if recorder.enabled:
             recorder.emit("run_end", seconds=result.report.seconds,
                           counters=dict(recorder.counters))
@@ -968,11 +1103,16 @@ def _cmd_exhibit(args) -> int:
     return 0
 
 
-def _open_ledger(args):
-    """A HistoryLedger at --ledger / $REPRO_LEDGER / the default path."""
+def _open_ledger(args, *, create: bool = True):
+    """A HistoryLedger at --ledger / $REPRO_LEDGER / the default path.
+
+    ``create=False`` raises :class:`LedgerError` instead of creating an
+    empty database — read-only commands (diff, dash) want a missing
+    ledger to be a one-line exit-2 error, not a silent empty result.
+    """
     from .obs.history import HistoryLedger
 
-    return HistoryLedger(getattr(args, "ledger", None))
+    return HistoryLedger(getattr(args, "ledger", None), create=create)
 
 
 def _cmd_ingest(args) -> int:
@@ -1024,7 +1164,7 @@ def _cmd_diff(args) -> int:
     needs_ledger = not (os.path.exists(args.a) and os.path.exists(args.b))
     try:
         if needs_ledger:
-            with _open_ledger(args) as ledger:
+            with _open_ledger(args, create=False) as ledger:
                 a = load_diff_side(args.a, ledger)
                 b = load_diff_side(args.b, ledger)
         else:
@@ -1050,10 +1190,14 @@ def _cmd_dash(args) -> int:
     from .obs.history import LedgerError
 
     try:
-        with _open_ledger(args) as ledger:
+        with _open_ledger(args, create=False) as ledger:
             data = ledger.export()
     except LedgerError as exc:
         print(f"dash: {exc}", file=sys.stderr)
+        return 2
+    if not data["runs"]:
+        print(f"dash: ledger {ledger.path} has no runs "
+              "(ingest a report first)", file=sys.stderr)
         return 2
     write_dashboard(args.out, data, title=args.title)
     n_runs = len(data["runs"])
@@ -1069,6 +1213,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "measure": _cmd_measure,
         "suite": _cmd_suite,
+        "resume": _cmd_resume,
         "report": _cmd_report,
         "exhibit": _cmd_exhibit,
         "gap": _cmd_gap,
@@ -1077,24 +1222,34 @@ def main(argv: list[str] | None = None) -> int:
         "diff": _cmd_diff,
         "dash": _cmd_dash,
     }
-    scheduler = getattr(args, "scheduler", None)
-    if scheduler is None:
-        return handlers[args.command](args)
-    # --scheduler: pin the process-wide default backend so every
-    # CompilerOptions built for this run (benchmark defaults included)
-    # compiles through it; restored afterwards for in-process callers.
-    from .errors import SchedulingError
-    from .sched import registry as sched_registry
+    from .engine.resilience import install_sigterm_handler
 
+    install_sigterm_handler()
     try:
-        previous = sched_registry.set_default(scheduler)
-    except SchedulingError as exc:
-        print(f"--scheduler: {exc}", file=sys.stderr)
-        return 2
-    try:
-        return handlers[args.command](args)
-    finally:
-        sched_registry.set_default(previous)
+        scheduler = getattr(args, "scheduler", None)
+        if scheduler is None:
+            return handlers[args.command](args)
+        # --scheduler: pin the process-wide default backend so every
+        # CompilerOptions built for this run (benchmark defaults included)
+        # compiles through it; restored afterwards for in-process callers.
+        from .errors import SchedulingError
+        from .sched import registry as sched_registry
+
+        try:
+            previous = sched_registry.set_default(scheduler)
+        except SchedulingError as exc:
+            print(f"--scheduler: {exc}", file=sys.stderr)
+            return 2
+        try:
+            return handlers[args.command](args)
+        finally:
+            sched_registry.set_default(previous)
+    except KeyboardInterrupt:
+        # Raised by ^C or by the SIGTERM handler installed above; the
+        # engine has already unwound (checkpoints/journals are synced
+        # line-by-line), so a plain exit is safe and resumable.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -41,6 +41,7 @@ from .resilience import (
     ResourceLimits,
     RetryPolicy,
     failure_manifest,
+    install_sigterm_handler,
 )
 
 __all__ = [
@@ -63,6 +64,7 @@ __all__ = [
     "TraceCache",
     "execute",
     "failure_manifest",
+    "install_sigterm_handler",
     "open_cache",
     "plan_sweep",
     "prime_runs",

@@ -29,6 +29,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass
 
 from .. import __version__
@@ -44,6 +45,57 @@ _FORMAT = "trace-v2"
 
 #: Default cache directory (relative to the working directory).
 DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+
+#: A ``*.tmp`` file this much older than "now" is crash debris: no
+#: healthy writer holds a temp file for an hour.
+DEBRIS_MAX_AGE = 3600.0
+
+#: Roots already swept this process — stores are cheap handles opened
+#: per group/worker task, so each directory tree is walked only once.
+_SWEPT_ROOTS: set[str] = set()
+
+
+def reset_debris_sweeps() -> None:
+    """Forget which roots were swept (tests re-plant debris)."""
+    _SWEPT_ROOTS.clear()
+
+
+def sweep_debris(root: str, max_age: float = DEBRIS_MAX_AGE, *,
+                 prune: tuple[str, ...] = (), now: float | None = None,
+                 ) -> int:
+    """Remove orphaned ``*.tmp`` files under ``root``; return the count.
+
+    Atomic-write temp files are normally renamed or unlinked within the
+    writing call; one that survives past ``max_age`` was left by a
+    killed writer.  Young temp files are left alone — they may belong
+    to a live concurrent writer.  ``prune`` names child directories to
+    skip (the memo store sweeps its own subtree).  Each root is swept
+    at most once per process.
+    """
+    if not root:
+        return 0
+    key = os.path.abspath(root)
+    if key in _SWEPT_ROOTS:
+        return 0
+    _SWEPT_ROOTS.add(key)
+    if not os.path.isdir(key):
+        return 0
+    cutoff = (time.time() if now is None else now) - max_age
+    removed = 0
+    for dirpath, dirnames, filenames in os.walk(key):
+        if dirpath == key and prune:
+            dirnames[:] = [d for d in dirnames if d not in prune]
+        for name in filenames:
+            if not name.endswith(".tmp"):
+                continue
+            path = os.path.join(dirpath, name)
+            try:
+                if os.path.getmtime(path) <= cutoff:
+                    os.remove(path)
+                    removed += 1
+            except OSError:
+                continue
+    return removed
 
 
 def trace_key(source: str, options: CompilerOptions) -> str:
@@ -74,6 +126,9 @@ class CacheStats:
     misses: int = 0
     corrupt: int = 0
     stores: int = 0
+    #: Orphaned temp files removed by the startup janitor — outside
+    #: the ``gets == hits + misses + corrupt`` conservation law.
+    debris: int = 0
 
     @property
     def gets(self) -> int:
@@ -84,7 +139,7 @@ class CacheStats:
     def as_dict(self) -> dict:
         return {"gets": self.gets, "hits": self.hits,
                 "misses": self.misses, "corrupt": self.corrupt,
-                "stores": self.stores}
+                "stores": self.stores, "debris": self.debris}
 
 
 class TraceCache:
@@ -95,6 +150,10 @@ class TraceCache:
     def __init__(self, root: str) -> None:
         self.root = root
         self.stats = CacheStats()
+        # Startup janitor: clear crash debris left by killed writers.
+        # The memo store (and the flow state store) sweep their own
+        # subtrees, so prune them here to keep the counts disjoint.
+        self.stats.debris = sweep_debris(root, prune=("memo", "flow"))
 
     def path_for(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".pkl")

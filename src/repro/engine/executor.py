@@ -246,6 +246,10 @@ def _run_group(
     with tracer.span("group.run", cat="engine", benchmark=benchmark,
                      cells=len(machine_cells), attempt=attempt):
         start = time.perf_counter()
+        if cache.enabled and cache.stats.debris:
+            # Surface (once) what the startup janitor removed.
+            metrics.incr("cache.debris", cache.stats.debris)
+            cache.stats.debris = 0
         # In-process memo first (free), then the on-disk cache, then
         # compile.
         result = suite.cached_run(bench, options)

@@ -34,7 +34,14 @@ Kinds:
 * ``corrupt-cache``  — the cache entry the group just wrote is
   truncated in place (a simulated partial write);
 * ``error``          — a deterministic in-cell exception, classified as
-  non-transient by the retry policy (fails fast, no retries).
+  non-transient by the retry policy (fails fast, no retries);
+* ``kill``           — the *parent* process dies via ``SIGKILL`` at a
+  workflow-node boundary (:mod:`repro.flow` fires it after journaling
+  the matching node; the benchmark slot names a node or its 1-based
+  completion ordinal);
+* ``torn-write``     — a workflow checkpoint file is truncated mid-write
+  (same site grammar as ``kill``); the flow state store's structural
+  validation must drop the entry and recompute on resume.
 
 Examples::
 
@@ -42,12 +49,15 @@ Examples::
     REPRO_FAULTS='hang@linpack/base,hang=0.5'  # linpack-on-base blocks
     REPRO_FAULTS='corrupt-result@stanford#2'   # two corrupt attempts
     REPRO_FAULTS='crash@*~0.25,seed=7'         # 25% of groups, seeded
+    REPRO_FAULTS='kill@3'                      # SIGKILL after node 3
+    REPRO_FAULTS='torn-write@5'                # tear node 5's checkpoint
 """
 
 from __future__ import annotations
 
 import os
 import re
+import signal
 import time
 import zlib
 from dataclasses import dataclass, replace
@@ -55,7 +65,8 @@ from dataclasses import dataclass, replace
 from ..errors import ReproError
 
 #: Recognized fault kinds, in documentation order.
-FAULT_KINDS = ("crash", "hang", "corrupt-result", "corrupt-cache", "error")
+FAULT_KINDS = ("crash", "hang", "corrupt-result", "corrupt-cache", "error",
+               "kill", "torn-write")
 
 #: Environment variable holding the default fault plan.
 ENV_VAR = "REPRO_FAULTS"
@@ -250,6 +261,57 @@ class FaultPlan:
                             attempt):
             return replace(cell, instructions=-1)
         return cell
+
+    # ------------------------------------------------------------------
+    # workflow-node faults (fired by repro.flow at node boundaries)
+
+    def _node_matches(self, kind: str, node: str, ordinal: int) -> bool:
+        """True when a ``kind`` spec covers this node boundary.
+
+        The spec's benchmark slot names either the node (exact match),
+        its 1-based completion ordinal, or ``*`` (every boundary); the
+        probability gate uses the ordinal as the attempt token, so
+        randomized chaos runs stay reproducible.
+        """
+        for spec in self.specs:
+            if spec.kind != kind:
+                continue
+            if spec.benchmark not in ("*", node, str(ordinal)):
+                continue
+            if ordinal > spec.count and spec.benchmark == "*":
+                continue
+            if self._gate(spec, kind, node, "*", ordinal):
+                return True
+        return False
+
+    def fire_kill(self, node: str, ordinal: int, *,
+                  kill_action=None) -> None:
+        """SIGKILL the calling process at a node boundary, if matched.
+
+        ``kill_action`` replaces the real SIGKILL for in-process tests;
+        the default is a genuine, uncatchable ``os.kill``.
+        """
+        if not self._node_matches("kill", node, ordinal):
+            return
+        if kill_action is not None:
+            kill_action(node, ordinal)
+            return
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    def maybe_tear_checkpoint(self, path: str, node: str,
+                              ordinal: int) -> bool:
+        """Truncate the checkpoint file at ``path`` (a simulated torn
+        write) when a ``torn-write`` spec matches this node boundary;
+        returns True when the file was torn."""
+        if not self._node_matches("torn-write", node, ordinal):
+            return False
+        try:
+            size = os.path.getsize(path)
+            with open(path, "r+b") as handle:
+                handle.truncate(max(1, size // 2))
+        except OSError:
+            return False
+        return True
 
     def maybe_corrupt_cache(self, cache, key: str, benchmark: str,
                             attempt: int) -> None:

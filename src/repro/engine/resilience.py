@@ -39,6 +39,8 @@ history, which the executor stamps onto each
 from __future__ import annotations
 
 import heapq
+import signal
+import threading
 import time
 import zlib
 from collections import deque
@@ -53,6 +55,34 @@ from .faults import NO_FAULTS, FaultPlan, InjectedFaultError
 
 #: The four cell statuses, in "best first" order.
 CELL_STATUSES = ("ok", "retried", "degraded", "failed")
+
+
+def install_sigterm_handler() -> bool:
+    """Make SIGTERM take the KeyboardInterrupt shutdown path.
+
+    Container runtimes and CI cancelers send SIGTERM, whose default
+    disposition kills the process without unwinding — orphaning pool
+    workers and leaving temp files behind.  Re-raising it as
+    :class:`KeyboardInterrupt` reuses the interrupt path that already
+    works: ``run_supervised``'s ``finally`` kills the pool, atomic
+    writers unlink their temp files, journals flush on close, and the
+    CLI exits nonzero.
+
+    Only the main thread may set signal handlers; returns ``False``
+    (and changes nothing) elsewhere, so library users embedding the
+    engine in worker threads are unaffected.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return False
+
+    def _handler(signum, frame):
+        raise KeyboardInterrupt("SIGTERM")
+
+    try:
+        signal.signal(signal.SIGTERM, _handler)
+    except ValueError:  # pragma: no cover - non-main interpreter thread
+        return False
+    return True
 
 #: Error kinds the retry ladder treats as transient (worth retrying).
 TRANSIENT_KINDS = frozenset({"crash", "hang", "corrupt", "unknown"})
@@ -298,6 +328,7 @@ def run_group_serial(
     policy: RetryPolicy,
     expected_indices: set[int] | None = None,
     tracer: Tracer = NULL_TRACER,
+    validate=None,
 ) -> GroupOutcome:
     """Attempt one group in-process under the retry ladder.
 
@@ -305,13 +336,18 @@ def run_group_serial(
     ``(results, cached)`` (a trailing observability element is
     tolerated); exceptions are classified and transient ones retried
     with (blocking) backoff.  ``expected_indices`` additionally
-    subjects each payload to :func:`validate_group_payload` (a corrupt
-    payload counts as a failed transient attempt).  There is no
+    subjects each payload to the ``validate`` hook — by default
+    :func:`validate_group_payload`; workloads whose results are not
+    CellResult-shaped (the workflow engine's nodes) pass their own
+    ``validate(payload, expected_indices) -> str | None`` — and a
+    corrupt payload counts as a failed transient attempt.  There is no
     separate degradation step — the run is already serial — so
     exhausting the budget means ``failed``.  ``tracer`` receives one
     ``retry.backoff`` span per backoff wait and one ``attempt.failed``
     span per failed attempt.
     """
+    if validate is None:
+        validate = validate_group_payload
     history: list[AttemptRecord] = []
     attempt = 0
     while attempt < policy.max_attempts:
@@ -325,7 +361,7 @@ def run_group_serial(
         else:
             message = None
             if expected_indices is not None:
-                message = validate_group_payload(payload, expected_indices)
+                message = validate(payload, expected_indices)
             elif not (isinstance(payload, tuple)
                       and len(payload) in (2, 3)):
                 message = "group payload has wrong shape"
@@ -415,6 +451,7 @@ def run_supervised(
     stats: SupervisionStats | None = None,
     tracer: Tracer = NULL_TRACER,
     progress=None,
+    validate=None,
 ) -> list[GroupOutcome]:
     """Run compile groups across a supervised process pool.
 
@@ -444,10 +481,17 @@ def run_supervised(
         Optional callable ``progress(group_key, outcome, n_cells)``
         invoked as each group settles (drives the ``--live`` progress
         line).
+    validate:
+        ``validate(payload, expected_indices) -> str | None`` replaces
+        the default :func:`validate_group_payload` structural check for
+        workloads whose results are not CellResult-shaped (the workflow
+        engine's nodes).
 
     Returns one :class:`GroupOutcome` per input group, in input order.
     """
     del faults  # faults travel inside make_payload; kept for signature clarity
+    if validate is None:
+        validate = validate_group_payload
     stats = stats if stats is not None else SupervisionStats()
     states = [_Group(i, key, base, set(indices))
               for i, (key, base, indices) in enumerate(groups)]
@@ -486,7 +530,7 @@ def run_supervised(
                 final = CellError(classify_exception(exc), str(exc),
                                   attempt, "serial")
             else:
-                message = validate_group_payload(payload, group.indices)
+                message = validate(payload, group.indices)
                 if message is None:
                     results, cached, obs = split_group_payload(payload)
                     finish(group, GroupOutcome(
@@ -611,7 +655,7 @@ def run_supervised(
                         group.attempts, "worker",
                     ), seconds)
                     continue
-                message = validate_group_payload(payload, group.indices)
+                message = validate(payload, group.indices)
                 if message is not None:
                     dispose_failure(group, CellError(
                         "corrupt", message, group.attempts, "worker",

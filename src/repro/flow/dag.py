@@ -1,0 +1,155 @@
+"""Typed workflow DAGs: nodes, edges, cycle detection, content signatures.
+
+A :class:`FlowDag` is the declarative shape of one experiment run: each
+:class:`FlowNode` names a unit of work (a compilation, a cell
+measurement, an aggregation), its *kind* (which runner executes it),
+its dependencies, and a **content fingerprint** covering every input
+that affects its output — benchmark source hashes,
+:meth:`~repro.opt.options.CompilerOptions.fingerprint`, machine
+fingerprints.
+
+Node **signatures** are where incremental recomputation comes from: a
+node's signature is a SHA-256 over its kind, its own fingerprint, and
+the *sorted signatures of its dependencies* — names are deliberately
+excluded.  Change one benchmark's source and only its compile node and
+the nodes downstream of it get new signatures; everything else keeps
+its old signature and is restored from the persisted state store
+(:mod:`repro.flow.state`) instead of re-executed.
+
+The DAG itself is pure data — execution lives in
+:mod:`repro.flow.engine`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..errors import ReproError
+
+#: Bump when the signature derivation changes incompatibly.
+_SIG_FORMAT = "flow-sig-v1"
+
+
+class FlowError(ReproError):
+    """A malformed flow: duplicate node, unknown dependency, cycle,
+    missing runner, or a run that cannot satisfy its contract."""
+
+
+@dataclass(frozen=True, slots=True)
+class FlowNode:
+    """One unit of work in a flow.
+
+    ``fingerprint`` must cover every input (beyond the dependency
+    values) that affects this node's output; ``payload`` is the
+    runner's picklable input and is *not* hashed — anything in it that
+    changes the output belongs in the fingerprint too.
+    """
+
+    name: str
+    kind: str
+    fingerprint: str
+    deps: tuple[str, ...] = ()
+    payload: Any = None
+
+
+@dataclass(slots=True)
+class FlowDag:
+    """An insertion-ordered set of :class:`FlowNode`\\ s with edges."""
+
+    nodes: dict[str, FlowNode] = field(default_factory=dict)
+
+    def add(self, node: FlowNode) -> FlowNode:
+        if node.name in self.nodes:
+            raise FlowError(f"duplicate flow node {node.name!r}")
+        self.nodes[node.name] = node
+        return node
+
+    def node(self, name: str) -> FlowNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise FlowError(f"unknown flow node {name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def validate(self) -> None:
+        """Raise :class:`FlowError` on unknown deps or cycles."""
+        for node in self.nodes.values():
+            for dep in node.deps:
+                if dep not in self.nodes:
+                    raise FlowError(
+                        f"node {node.name!r} depends on unknown node "
+                        f"{dep!r}"
+                    )
+        self.topological_order()
+
+    def topological_order(self) -> list[str]:
+        """Node names, dependencies always before dependents.
+
+        Deterministic: among simultaneously-ready nodes, insertion
+        order wins, so execution waves (and the fault-injection node
+        ordinals derived from them) are identical across runs.  Raises
+        :class:`FlowError` naming a cycle member when no order exists.
+        """
+        placed: set[str] = set()
+        order: list[str] = []
+        remaining = list(self.nodes)
+        while remaining:
+            ready = [name for name in remaining
+                     if all(d in placed for d in self.nodes[name].deps
+                            if d in self.nodes)]
+            if not ready:
+                raise FlowError(
+                    "flow contains a dependency cycle through "
+                    f"{remaining[0]!r}"
+                )
+            for name in ready:
+                placed.add(name)
+                order.append(name)
+            remaining = [n for n in remaining if n not in placed]
+        return order
+
+    def signatures(self) -> dict[str, str]:
+        """Content signature per node (see module docstring).
+
+        Node *names* are excluded on purpose: renaming a node (or
+        re-indexing a grid) must not invalidate checkpoints, and two
+        nodes with identical content share one checkpoint entry.
+        """
+        sigs: dict[str, str] = {}
+        for name in self.topological_order():
+            node = self.nodes[name]
+            basis = json.dumps(
+                [_SIG_FORMAT, node.kind, node.fingerprint,
+                 sorted(sigs[d] for d in node.deps)],
+                separators=(",", ":"),
+            )
+            sigs[name] = hashlib.sha256(
+                basis.encode("utf-8")).hexdigest()
+        return sigs
+
+    def dag_signature(self) -> str:
+        """One signature for the whole flow (journal verification)."""
+        sigs = self.signatures()
+        basis = json.dumps(sorted(sigs.values()), separators=(",", ":"))
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()
+
+    def downstream(self, names: Iterable[str]) -> set[str]:
+        """``names`` plus every node reachable from them via edges."""
+        seeds = set(names)
+        for name in seeds:
+            self.node(name)
+        out = set(seeds)
+        changed = True
+        while changed:
+            changed = False
+            for node in self.nodes.values():
+                if node.name not in out \
+                        and any(d in out for d in node.deps):
+                    out.add(node.name)
+                    changed = True
+        return out

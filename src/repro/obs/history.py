@@ -30,6 +30,7 @@ import hashlib
 import json
 import os
 import sqlite3
+import time
 from dataclasses import dataclass
 
 from .recorder import read_jsonl_tolerant
@@ -465,30 +466,60 @@ class LedgerError(ValueError):
     """Raised for unusable ledgers or unresolvable run references."""
 
 
+#: Seconds SQLite waits on a locked database before giving up (both the
+#: driver-level connect timeout and PRAGMA busy_timeout).
+BUSY_TIMEOUT = 30.0
+
+#: Bounded application-level retries for writes that still lose the
+#: lock race after the busy timeout (each sleeps briefly first).
+LOCK_RETRIES = 5
+_LOCK_RETRY_SLEEP = 0.05
+
+
+def _is_locked(exc: sqlite3.OperationalError) -> bool:
+    text = str(exc).lower()
+    return "locked" in text or "busy" in text
+
+
 class HistoryLedger:
     """One SQLite-backed run-history ledger (see module docstring).
 
     Usable as a context manager; all writes are committed per ingest.
+    Safe under concurrent writers: the connection waits
+    :data:`BUSY_TIMEOUT` seconds on a locked database, and ingestion
+    additionally retries a bounded number of times, so two simultaneous
+    ``repro ingest`` processes serialize instead of dying with
+    ``database is locked``.
+
+    ``create=False`` refuses to materialize a missing ledger — readers
+    (``repro diff``, ``repro dash``) use it so a typo'd path is a clean
+    :class:`LedgerError`, never a fresh empty database.
     """
 
-    def __init__(self, path: str | None = None) -> None:
+    def __init__(self, path: str | None = None, *,
+                 create: bool = True) -> None:
         self.path = path or default_ledger_path()
+        if not create and not os.path.exists(self.path):
+            raise LedgerError(f"no ledger at {self.path}")
         parent = os.path.dirname(self.path)
         if parent:
             os.makedirs(parent, exist_ok=True)
-        self._conn = sqlite3.connect(self.path)
+        self._conn = sqlite3.connect(self.path, timeout=BUSY_TIMEOUT)
         self._conn.row_factory = sqlite3.Row
+        self._conn.execute(
+            f"PRAGMA busy_timeout = {int(BUSY_TIMEOUT * 1000)}")
         self._conn.executescript(_SCHEMA_SQL)
+        # Two processes may race to stamp a fresh ledger's version:
+        # INSERT OR IGNORE lets the loser fall through to the re-read.
+        self._conn.execute(
+            "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+            ("ledger_version", str(LEDGER_VERSION)),
+        )
+        self._conn.commit()
         row = self._conn.execute(
             "SELECT value FROM meta WHERE key = 'ledger_version'"
         ).fetchone()
-        if row is None:
-            self._conn.execute(
-                "INSERT INTO meta (key, value) VALUES (?, ?)",
-                ("ledger_version", str(LEDGER_VERSION)),
-            )
-            self._conn.commit()
-        elif row["value"] != str(LEDGER_VERSION):
+        if row is not None and row["value"] != str(LEDGER_VERSION):
             raise LedgerError(
                 f"{self.path}: ledger version {row['value']} != "
                 f"{LEDGER_VERSION}; re-ingest the source reports into a "
@@ -528,12 +559,49 @@ class HistoryLedger:
         return self._ingest_payload(payload)
 
     def _ingest_payload(self, payload: dict) -> IngestResult:
+        """Write one payload, retrying bounded times on a locked db."""
+        last: sqlite3.OperationalError | None = None
+        for attempt in range(LOCK_RETRIES + 1):
+            if attempt:
+                time.sleep(_LOCK_RETRY_SLEEP * attempt)
+            try:
+                return self._ingest_once(payload)
+            except sqlite3.OperationalError as exc:
+                if not _is_locked(exc):
+                    raise
+                last = exc
+                try:
+                    self._conn.rollback()
+                except sqlite3.Error:
+                    pass
+        raise LedgerError(
+            f"{self.path}: database stayed locked through "
+            f"{LOCK_RETRIES} retries ({last})"
+        )
+
+    def _ingest_once(self, payload: dict) -> IngestResult:
         fingerprint = fingerprint_payload(payload)
         row = self._conn.execute(
             "SELECT id FROM runs WHERE fingerprint = ?", (fingerprint,)
         ).fetchone()
         if row is not None:
             return IngestResult(row["id"], fingerprint, created=False)
+        try:
+            return self._insert_payload(payload, fingerprint)
+        except sqlite3.IntegrityError:
+            # Concurrent ingest of identical content: the other writer
+            # won the UNIQUE(fingerprint) race; dedupe to its entry.
+            self._conn.rollback()
+            row = self._conn.execute(
+                "SELECT id FROM runs WHERE fingerprint = ?",
+                (fingerprint,),
+            ).fetchone()
+            if row is None:  # pragma: no cover - defensive
+                raise
+            return IngestResult(row["id"], fingerprint, created=False)
+
+    def _insert_payload(self, payload: dict,
+                        fingerprint: str) -> IngestResult:
         cur = self._conn.execute(
             "INSERT INTO runs (fingerprint, kind, run_id, schema_version,"
             " package_version, source, machines, wall_seconds, engine,"

@@ -85,6 +85,7 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "metrics": ("counters", "gauges", "histograms"),
     "resource": ("track", "rss_peak_mb", "cpu_seconds", "samples"),
     "exhibit": ("ident", "title", "seconds"),
+    "flow": ("run_id", "nodes", "executed", "restored", "failed"),
     "run_end": ("seconds", "counters"),
 }
 
@@ -133,6 +134,11 @@ _NUMERIC_FIELDS: dict[str, tuple[tuple[type, ...], bool]] = {
     "rss_peak_mb": ((int, float), False),
     "cpu_seconds": ((int, float), False),
     "samples": ((int,), False),
+    # flow events (checkpointed workflow-DAG summaries)
+    "nodes": ((int,), False),
+    "executed": ((int,), False),
+    "restored": ((int,), False),
+    "failed": ((int,), False),
     # compile_pass size fields use -1 for "not applicable"
     "instrs_before": ((int,), True),
     "instrs_after": ((int,), True),
@@ -429,6 +435,20 @@ def check_event(record: dict) -> list[str]:
                 f"engine: status conservation violated: "
                 f"ok+retried+degraded+failed == {total}, "
                 f"cells == {record['cells']}"
+            )
+    if event == "flow" and all(
+        isinstance(record.get(name), int)
+        for name in ("nodes", "executed", "restored", "failed")
+    ):
+        # Node conservation: every node ends in exactly one state
+        # (skipped nodes are counted under ``failed``).
+        total = (record["executed"] + record["restored"]
+                 + record["failed"])
+        if total != record["nodes"]:
+            errors.append(
+                f"flow: node conservation violated: "
+                f"executed+restored+failed == {total}, "
+                f"nodes == {record['nodes']}"
             )
     if event == "span":
         errors.extend(check_span(record))

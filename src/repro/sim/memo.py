@@ -68,6 +68,9 @@ class MemoStats:
     misses: int = 0
     corrupt: int = 0
     stores: int = 0
+    #: Orphaned temp files removed by the startup janitor — outside
+    #: the ``gets == hits + misses + corrupt`` conservation law.
+    debris: int = 0
 
     @property
     def gets(self) -> int:
@@ -76,7 +79,7 @@ class MemoStats:
     def as_dict(self) -> dict:
         return {"gets": self.gets, "hits": self.hits,
                 "misses": self.misses, "corrupt": self.corrupt,
-                "stores": self.stores}
+                "stores": self.stores, "debris": self.debris}
 
     def record_to(self, metrics) -> None:
         """Fold into a metrics registry under ``cache.memo_*``."""
@@ -87,6 +90,9 @@ class MemoStats:
         metrics.incr("cache.memo_misses", self.misses)
         metrics.incr("cache.memo_corrupt", self.corrupt)
         metrics.incr("cache.memo_stores", self.stores)
+        if self.debris:
+            metrics.incr("cache.memo_debris", self.debris)
+            self.debris = 0
 
 
 def memo_key(trace: Trace, config: MachineConfig, *,
@@ -115,6 +121,12 @@ class MemoStore:
     def __init__(self, root: str) -> None:
         self.root = root
         self.stats = MemoStats()
+        if root:
+            # Startup janitor: clear crash debris left by killed
+            # writers (once per process per root; the import is
+            # deferred because engine.cache imports this package).
+            from ..engine.cache import sweep_debris
+            self.stats.debris = sweep_debris(root)
 
     def path_for(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".pkl")

@@ -171,7 +171,7 @@ class TestTraceCache:
         assert loaded.trace.ops == result.trace.ops
         assert cache.stats.as_dict() == {"gets": 1, "hits": 1,
                                          "misses": 0, "corrupt": 0,
-                                         "stores": 1}
+                                         "stores": 1, "debris": 0}
 
     def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
         cache = TraceCache(str(tmp_path))

@@ -1,0 +1,145 @@
+"""Property tests: crash resume re-runs exactly the unfinished slice.
+
+Hypothesis generates random DAG shapes (layered, with random edges)
+and a random kill point; the test kills the flow in-process at that
+node boundary, resumes it, and asserts:
+
+* the resume *restores* exactly the nodes journaled complete before
+  the kill (their checkpoints survived),
+* it *executes* exactly the rest,
+* the final values equal an uninterrupted run's, node for node.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.faults import FaultPlan
+from repro.flow import (
+    FlowDag,
+    FlowNode,
+    FlowRunner,
+    journal_completed,
+    journal_path,
+    read_journal,
+    run_flow,
+)
+
+
+class _Kill(Exception):
+    """In-process stand-in for the SIGKILL a kill fault delivers."""
+
+
+def _kill_action(node, ordinal):
+    raise _Kill(f"{node}@{ordinal}")
+
+
+def _value_func(name, payload, deps):
+    # Deterministic, dependency-mixing: catches both lost checkpoints
+    # and stale ones fed to downstream recomputation.
+    total = payload
+    for dep_name in sorted(deps):
+        value = deps[dep_name]
+        total = total * 31 + (value if value is not None else -1)
+    return total
+
+
+RUNNERS = {"t": FlowRunner("t", _value_func, local=True)}
+
+
+@st.composite
+def dag_and_kill(draw):
+    """A random layered DAG plus a kill ordinal within it."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    deps: list[tuple[int, ...]] = []
+    for i in range(n):
+        if i == 0:
+            deps.append(())
+        else:
+            chosen = draw(st.sets(st.integers(0, i - 1), max_size=3))
+            deps.append(tuple(sorted(chosen)))
+    kill_at = draw(st.integers(min_value=1, max_value=n))
+    return deps, kill_at
+
+
+def _build(deps):
+    dag = FlowDag()
+    for i, dep_indices in enumerate(deps):
+        dag.add(FlowNode(
+            name=f"n{i}", kind="t", fingerprint=f"fp{i}",
+            deps=tuple(f"n{j}" for j in dep_indices), payload=i,
+        ))
+    return dag
+
+
+@given(dag_and_kill())
+@settings(max_examples=30, deadline=None)
+def test_kill_resume_runs_only_unfinished_nodes(case):
+    deps, kill_at = case
+    clean_root = tempfile.mkdtemp(prefix="flow-prop-clean-")
+    chaos_root = tempfile.mkdtemp(prefix="flow-prop-chaos-")
+    try:
+        clean = run_flow(_build(deps), RUNNERS, root=clean_root)
+        assert clean.ok
+
+        interrupted = False
+        try:
+            run_flow(_build(deps), RUNNERS, root=chaos_root,
+                     run_id="chaos",
+                     faults=FaultPlan.parse(f"kill@{kill_at}"),
+                     kill_action=_kill_action)
+        except _Kill:
+            interrupted = True
+        assert interrupted  # kill_at <= node count, so it always fires
+
+        events = read_journal(journal_path(chaos_root, "chaos"))
+        sigs = _build(deps).signatures()
+        completed_sigs = {
+            sig for sig, status in journal_completed(events).items()
+            if status == "executed"
+        }
+        completed = {name for name in sigs
+                     if sigs[name] in completed_sigs}
+        assert len(completed) == kill_at
+
+        resumed = run_flow(_build(deps), RUNNERS, root=chaos_root,
+                           run_id="chaos")
+        assert resumed.ok
+        assert set(resumed.restored) == completed
+        assert set(resumed.executed) == set(sigs) - completed
+        assert resumed.values == clean.values
+    finally:
+        shutil.rmtree(clean_root, ignore_errors=True)
+        shutil.rmtree(chaos_root, ignore_errors=True)
+
+
+@given(dag_and_kill())
+@settings(max_examples=15, deadline=None)
+def test_double_kill_then_resume_converges(case):
+    """Two successive crashes still converge to the clean values."""
+    deps, kill_at = case
+    n = len(deps)
+    clean_root = tempfile.mkdtemp(prefix="flow-prop-clean-")
+    chaos_root = tempfile.mkdtemp(prefix="flow-prop-chaos-")
+    try:
+        clean = run_flow(_build(deps), RUNNERS, root=clean_root)
+
+        for attempt_kill in (kill_at, max(1, n - kill_at)):
+            try:
+                run_flow(_build(deps), RUNNERS, root=chaos_root,
+                         run_id="chaos",
+                         faults=FaultPlan.parse(f"kill@{attempt_kill}"),
+                         kill_action=_kill_action)
+            except _Kill:
+                pass
+        final = run_flow(_build(deps), RUNNERS, root=chaos_root,
+                         run_id="chaos")
+        assert final.ok
+        assert final.values == clean.values
+    finally:
+        shutil.rmtree(clean_root, ignore_errors=True)
+        shutil.rmtree(chaos_root, ignore_errors=True)

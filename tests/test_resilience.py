@@ -599,3 +599,56 @@ class TestWorkerCrashExitCode:
         proc = subprocess.run([sys.executable, "-c", script],
                               capture_output=True, timeout=60)
         assert proc.returncode == FAULT_EXIT_CODE
+
+
+class TestSigtermHandler:
+    """SIGTERM must take the KeyboardInterrupt shutdown path."""
+
+    def test_sigterm_raises_keyboard_interrupt(self):
+        script = (
+            "import os, signal, sys; sys.path.insert(0, {src!r})\n"
+            "from repro.engine.resilience import install_sigterm_handler\n"
+            "assert install_sigterm_handler()\n"
+            "try:\n"
+            "    os.kill(os.getpid(), signal.SIGTERM)\n"
+            "    print('NOT DELIVERED')\n"
+            "except KeyboardInterrupt as exc:\n"
+            "    print('CAUGHT', exc)\n"
+        ).format(src=str(Path(__file__).resolve().parent.parent / "src"))
+        proc = subprocess.run([sys.executable, "-c", script],
+                              capture_output=True, text=True, timeout=60)
+        assert proc.returncode == 0, proc.stderr
+        assert "CAUGHT SIGTERM" in proc.stdout
+
+    def test_install_from_worker_thread_is_refused(self):
+        import signal
+        import threading
+
+        from repro.engine.resilience import install_sigterm_handler
+
+        before = signal.getsignal(signal.SIGTERM)
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(install_sigterm_handler()))
+        thread.start()
+        thread.join()
+        assert results == [False]
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_cli_maps_interrupt_to_exit_130(self, monkeypatch, capsys):
+        import signal
+
+        import repro.__main__ as cli
+
+        def boom(args):
+            raise KeyboardInterrupt("SIGTERM")
+
+        before = signal.getsignal(signal.SIGTERM)
+        monkeypatch.setitem(
+            cli.main.__globals__, "_cmd_trace", boom)
+        try:
+            code = cli.main(["trace", "whatever.jsonl"])
+        finally:
+            signal.signal(signal.SIGTERM, before)
+        assert code == 130
+        assert "interrupted" in capsys.readouterr().err
